@@ -1,0 +1,128 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Each ``test_figN_*.py`` module regenerates one paper figure at a reduced
+but qualitatively faithful scale: per parameter value and approach it
+benchmarks the batch solve (the paper's panel (b)) and records the
+achieved cooperation score and the Equation 9 upper bound in
+``benchmark.extra_info`` (panel (a)). The full-size sweeps live in
+``python -m repro.experiments.run_all``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.bounds import upper_bound
+from repro.core.model import Instance, Task, Worker
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.datasets.meetup import generate_meetup_dataset
+from repro.datasets.synthetic import gaussian_in_range, generate_locations
+from repro.experiments.config import make_solver
+from repro.spatial.geometry import Point
+from repro.utils.rng import ensure_rng
+
+BENCH_SEED = 0
+
+#: Reduced Table II defaults used across the benchmark suite.
+BENCH_WORKERS = 400
+BENCH_TASKS = 100
+BENCH_CAPACITY = 4
+BENCH_MIN_GROUP = 3
+BENCH_SPEED = (0.01, 0.05)
+BENCH_RADIUS = (0.05, 0.10)
+BENCH_TAU = 3.0
+
+#: The approaches benchmarked for every figure (GT variants beyond these
+#: are covered by test_fig6_epsilon.py and test_ablations.py).
+BENCH_APPROACHES = ("RAND", "MFLOW", "TPG", "GT", "GT+ALL")
+
+
+@lru_cache(maxsize=1)
+def _meetup_population():
+    dataset = generate_meetup_dataset(
+        user_count=1200, event_count=400, group_count=250, seed=BENCH_SEED
+    )
+    return dataset
+
+
+@lru_cache(maxsize=32)
+def make_batch(
+    dataset: str = "meetup",
+    workers: int = BENCH_WORKERS,
+    tasks: int = BENCH_TASKS,
+    capacity: int = BENCH_CAPACITY,
+    speed_range: tuple[float, float] = BENCH_SPEED,
+    radius_range: tuple[float, float] = BENCH_RADIUS,
+    remaining_time: float = BENCH_TAU,
+    seed: int = BENCH_SEED,
+) -> tuple[Instance, ValidPairs]:
+    """One reproducible batch for a figure's parameter value.
+
+    ``dataset="meetup"`` samples from the cached surrogate crawl (Figures
+    2-5); ``"unif"`` generates synthetic uniform data (Figures 6-8).
+    """
+    rng = ensure_rng(seed)
+    if dataset == "meetup":
+        population = _meetup_population()
+        worker_index = rng.choice(
+            population.user_count, size=workers, replace=False
+        )
+        worker_xy = population.user_locations[worker_index]
+        task_index = rng.integers(0, population.event_count, size=tasks)
+        task_xy = population.event_locations[task_index]
+        quality = population.quality.restricted_to(worker_index)
+    elif dataset == "unif":
+        from repro.core.quality import CooperationMatrix
+
+        worker_xy = generate_locations(rng, workers, "uniform")
+        task_xy = generate_locations(rng, tasks, "uniform")
+        quality = CooperationMatrix.random_community(workers, seed=rng)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+
+    speeds = gaussian_in_range(rng, workers, *speed_range)
+    radii = gaussian_in_range(rng, workers, *radius_range)
+    worker_objects = [
+        Worker(
+            worker_id=i,
+            location=Point(float(worker_xy[i][0]), float(worker_xy[i][1])),
+            speed=float(speeds[i]),
+            radius=float(radii[i]),
+        )
+        for i in range(workers)
+    ]
+    task_objects = [
+        Task(
+            task_id=j,
+            location=Point(float(task_xy[j][0]), float(task_xy[j][1])),
+            capacity=capacity,
+            deadline=remaining_time,
+        )
+        for j in range(tasks)
+    ]
+    instance = Instance(
+        workers=worker_objects,
+        tasks=task_objects,
+        quality=quality,
+        min_group_size=BENCH_MIN_GROUP,
+    )
+    return instance, compute_valid_pairs(instance)
+
+
+def bench_solve(benchmark, approach: str, instance, valid_pairs) -> None:
+    """Benchmark one approach on one batch, recording score and UPPER."""
+    solver = make_solver(approach, seed=BENCH_SEED)
+    assignment = benchmark(solver, instance, valid_pairs)
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["score"] = round(assignment.total_score(), 3)
+    benchmark.extra_info["completed_tasks"] = assignment.completed_task_count()
+    benchmark.extra_info["upper"] = round(
+        upper_bound(instance, valid_pairs).value, 3
+    )
+
+
+@pytest.fixture(params=BENCH_APPROACHES)
+def approach(request) -> str:
+    return request.param

@@ -1,0 +1,108 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* GT initialization: TPG seeding (Algorithm 3 line 1) vs random start —
+  seeding pays for itself in fewer rounds and a better equilibrium.
+* LUB on/off at fixed epsilon: the lazy best-response cache trades a tiny
+  amount of score for a large cut in per-round work.
+* Validity data structure inside the full batch pipeline.
+"""
+
+import pytest
+
+from repro.core.bounds import upper_bound
+from repro.core.game import solve_game_theoretic
+from repro.core.tpg import solve_tpg
+
+from benchmarks.conftest import BENCH_SEED, make_batch
+
+
+@pytest.mark.parametrize("init", ["tpg", "random"])
+def test_gt_initialization(benchmark, init):
+    instance, valid_pairs = make_batch(dataset="unif")
+
+    def solve():
+        return solve_game_theoretic(
+            instance, valid_pairs, init=init, seed=BENCH_SEED
+        )
+
+    result = benchmark(solve)
+    benchmark.extra_info["init"] = init
+    benchmark.extra_info["score"] = round(result.final_score, 3)
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+@pytest.mark.parametrize("lazy", [False, True], ids=["plain", "lub"])
+def test_gt_lazy_updating(benchmark, lazy):
+    instance, valid_pairs = make_batch(dataset="unif")
+
+    def solve():
+        return solve_game_theoretic(instance, valid_pairs, lazy_update=lazy)
+
+    result = benchmark(solve)
+    benchmark.extra_info["lazy_update"] = lazy
+    benchmark.extra_info["score"] = round(result.final_score, 3)
+
+
+def test_tpg_alone(benchmark):
+    instance, valid_pairs = make_batch(dataset="unif")
+    assignment = benchmark(solve_tpg, instance, valid_pairs)
+    benchmark.extra_info["score"] = round(assignment.total_score(), 3)
+    benchmark.extra_info["upper"] = round(
+        upper_bound(instance, valid_pairs).value, 3
+    )
+
+
+def test_online_greedy(benchmark):
+    """Batch-vs-online contrast: the online mode is cheaper per batch
+    but leaves cooperation quality on the table (see extra_info)."""
+    from repro.core.online import solve_online_greedy
+
+    instance, valid_pairs = make_batch(dataset="unif")
+    assignment = benchmark(solve_online_greedy, instance, valid_pairs)
+    benchmark.extra_info["score"] = round(assignment.total_score(), 3)
+
+
+@pytest.mark.parametrize("order", ["sequential", "shuffled"])
+def test_gt_player_order(benchmark, order):
+    """Best-response converges under any player order (potential game);
+    this measures whether the order affects speed or equilibrium value."""
+    instance, valid_pairs = make_batch(dataset="unif")
+
+    def solve():
+        return solve_game_theoretic(
+            instance, valid_pairs, player_order=order, seed=BENCH_SEED
+        )
+
+    result = benchmark(solve)
+    benchmark.extra_info["order"] = order
+    benchmark.extra_info["score"] = round(result.final_score, 3)
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+@pytest.mark.parametrize("baseline", ["MFLOW", "WFLOW", "PGREEDY"])
+def test_flow_and_greedy_baselines(benchmark, baseline):
+    """Extension-baseline ladder: MFLOW (cardinality only) < WFLOW
+    (cardinality + per-worker quality proxy) < TPG/GT (true pairwise)."""
+    from repro.experiments.config import make_solver
+
+    instance, valid_pairs = make_batch(dataset="unif")
+    solver = make_solver(baseline, seed=BENCH_SEED)
+    assignment = benchmark(solver, instance, valid_pairs)
+    benchmark.extra_info["baseline"] = baseline
+    benchmark.extra_info["score"] = round(assignment.total_score(), 3)
+
+
+def test_local_search_polish(benchmark):
+    """Coalitional polish on top of GT: measures how much score 2-swaps
+    recover beyond the Nash equilibrium, and at what cost."""
+    from repro.core.local_search import solve_local_search
+
+    instance, valid_pairs = make_batch(dataset="unif")
+
+    def solve():
+        return solve_local_search(instance, valid_pairs)
+
+    result = benchmark(solve)
+    benchmark.extra_info["initial_score"] = round(result.initial_score, 3)
+    benchmark.extra_info["score"] = round(result.final_score, 3)
+    benchmark.extra_info["swaps"] = result.swaps

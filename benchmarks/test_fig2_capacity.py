@@ -1,0 +1,18 @@
+"""Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup data).
+
+Paper shape: scores rise from a_j = 3 to 4, then flatten; GT family ~5%
+above TPG, all far above MFLOW/RAND; RAND fastest, MFLOW slowest.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+CAPACITIES = (3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_fig2_capacity(benchmark, approach, capacity):
+    instance, valid_pairs = make_batch(dataset="meetup", capacity=capacity)
+    benchmark.extra_info["capacity"] = capacity
+    bench_solve(benchmark, approach, instance, valid_pairs)

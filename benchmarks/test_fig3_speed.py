@@ -1,0 +1,20 @@
+"""Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
+
+Paper shape: faster workers reach more tasks, so scores increase across
+the whole range; running times rise for all approaches except MFLOW.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+SPEED_RANGES = ((0.01, 0.03), (0.01, 0.05), (0.01, 0.08), (0.01, 0.10))
+
+
+@pytest.mark.parametrize(
+    "speed_range", SPEED_RANGES, ids=lambda r: f"v{int(r[0]*100)}-{int(r[1]*100)}"
+)
+def test_fig3_speed(benchmark, approach, speed_range):
+    instance, valid_pairs = make_batch(dataset="meetup", speed_range=speed_range)
+    benchmark.extra_info["speed_range"] = list(speed_range)
+    bench_solve(benchmark, approach, instance, valid_pairs)

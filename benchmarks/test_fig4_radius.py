@@ -1,0 +1,20 @@
+"""Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup).
+
+Paper shape: scores rise until [10, 15]% then saturate (speed x deadline
+caps the reach); running times grow with the radius for every approach.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+RADIUS_RANGES = ((0.01, 0.05), (0.05, 0.10), (0.10, 0.15), (0.15, 0.20))
+
+
+@pytest.mark.parametrize(
+    "radius_range", RADIUS_RANGES, ids=lambda r: f"r{int(r[0]*100)}-{int(r[1]*100)}"
+)
+def test_fig4_radius(benchmark, approach, radius_range):
+    instance, valid_pairs = make_batch(dataset="meetup", radius_range=radius_range)
+    benchmark.extra_info["radius_range"] = list(radius_range)
+    bench_solve(benchmark, approach, instance, valid_pairs)

@@ -1,0 +1,18 @@
+"""Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup).
+
+Paper shape: scores rise from tau = 1 to 3 then flatten (the working
+area becomes the binding constraint); GT-family times rise slightly.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+REMAINING_TIMES = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+@pytest.mark.parametrize("tau", REMAINING_TIMES, ids=lambda t: f"tau{int(t)}")
+def test_fig5_deadline(benchmark, approach, tau):
+    instance, valid_pairs = make_batch(dataset="meetup", remaining_time=tau)
+    benchmark.extra_info["remaining_time"] = tau
+    bench_solve(benchmark, approach, instance, valid_pairs)

@@ -1,0 +1,33 @@
+"""Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic data).
+
+Paper shape: scores are flat for epsilon <= 0.05 and dip noticeably at
+0.08; running time decreases monotonically as epsilon grows (fewer
+best-response rounds).
+"""
+
+import pytest
+
+from repro.core.bounds import upper_bound
+from repro.core.game import solve_game_theoretic
+
+from benchmarks.conftest import BENCH_SEED, make_batch
+
+EPSILONS = (0.0, 0.01, 0.03, 0.05, 0.08)
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS, ids=lambda e: f"eps{e}")
+def test_fig6_epsilon(benchmark, epsilon):
+    instance, valid_pairs = make_batch(dataset="unif")
+
+    def solve():
+        return solve_game_theoretic(
+            instance, valid_pairs, epsilon=epsilon, seed=BENCH_SEED
+        )
+
+    result = benchmark(solve)
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["score"] = round(result.final_score, 3)
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["upper"] = round(
+        upper_bound(instance, valid_pairs).value, 3
+    )

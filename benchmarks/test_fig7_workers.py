@@ -1,0 +1,19 @@
+"""Figure 7 — effect of the number of workers ``m`` (synthetic data).
+
+Paper shape: scores rise with m until the worker pool suffices for all
+tasks (the paper saturates at m = 2000 for n = 500; scaled here), and
+every approach's running time grows with m.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+WORKER_COUNTS = (100, 160, 200, 400, 1000)  # paper's 500..5K scaled by 1/5
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS, ids=lambda m: f"m{m}")
+def test_fig7_workers(benchmark, approach, workers):
+    instance, valid_pairs = make_batch(dataset="unif", workers=workers)
+    benchmark.extra_info["workers"] = workers
+    bench_solve(benchmark, approach, instance, valid_pairs)

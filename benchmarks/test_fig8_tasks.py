@@ -1,0 +1,19 @@
+"""Figure 8 — effect of the number of tasks ``n`` (synthetic data).
+
+Paper shape: scores rise with n until the fixed worker pool is fully
+employed (saturation at n = 500 for m = 1000 in the paper; scaled here),
+and running times grow with n for every approach.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_solve, make_batch
+
+TASK_COUNTS = (20, 60, 100, 160, 200)  # paper's 100..1K scaled by 1/5
+
+
+@pytest.mark.parametrize("tasks", TASK_COUNTS, ids=lambda n: f"n{n}")
+def test_fig8_tasks(benchmark, approach, tasks):
+    instance, valid_pairs = make_batch(dataset="unif", tasks=tasks)
+    benchmark.extra_info["tasks"] = tasks
+    bench_solve(benchmark, approach, instance, valid_pairs)

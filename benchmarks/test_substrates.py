@@ -1,0 +1,107 @@
+"""Micro-benchmarks for the substrates: spatial indexes, validity
+strategies, max-flow, and the incremental revenue engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.validity import compute_valid_pairs
+from repro.flow.bipartite import max_bipartite_assignment
+from repro.spatial.geometry import Point
+from repro.spatial.grid import GridIndex
+from repro.spatial.rtree import RTree
+
+from benchmarks.conftest import make_batch
+
+POINT_COUNT = 2000
+QUERY_COUNT = 200
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    xy = rng.uniform(0, 1, size=(POINT_COUNT, 2))
+    return [(i, Point(float(x), float(y))) for i, (x, y) in enumerate(xy)]
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(1)
+    centers = rng.uniform(0, 1, size=(QUERY_COUNT, 2))
+    return [Point(float(x), float(y)) for x, y in centers]
+
+
+def test_rtree_bulk_load(benchmark, points):
+    benchmark(RTree.bulk_load, points)
+
+
+def test_rtree_insert_grown(benchmark, points):
+    def grow():
+        tree = RTree()
+        for item, point in points:
+            tree.insert(item, point)
+        return tree
+
+    benchmark(grow)
+
+
+def test_rtree_circle_queries(benchmark, points, queries):
+    tree = RTree.bulk_load(points)
+
+    def run():
+        return sum(len(tree.query_circle(center, 0.08)) for center in queries)
+
+    benchmark(run)
+
+
+def test_kdtree_circle_queries(benchmark, points, queries):
+    from repro.spatial.kdtree import KDTree
+
+    tree = KDTree.build(points)
+
+    def run():
+        return sum(len(tree.query_circle(center, 0.08)) for center in queries)
+
+    benchmark(run)
+
+
+def test_grid_circle_queries(benchmark, points, queries):
+    grid = GridIndex.build(points, cell_size=0.08)
+
+    def run():
+        return sum(len(grid.query_circle(center, 0.08)) for center in queries)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("strategy", ["rtree", "grid", "kdtree", "matrix"])
+def test_validity_strategies(benchmark, strategy):
+    instance, _ = make_batch(dataset="unif")
+    benchmark(compute_valid_pairs, instance, strategy)
+
+
+def test_dinic_bipartite(benchmark):
+    rng = np.random.default_rng(2)
+    workers, tasks = 1000, 200
+    valid = [
+        sorted(set(rng.integers(0, tasks, size=8).tolist())) for _ in range(workers)
+    ]
+    capacities = [4] * tasks
+    benchmark(max_bipartite_assignment, workers, tasks, valid, capacities)
+
+
+def test_incremental_assignment_ops(benchmark):
+    instance, valid_pairs = make_batch(dataset="unif")
+    rng = np.random.default_rng(3)
+    moves = [
+        (int(rng.integers(instance.worker_count)), int(rng.integers(instance.task_count)))
+        for _ in range(2000)
+    ]
+
+    def churn():
+        assignment = Assignment(instance, allow_overflow=True)
+        for worker, task in moves:
+            assignment.move(worker, task)
+        return assignment.total_score()
+
+    benchmark(churn)

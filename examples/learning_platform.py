@@ -1,0 +1,78 @@
+"""A platform that *learns* cooperation qualities from ratings.
+
+The paper assumes cooperation scores are known (estimated offline with
+Equation 1). This example runs the estimator online: the platform starts
+cold (every pair at the prior), assigns teams using its current
+estimates, receives a requester rating for each completed task, folds
+the rating into the Equation 1 histories, and gradually discovers the
+latent community structure — realizing more and more *true* cooperation
+quality per round.
+
+Run with::
+
+    python examples/learning_platform.py
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Instance
+from repro.core.quality import CooperationMatrix
+from repro.core.tpg import solve_tpg
+from repro.datasets.synthetic import generate_tasks, generate_workers
+from repro.simulation.feedback import run_learning_simulation
+
+ROUNDS = 15
+WORKERS = 60
+TASKS = 12
+
+
+def main(seed: int = 9) -> None:
+    # The latent truth: strong communities the platform cannot see.
+    true_quality = CooperationMatrix.random_community(
+        WORKERS, community_count=4, within=0.9, across=0.1, noise=0.03, seed=seed
+    )
+
+    workers = generate_workers(
+        WORKERS, speed_range=(0.2, 0.5), radius_range=(0.5, 0.9), seed=seed
+    )
+    tasks = generate_tasks(TASKS, capacity=4, remaining_time=3.0, seed=seed + 1)
+
+    def make_instance(round_index, estimates, rng):
+        # Same marketplace every round; only the platform's knowledge
+        # (the estimate matrix) changes.
+        return Instance(
+            workers=workers, tasks=tasks, quality=estimates, min_group_size=3
+        )
+
+    trajectory = run_learning_simulation(
+        true_quality,
+        make_instance,
+        solve_tpg,
+        rounds=ROUNDS,
+        rating_noise=0.05,
+        seed=seed,
+    )
+
+    print(
+        f"{'round':>5s} {'realized score':>14s} {'tasks':>6s} "
+        f"{'pairs observed':>15s} {'estimate MAE':>13s}"
+    )
+    for entry in trajectory:
+        print(
+            f"{entry.round_index:5d} {entry.realized_score:14.2f} "
+            f"{entry.completed_tasks:6d} {entry.observed_pairs:15d} "
+            f"{entry.estimation_error:13.4f}"
+        )
+
+    first, last = trajectory[0], trajectory[-1]
+    print(
+        f"\ncold start realized {first.realized_score:.2f}; after "
+        f"{ROUNDS} rounds of Equation 1 updates the platform realizes "
+        f"{last.realized_score:.2f} "
+        f"({last.realized_score / max(first.realized_score, 1e-9):.2f}x) "
+        f"with estimate MAE {last.estimation_error:.4f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

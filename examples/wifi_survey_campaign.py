@@ -1,0 +1,103 @@
+"""A week-long Wi-Fi signal-strength survey run through Algorithm 1.
+
+The paper's introduction motivates CA-SC with tasks like "collecting the
+Wi-Fi signal strength in one building": each building needs a small team
+whose members coordinate floor coverage, so team chemistry matters. This
+example simulates a campaign over a campus-like map: measurement tasks
+pop up at buildings every batch, surveyor availability churns as teams
+work, and the platform assigns teams batch by batch.
+
+It runs the same arrival stream under three policies (RAND, TPG, GT) and
+prints per-round and cumulative results, showing how cooperation-aware
+assignment compounds over a multi-batch campaign.
+
+Run with::
+
+    python examples/wifi_survey_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines.random_assign import solve_random
+from repro.core.game import solve_game_theoretic
+from repro.core.tpg import solve_tpg
+from repro.simulation.batch import BatchConfig, BatchSimulator
+from repro.simulation.population import Population
+
+CAMPAIGN = BatchConfig(
+    rounds=8,                 # eight assignment batches
+    workers_per_round=250,    # surveyors available per batch
+    tasks_per_round=60,       # buildings needing measurement per batch
+    capacity=4,               # at most four surveyors paid per building
+    min_group_size=3,         # a building survey needs three people
+    remaining_time=3.0,       # batches before a request expires
+    speed_range=(0.03, 0.08),
+    radius_range=(0.10, 0.20),
+    task_duration=2.0,        # a survey occupies its team for two batches
+)
+
+
+def make_policies(seed: int):
+    rng = np.random.default_rng(seed)
+    return {
+        "RAND": lambda instance, pairs: solve_random(instance, pairs, seed=rng),
+        "TPG": solve_tpg,
+        "GT": lambda instance, pairs: solve_game_theoretic(
+            instance, pairs, epsilon=0.05, lazy_update=True
+        ).assignment,
+    }
+
+
+def main(seed: int = 11) -> None:
+    # The campus: surveyors cluster around a few labs (skewed locations),
+    # and team chemistry follows research-group communities.
+    population = Population.synthetic(
+        worker_pool_size=600,
+        task_pool_size=150,
+        distribution="skewed",
+        quality_kind="community",
+        seed=seed,
+    )
+
+    print(
+        f"campaign: {CAMPAIGN.rounds} batches, "
+        f"{CAMPAIGN.workers_per_round} surveyors and "
+        f"{CAMPAIGN.tasks_per_round} buildings per batch\n"
+    )
+
+    reports = {}
+    for name, policy in make_policies(seed).items():
+        simulator = BatchSimulator(population, CAMPAIGN, policy, seed=seed)
+        reports[name] = simulator.run()
+
+    header = f"{'batch':>5s} " + "".join(f"{name:>18s}" for name in reports)
+    print(header)
+    print("-" * len(header))
+    for round_index in range(CAMPAIGN.rounds):
+        row = f"{round_index:5d} "
+        for report in reports.values():
+            metrics = report.rounds[round_index]
+            row += f"{metrics.score:10.1f} ({metrics.completed_tasks:3d}t)"
+        print(row)
+
+    print("\ncampaign totals:")
+    for name, report in reports.items():
+        print(
+            f"  {name:5s} cooperation score {report.total_score:9.1f}, "
+            f"{report.total_completed_tasks} surveys completed, "
+            f"mean batch time {report.mean_batch_seconds * 1e3:.1f} ms"
+        )
+
+    gt = reports["GT"].total_score
+    rand = reports["RAND"].total_score
+    if rand > 0:
+        print(
+            f"\ncooperation-aware assignment delivered {gt / rand:.2f}x the "
+            "cooperation quality of random dispatch on the same arrivals."
+        )
+
+
+if __name__ == "__main__":
+    main()

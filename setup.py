@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` uses PEP 660 editable wheels,
+which require `wheel`; offline boxes without it can fall back to
+`pip install -e . --no-build-isolation --no-use-pep517`, which needs this
+shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — Cooperation-Aware Task Assignment in Spatial Crowdsourcing.
+
+A full reproduction of the CA-SC system of Cheng, Chen and Ye (ICDE 2019):
+the problem model (Definitions 1-4), the Task-Priority Greedy solver
+(Algorithm 2), the game-theoretic solver with the LUB and TSI
+optimizations (Algorithm 3, Section V-D), the RAND and MFLOW baselines,
+the Equation 9 upper bound, the batch-based framework (Algorithm 1), and
+the data generators and experiment harness behind every figure in the
+paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import datasets, solve_tpg, solve_game_theoretic
+>>> instance = datasets.generate_instance(40, 6, seed=7)
+>>> greedy = solve_tpg(instance)
+>>> nash = solve_game_theoretic(instance).assignment
+>>> nash.total_score() >= greedy.total_score() - 1e-9
+True
+"""
+
+from repro import datasets, experiments, simulation
+from repro.core import (
+    Assignment,
+    LocalSearchResult,
+    BoundReport,
+    CooperationMatrix,
+    GameResult,
+    Instance,
+    Task,
+    ValidPairs,
+    Worker,
+    compute_valid_pairs,
+    solve_exact,
+    solve_game_theoretic,
+    solve_local_search,
+    solve_mflow,
+    solve_online_greedy,
+    solve_random,
+    solve_tpg,
+    upper_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "BoundReport",
+    "CooperationMatrix",
+    "GameResult",
+    "Instance",
+    "Task",
+    "ValidPairs",
+    "Worker",
+    "compute_valid_pairs",
+    "datasets",
+    "experiments",
+    "simulation",
+    "solve_exact",
+    "solve_game_theoretic",
+    "solve_local_search",
+    "LocalSearchResult",
+    "solve_mflow",
+    "solve_online_greedy",
+    "solve_random",
+    "solve_tpg",
+    "upper_bound",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface for the CA-SC toolkit.
+
+Four subcommands cover the generate -> solve -> evaluate loop a
+downstream user needs without writing Python, plus a multi-round
+simulation driver::
+
+    python -m repro.cli generate --workers 200 --tasks 40 --out batch.json
+    python -m repro.cli solve batch.json --approach GT+ALL --out assignment.json
+    python -m repro.cli evaluate batch.json assignment.json
+    python -m repro.cli simulate --approach GT+ALL --rounds 10 --csv rounds.csv
+
+``generate`` writes an instance as JSON (see ``repro.datasets.io``);
+``solve`` runs any registered approach and prints score, upper bound and
+timing; ``evaluate`` re-checks a saved assignment's feasibility and score
+(e.g. one produced by an external solver); ``simulate`` runs Algorithm
+1's batch framework over a synthetic or Meetup-like population and can
+export per-round metrics as CSV/JSONL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.assignment import Assignment
+from repro.core.bounds import upper_bound
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.io import load_instance, save_instance
+from repro.datasets.synthetic import generate_instance
+from repro.experiments.config import (
+    APPROACHES,
+    DEFAULT_APPROACH_ORDER,
+    make_solver,
+)
+from repro.utils.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = generate_instance(
+        worker_count=args.workers,
+        task_count=args.tasks,
+        capacity=args.capacity,
+        remaining_time=args.remaining_time,
+        speed_range=(args.speed_min, args.speed_max),
+        radius_range=(args.radius_min, args.radius_max),
+        min_group_size=args.min_group_size,
+        distribution=args.distribution,
+        quality_kind=args.quality,
+        seed=args.seed,
+    )
+    save_instance(instance, args.out)
+    pairs = compute_valid_pairs(instance)
+    print(
+        f"wrote {args.out}: {instance.worker_count} workers, "
+        f"{instance.task_count} tasks, {pairs.pair_count} valid pairs"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    pairs = compute_valid_pairs(instance)
+    solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+
+    started = time.perf_counter()
+    assignment = solver(instance, pairs)
+    elapsed = time.perf_counter() - started
+
+    assignment.check_feasible()
+    bound = upper_bound(instance, pairs).value
+    score = assignment.total_score()
+    ratio = score / bound if bound else 0.0
+    print(
+        f"{args.approach}: score={score:.4f} ({ratio:.1%} of UPPER={bound:.4f}), "
+        f"completed {assignment.completed_task_count()} tasks, "
+        f"assigned {assignment.assigned_worker_count()} workers, "
+        f"{elapsed:.3f}s"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({"pairs": assignment.to_pairs()}, handle)
+        print(f"wrote assignment to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    with open(args.assignment, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    pairs = compute_valid_pairs(instance)
+    assignment = Assignment(instance, pairs)
+    try:
+        for worker, task in payload["pairs"]:
+            assignment.assign(int(worker), int(task))
+        assignment.check_feasible()
+    except Exception as error:  # surfaced as a clean CLI failure
+        print(f"INFEASIBLE: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"feasible: score={assignment.total_score():.4f}, "
+        f"completed {assignment.completed_task_count()} tasks"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentSettings
+    from repro.experiments.runner import build_population
+    from repro.simulation.batch import BatchConfig, BatchSimulator
+    from repro.simulation.metrics import aggregate, write_csv, write_jsonl
+
+    settings = ExperimentSettings(
+        rounds=args.rounds,
+        workers_per_round=args.workers,
+        tasks_per_round=args.tasks,
+        capacity=args.capacity,
+        dataset=args.dataset,
+    )
+    population = build_population(settings, seed=args.seed)
+    config: BatchConfig = settings.to_batch_config()
+    solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+    report = BatchSimulator(population, config, solver, seed=args.seed).run()
+
+    stats = aggregate(report)
+    print(
+        f"{args.approach} over {stats.rounds} rounds: "
+        f"total score {stats.total_score:.2f}, "
+        f"{stats.total_completed_tasks} tasks completed "
+        f"({stats.completion_rate:.1%} of offered), "
+        f"assignment rate {stats.assignment_rate:.1%}, "
+        f"mean batch {stats.mean_batch_seconds * 1e3:.1f} ms"
+    )
+    if args.csv:
+        write_csv(report, args.csv)
+        print(f"wrote per-round metrics to {args.csv}")
+    if args.jsonl:
+        write_jsonl(report, args.jsonl)
+        print(f"wrote per-round metrics to {args.jsonl}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic instance as JSON"
+    )
+    generate.add_argument("--workers", type=int, default=200)
+    generate.add_argument("--tasks", type=int, default=40)
+    generate.add_argument("--capacity", type=int, default=4)
+    generate.add_argument("--min-group-size", type=int, default=3)
+    generate.add_argument("--remaining-time", type=float, default=3.0)
+    generate.add_argument("--speed-min", type=float, default=0.01)
+    generate.add_argument("--speed-max", type=float, default=0.05)
+    generate.add_argument("--radius-min", type=float, default=0.05)
+    generate.add_argument("--radius-max", type=float, default=0.10)
+    generate.add_argument(
+        "--distribution", choices=("uniform", "skewed"), default="uniform"
+    )
+    generate.add_argument(
+        "--quality", choices=("community", "uniform"), default="community"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    solve = commands.add_parser("solve", help="solve a JSON instance")
+    solve.add_argument("instance")
+    solve.add_argument(
+        "--approach", choices=DEFAULT_APPROACH_ORDER, default="GT+ALL"
+    )
+    solve.add_argument("--epsilon", type=float, default=0.05)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--out", default=None, help="write assignment JSON here")
+    solve.set_defaults(handler=_cmd_solve)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="check a saved assignment against an instance"
+    )
+    evaluate.add_argument("instance")
+    evaluate.add_argument("assignment")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the multi-round batch framework"
+    )
+    simulate.add_argument(
+        "--approach", choices=sorted(APPROACHES), default="GT+ALL"
+    )
+    simulate.add_argument("--rounds", type=int, default=10)
+    simulate.add_argument("--workers", type=int, default=300)
+    simulate.add_argument("--tasks", type=int, default=80)
+    simulate.add_argument("--capacity", type=int, default=4)
+    simulate.add_argument(
+        "--dataset", choices=("unif", "skew", "meetup"), default="unif"
+    )
+    simulate.add_argument("--epsilon", type=float, default=0.05)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--csv", default=None, help="per-round CSV output")
+    simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")
+    simulate.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

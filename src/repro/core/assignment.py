@@ -1,0 +1,321 @@
+"""Assignments with incremental revenue maintenance.
+
+An :class:`Assignment` is the object every solver builds and returns: a
+mapping worker -> task (at most one task per worker — Definition 4's
+assignment is a set of disjoint worker groups) together with cached
+per-task pair sums and revenues, so the greedy and game-theoretic solvers
+can evaluate millions of marginal gains without recomputing Equation 2
+from scratch.
+
+Overflow semantics: a task may temporarily hold more than ``a_j`` workers
+when ``allow_overflow=True`` (the game-theoretic solver models crowd-out
+this way, per Theorems V.3/V.4); its revenue then counts only the best
+``a_j``-subset, exactly as Equation 2 prescribes.
+:meth:`Assignment.clamp_to_capacity` restores strict feasibility at the
+end by idling the crowded-out workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import Instance
+from repro.core.revenue import best_counted_subset, group_revenue
+from repro.core.validity import ValidPairs
+from repro.utils.errors import CapacityError, ValidityError
+
+__all__ = ["Assignment", "UNASSIGNED"]
+
+UNASSIGNED = -1
+
+
+class Assignment:
+    """A (partial) solution of one CA-SC batch.
+
+    Parameters
+    ----------
+    instance:
+        The batch being solved.
+    valid_pairs:
+        When given, :meth:`assign` refuses pairs outside Definition 3.
+    allow_overflow:
+        When ``True``, tasks may exceed capacity (crowd-out modelling);
+        revenue always follows Equation 2's best-subset rule.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        valid_pairs: ValidPairs | None = None,
+        allow_overflow: bool = False,
+    ) -> None:
+        self.instance = instance
+        self.valid_pairs = valid_pairs
+        self.allow_overflow = allow_overflow
+        self._members: list[list[int]] = [[] for _ in range(instance.task_count)]
+        self._task_of = np.full(instance.worker_count, UNASSIGNED, dtype=int)
+        self._pair_sums = np.zeros(instance.task_count)
+        self._revenues = np.zeros(instance.task_count)
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    def members(self, task: int) -> tuple[int, ...]:
+        """Workers currently attached to ``task`` (insertion order)."""
+        return tuple(self._members[task])
+
+    def task_of(self, worker: int) -> int:
+        """The worker's task index, or :data:`UNASSIGNED`."""
+        return int(self._task_of[worker])
+
+    def is_assigned(self, worker: int) -> bool:
+        return self._task_of[worker] != UNASSIGNED
+
+    def assigned_count(self, task: int) -> int:
+        return len(self._members[task])
+
+    def revenue_of(self, task: int) -> float:
+        """Cached ``Q(W_j)`` for the task."""
+        return float(self._revenues[task])
+
+    def total_score(self) -> float:
+        """Equation 3: the summed revenue over all tasks."""
+        return float(self._revenues.sum())
+
+    def recompute_total(self) -> float:
+        """Recompute the score from scratch (drift check / debugging)."""
+        quality = self.instance.quality
+        return sum(
+            group_revenue(
+                quality,
+                members,
+                self.instance.tasks[task].capacity,
+                self.instance.min_group_size,
+            )
+            for task, members in enumerate(self._members)
+        )
+
+    def to_pairs(self) -> list[tuple[int, int]]:
+        """All assigned ``(worker_index, task_index)`` pairs, sorted."""
+        return sorted(
+            (worker, int(task))
+            for worker, task in enumerate(self._task_of)
+            if task != UNASSIGNED
+        )
+
+    def assigned_worker_count(self) -> int:
+        return int((self._task_of != UNASSIGNED).sum())
+
+    def completed_task_count(self) -> int:
+        """Tasks holding at least ``B`` workers (i.e. that will run)."""
+        minimum = self.instance.min_group_size
+        return sum(1 for members in self._members if len(members) >= minimum)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def assign(self, worker: int, task: int) -> None:
+        """Attach an unassigned worker to a task.
+
+        Raises
+        ------
+        ValidityError
+            If a ``valid_pairs`` structure was provided and rejects the
+            pair, or the worker is already assigned.
+        CapacityError
+            If the task is full and overflow is disabled.
+        """
+        if self._task_of[worker] != UNASSIGNED:
+            raise ValidityError(
+                f"worker {worker} already assigned to task {self._task_of[worker]}"
+            )
+        if self.valid_pairs is not None and not self.valid_pairs.is_valid(worker, task):
+            raise ValidityError(f"pair <{worker}, {task}> violates Definition 3")
+        members = self._members[task]
+        if (
+            not self.allow_overflow
+            and len(members) >= self.instance.tasks[task].capacity
+        ):
+            raise CapacityError(
+                f"task {task} is at capacity {self.instance.tasks[task].capacity}"
+            )
+        self._pair_sums[task] += self.instance.quality.cross_sum(worker, members)
+        members.append(worker)
+        self._task_of[worker] = task
+        self._refresh_revenue(task)
+
+    def unassign(self, worker: int) -> int:
+        """Detach a worker; returns the task it was on.
+
+        Raises :class:`ValidityError` when the worker is idle.
+        """
+        task = int(self._task_of[worker])
+        if task == UNASSIGNED:
+            raise ValidityError(f"worker {worker} is not assigned")
+        members = self._members[task]
+        members.remove(worker)
+        self._pair_sums[task] -= self.instance.quality.cross_sum(worker, members)
+        self._task_of[worker] = UNASSIGNED
+        self._refresh_revenue(task)
+        return task
+
+    def move(self, worker: int, task: int) -> None:
+        """Unassign (if needed) then assign — one best-response step."""
+        if self._task_of[worker] != UNASSIGNED:
+            self.unassign(worker)
+        self.assign(worker, task)
+
+    def _refresh_revenue(self, task: int) -> None:
+        members = self._members[task]
+        count = len(members)
+        capacity = self.instance.tasks[task].capacity
+        if count < self.instance.min_group_size:
+            self._revenues[task] = 0.0
+        elif count <= capacity:
+            self._revenues[task] = self._pair_sums[task] / (count - 1)
+        else:
+            self._revenues[task] = group_revenue(
+                self.instance.quality,
+                members,
+                capacity,
+                self.instance.min_group_size,
+            )
+
+    # ------------------------------------------------------------------
+    # marginal evaluations (the solvers' hot path)
+    # ------------------------------------------------------------------
+    def join_gain(self, worker: int, task: int) -> float:
+        """``DeltaQ(w_i, t_j)`` if the (idle) worker joined ``task``.
+
+        Fast path: within capacity the new revenue is
+        ``(S + cross) / (k_new - 1)`` with the cached pair sum ``S``; only
+        overflow joins fall back to the peeling evaluation.
+        """
+        members = self._members[task]
+        new_count = len(members) + 1
+        capacity = self.instance.tasks[task].capacity
+        if new_count <= capacity:
+            if new_count < self.instance.min_group_size:
+                return 0.0 - self._revenues[task]
+            cross = self.instance.quality.cross_sum(worker, members)
+            new_revenue = (self._pair_sums[task] + cross) / (new_count - 1)
+        else:
+            new_revenue = group_revenue(
+                self.instance.quality,
+                [*members, worker],
+                capacity,
+                self.instance.min_group_size,
+            )
+        return new_revenue - float(self._revenues[task])
+
+    def leave_delta(self, worker: int) -> float:
+        """``Q(W_j) - Q(W_j - {w_i})`` at the worker's current task.
+
+        This is the worker's current utility (Equation 5); zero for idle
+        workers.
+        """
+        task = int(self._task_of[worker])
+        if task == UNASSIGNED:
+            return 0.0
+        members = self._members[task]
+        count = len(members)
+        capacity = self.instance.tasks[task].capacity
+        current = float(self._revenues[task])
+        if count - 1 < self.instance.min_group_size:
+            return current
+        if count <= capacity:
+            cross = self.instance.quality.cross_sum(
+                worker, [m for m in members if m != worker]
+            )
+            without = (self._pair_sums[task] - cross) / (count - 2)
+        else:
+            without = group_revenue(
+                self.instance.quality,
+                [m for m in members if m != worker],
+                capacity,
+                self.instance.min_group_size,
+            )
+        return current - without
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def check_feasible(self) -> None:
+        """Raise if any Definition 4 constraint is violated.
+
+        Checks capacity, validity (when a :class:`ValidPairs` is attached)
+        and the worker-disjointness implied by the internal representation.
+        """
+        for task_index, members in enumerate(self._members):
+            capacity = self.instance.tasks[task_index].capacity
+            if len(members) > capacity:
+                raise CapacityError(
+                    f"task {task_index} holds {len(members)} workers, "
+                    f"capacity {capacity}"
+                )
+            if len(members) != len(set(members)):
+                raise ValidityError(f"task {task_index} has duplicate members")
+            for worker in members:
+                if self._task_of[worker] != task_index:
+                    raise ValidityError(
+                        f"inconsistent state: worker {worker} listed on task "
+                        f"{task_index} but mapped to {self._task_of[worker]}"
+                    )
+                if self.valid_pairs is not None and not self.valid_pairs.is_valid(
+                    worker, task_index
+                ):
+                    raise ValidityError(
+                        f"pair <{worker}, {task_index}> violates Definition 3"
+                    )
+
+    def clamp_to_capacity(self) -> list[int]:
+        """Idle crowded-out workers so every task respects ``a_j``.
+
+        For each over-capacity task the best ``a_j``-subset (the workers
+        Equation 2 actually counts) is kept. Returns the dropped workers.
+        """
+        dropped: list[int] = []
+        for task_index, members in enumerate(self._members):
+            capacity = self.instance.tasks[task_index].capacity
+            if len(members) <= capacity:
+                continue
+            kept = set(
+                best_counted_subset(self.instance.quality, members, capacity)
+            )
+            for worker in [m for m in members if m not in kept]:
+                self.unassign(worker)
+                dropped.append(worker)
+        return dropped
+
+    def drop_incomplete_groups(self) -> list[int]:
+        """Idle workers on tasks that failed to reach ``B`` members.
+
+        The batch framework calls this before dispatching: a task below
+        the minimum group size yields zero revenue and does not start, so
+        its workers stay available for the next batch.
+        """
+        dropped: list[int] = []
+        minimum = self.instance.min_group_size
+        for members in [list(m) for m in self._members]:
+            if 0 < len(members) < minimum:
+                for worker in members:
+                    self.unassign(worker)
+                    dropped.append(worker)
+        return dropped
+
+    def copy(self) -> "Assignment":
+        """Deep copy sharing the (immutable) instance and validity."""
+        clone = Assignment(self.instance, self.valid_pairs, self.allow_overflow)
+        clone._members = [list(members) for members in self._members]
+        clone._task_of = self._task_of.copy()
+        clone._pair_sums = self._pair_sums.copy()
+        clone._revenues = self._revenues.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Assignment(workers={self.assigned_worker_count()}/"
+            f"{self.instance.worker_count}, "
+            f"completed_tasks={self.completed_task_count()}/"
+            f"{self.instance.task_count}, score={self.total_score():.4f})"
+        )

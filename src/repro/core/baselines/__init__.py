@@ -1,0 +1,12 @@
+"""Baseline assignment strategies the paper compares against.
+
+* :func:`~repro.core.baselines.random_assign.solve_random` — RAND: random
+  task order, random valid workers.
+* :func:`~repro.core.baselines.mflow.solve_mflow` — MFLOW: the GeoCrowd
+  max-flow assignment maximizing the number of worker-task pairs.
+"""
+
+from repro.core.baselines.mflow import solve_mflow
+from repro.core.baselines.random_assign import solve_random
+
+__all__ = ["solve_mflow", "solve_random"]

@@ -1,0 +1,93 @@
+"""MFLOW baseline — the GeoCrowd [11] maximum-flow assignment.
+
+Each batch becomes a flow network ``source -> worker (cap 1) -> valid
+task (cap a_j) -> sink``; the integral maximum flow yields the assignment
+with the largest number of valid worker-task pairs. Cooperation scores
+play no role — which is exactly why the paper uses it as the
+cooperation-oblivious reference point.
+
+After the flow solve, groups that received fewer than ``B`` workers are
+dissolved (their revenue would be zero and GeoCrowd has no notion of a
+minimum group size); the freed workers are greedily re-offered to
+still-open tasks to keep the baseline from wasting capacity, mirroring
+how [11] iterates until no augmenting structure remains.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.core.model import Instance
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.flow.bipartite import max_bipartite_assignment
+
+__all__ = ["solve_mflow"]
+
+_MAX_REFILL_PASSES = 4
+
+
+def solve_mflow(
+    instance: Instance,
+    valid_pairs: ValidPairs | None = None,
+) -> Assignment:
+    """Maximize the number of assigned pairs via max-flow."""
+    if valid_pairs is None:
+        valid_pairs = compute_valid_pairs(instance)
+    assignment = Assignment(instance, valid_pairs)
+
+    flow_assignment, _ = max_bipartite_assignment(
+        instance.worker_count,
+        instance.task_count,
+        valid_pairs.tasks_for_worker,
+        instance.capacities(),
+    )
+    for worker, task in flow_assignment.items():
+        assignment.assign(worker, task)
+
+    _dissolve_and_refill(instance, valid_pairs, assignment)
+    return assignment
+
+
+def _dissolve_and_refill(
+    instance: Instance, valid_pairs: ValidPairs, assignment: Assignment
+) -> None:
+    """Dissolve sub-``B`` groups and re-run the flow over the remainder."""
+    for _ in range(_MAX_REFILL_PASSES):
+        freed = assignment.drop_incomplete_groups()
+        if not freed:
+            return
+        # Tasks that already run keep their capacity slack open; tasks that
+        # were dissolved need at least B of the freed/idle workers.
+        idle = [
+            worker
+            for worker in range(instance.worker_count)
+            if not assignment.is_assigned(worker)
+        ]
+        open_capacity = []
+        open_tasks = []
+        for task in range(instance.task_count):
+            count = assignment.assigned_count(task)
+            capacity = instance.tasks[task].capacity
+            if count >= instance.min_group_size and count < capacity:
+                open_tasks.append(task)
+                open_capacity.append(capacity - count)
+            elif count == 0:
+                open_tasks.append(task)
+                open_capacity.append(capacity)
+        if not open_tasks or not idle:
+            return
+        task_position = {task: position for position, task in enumerate(open_tasks)}
+        idle_valid = [
+            [
+                task_position[task]
+                for task in valid_pairs.tasks_for_worker[worker]
+                if task in task_position
+            ]
+            for worker in idle
+        ]
+        refill, value = max_bipartite_assignment(
+            len(idle), len(open_tasks), idle_valid, open_capacity
+        )
+        if value == 0:
+            return
+        for local_worker, local_task in refill.items():
+            assignment.assign(idle[local_worker], open_tasks[local_task])

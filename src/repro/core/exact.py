@@ -1,0 +1,94 @@
+"""Exact CA-SC solver for small instances (branch and bound).
+
+CA-SC is NP-hard (Theorem II.1), so this solver exists for two purposes
+only: certifying the heuristics on tiny instances in the test suite, and
+computing true optima for the ablation study of approximation quality. It
+enumerates worker strategies depth-first with a Lemma V.2 pruning bound —
+the final score can never exceed the sum of ``q_hat_{i,B}`` over assigned
+workers — and refuses instances whose search space is clearly hopeless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.bounds import highest_average_quality
+from repro.core.model import Instance
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.utils.errors import InvalidInstanceError
+
+__all__ = ["solve_exact"]
+
+DEFAULT_NODE_LIMIT = 5_000_000
+
+
+def solve_exact(
+    instance: Instance,
+    valid_pairs: ValidPairs | None = None,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> Assignment:
+    """Optimal assignment by exhaustive branch and bound.
+
+    Raises
+    ------
+    InvalidInstanceError
+        When the search space exceeds ``node_limit`` nodes even under the
+        most optimistic estimate — use the heuristics instead.
+    """
+    if valid_pairs is None:
+        valid_pairs = compute_valid_pairs(instance)
+
+    # Crude search-space estimate: every worker tries its valid tasks + idle.
+    space = 1.0
+    for worker in range(instance.worker_count):
+        space *= len(valid_pairs.tasks_for_worker[worker]) + 1
+        if space > node_limit:
+            raise InvalidInstanceError(
+                f"exact search space exceeds {node_limit} nodes; "
+                "the exact solver is only intended for tiny instances"
+            )
+
+    q_hat = np.array(
+        [
+            highest_average_quality(instance.quality, worker, instance.min_group_size)
+            for worker in range(instance.worker_count)
+        ]
+    )
+    # Workers with the fewest options first: fail fast, prune early.
+    order = sorted(
+        range(instance.worker_count),
+        key=lambda worker: len(valid_pairs.tasks_for_worker[worker]),
+    )
+    suffix_bound = np.zeros(instance.worker_count + 1)
+    for position in range(instance.worker_count - 1, -1, -1):
+        suffix_bound[position] = suffix_bound[position + 1] + q_hat[order[position]]
+
+    working = Assignment(instance, valid_pairs)
+    best = working.copy()
+    best_score = -np.inf
+    assigned_bound = [0.0]  # sum of q_hat over currently assigned workers
+
+    def recurse(position: int) -> None:
+        nonlocal best, best_score
+        if assigned_bound[0] + suffix_bound[position] <= best_score:
+            return
+        if position == len(order):
+            score = working.total_score()
+            if score > best_score:
+                best_score = score
+                best = working.copy()
+            return
+        worker = order[position]
+        for task in valid_pairs.tasks_for_worker[worker]:
+            if working.assigned_count(task) >= instance.tasks[task].capacity:
+                continue
+            working.assign(worker, task)
+            assigned_bound[0] += q_hat[worker]
+            recurse(position + 1)
+            assigned_bound[0] -= q_hat[worker]
+            working.unassign(worker)
+        recurse(position + 1)  # the idle strategy
+
+    recurse(0)
+    return best

@@ -1,0 +1,384 @@
+"""Game-theoretic CA-SC solver — Algorithm 3 with the LUB and TSI
+optimizations of Section V-D.
+
+Each worker is a player whose strategies are their valid tasks plus
+"idle"; the utility of playing task ``t_j`` is the worker's marginal
+revenue contribution ``U_i = Q(W_j) - Q(W_j - {w_i})`` (Equation 5). The
+global score ``Q(T)`` is an exact potential function for this game
+(Theorem V.1): a unilateral strategy change moves the potential by exactly
+the player's utility change, so best-response dynamics monotonically climb
+the total score and terminate at a pure Nash equilibrium.
+
+Crowd-out is modelled by letting tasks temporarily exceed capacity;
+Equation 2 then only counts the best ``a_j``-subset, so joining a full
+task is worthwhile exactly when the joiner displaces a worse-matched
+member — the situation analysed by Theorems V.3 and V.4. The returned
+assignment is clamped back to strict capacity feasibility.
+
+Optimizations
+-------------
+* **TSI** (threshold stop of the iteration): stop as soon as a round's
+  score improvement falls below ``epsilon * current_score``. ``epsilon=0``
+  runs to exact convergence.
+* **LUB** (lazy updating of best responses): cache each worker's
+  best-response task and only rescan workers whose cached response may
+  have changed, using the pruning rules of Theorems V.3/V.4 — a pure
+  addition to a task cannot dislodge that task from the top of its own
+  members-to-be; an exchange ``w_x`` in / ``w_y`` out only matters to a
+  worker ``w_i`` with ``q_i(w_y) > q_i(w_x)`` (current best) or
+  ``q_i(w_y) < q_i(w_x)`` (other tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.model import Instance
+from repro.core.revenue import best_counted_subset
+from repro.core.tpg import solve_tpg_with_stats
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GameResult", "solve_game_theoretic", "verify_nash_equilibrium"]
+
+DEFAULT_TOLERANCE = 1e-9
+DEFAULT_MAX_ROUNDS = 500
+
+
+@dataclass
+class GameResult:
+    """Outcome of a best-response run.
+
+    Attributes
+    ----------
+    assignment:
+        The final, capacity-feasible assignment.
+    rounds:
+        Completed best-response rounds (Algorithm 3's WHILE iterations).
+    moves:
+        Total strategy changes across all rounds.
+    converged:
+        ``True`` when a round produced zero moves (pure Nash equilibrium
+        up to the numeric tolerance); ``False`` when TSI or the round cap
+        stopped the dynamics early.
+    initial_score / final_score:
+        Potential value before and after the dynamics (monotone
+        non-decreasing by Theorem V.1).
+    score_history:
+        Total score after each round.
+    seeded_tasks:
+        ``N_init`` of the TPG initialization (0 for random init); feeds
+        the Theorem V.2 price-of-anarchy bound.
+    """
+
+    assignment: Assignment
+    rounds: int
+    moves: int
+    converged: bool
+    initial_score: float
+    final_score: float
+    score_history: list[float] = field(default_factory=list)
+    seeded_tasks: int = 0
+    equilibrium: Assignment | None = None
+    """The raw best-response fixpoint *before* capacity clamping.
+
+    Crowd-out is modelled by letting tasks overflow their capacity
+    (Equation 2 then counts only the best ``a_j``-subset), so the Nash
+    property holds for this profile. ``assignment`` is the same profile
+    clamped to strict feasibility; it has the same total score, but a
+    member's hypothetical-removal utility can differ once the crowded-out
+    backfill worker is gone — verify equilibria against this field.
+    """
+
+
+def solve_game_theoretic(
+    instance: Instance,
+    valid_pairs: ValidPairs | None = None,
+    init: str = "tpg",
+    epsilon: float = 0.0,
+    lazy_update: bool = False,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    player_order: str = "sequential",
+    seed=None,
+) -> GameResult:
+    """Run best-response dynamics to a (near-)Nash assignment.
+
+    Parameters
+    ----------
+    init:
+        ``"tpg"`` (Algorithm 3 line 1) or ``"random"`` (each worker picks
+        a uniformly random valid task; used by the ablation benchmarks).
+    epsilon:
+        TSI threshold; 0 disables early stopping.
+    lazy_update:
+        Enable LUB.
+    max_rounds:
+        Hard safety cap; the potential argument guarantees convergence,
+        the cap only guards against pathological tolerance settings.
+    tolerance:
+        A move requires a utility improvement strictly above this value,
+        which also bounds the numeric drift per accepted move.
+    player_order:
+        ``"sequential"`` plays workers in index order every round (the
+        paper's Algorithm 3); ``"shuffled"`` reshuffles the order each
+        round — an ablation knob, since potential games converge under
+        any order but may reach different equilibria.
+    seed:
+        Used by ``init="random"`` and ``player_order="shuffled"``.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    if player_order not in ("sequential", "shuffled"):
+        raise ValueError(
+            f"unknown player_order {player_order!r}; "
+            "expected 'sequential' or 'shuffled'"
+        )
+    if valid_pairs is None:
+        valid_pairs = compute_valid_pairs(instance)
+
+    rng = ensure_rng(seed)
+    assignment, seeded_tasks = _initial_assignment(instance, valid_pairs, init, rng)
+    initial_score = assignment.total_score()
+
+    dynamics = _BestResponseDynamics(
+        instance, valid_pairs, assignment, tolerance, lazy_update
+    )
+    if player_order == "shuffled":
+        dynamics.order_rng = rng
+    score_history: list[float] = []
+    rounds = 0
+    total_moves = 0
+    converged = False
+    current_score = initial_score
+
+    while rounds < max_rounds:
+        moves, round_gain = dynamics.run_round()
+        rounds += 1
+        total_moves += moves
+        current_score += round_gain
+        score_history.append(assignment.total_score())
+        if moves == 0:
+            converged = True
+            break
+        if epsilon > 0.0 and round_gain < epsilon * max(current_score, tolerance):
+            break
+
+    equilibrium = assignment.copy()
+    assignment.clamp_to_capacity()
+    return GameResult(
+        assignment=assignment,
+        rounds=rounds,
+        moves=total_moves,
+        converged=converged,
+        initial_score=initial_score,
+        final_score=assignment.total_score(),
+        score_history=score_history,
+        seeded_tasks=seeded_tasks,
+        equilibrium=equilibrium,
+    )
+
+
+def _initial_assignment(
+    instance: Instance, valid_pairs: ValidPairs, init: str, seed
+) -> tuple[Assignment, int]:
+    assignment = Assignment(instance, valid_pairs, allow_overflow=True)
+    if init == "tpg":
+        tpg = solve_tpg_with_stats(instance, valid_pairs)
+        for worker, task in tpg.assignment.to_pairs():
+            assignment.assign(worker, task)
+        return assignment, tpg.seeded_tasks
+    if init == "random":
+        rng = ensure_rng(seed)
+        for worker in range(instance.worker_count):
+            tasks = valid_pairs.tasks_for_worker[worker]
+            if tasks:
+                assignment.assign(worker, tasks[int(rng.integers(len(tasks)))])
+        return assignment, 0
+    if init == "empty":
+        return assignment, 0
+    raise ValueError(f"unknown init {init!r}; expected 'tpg', 'random' or 'empty'")
+
+
+class _BestResponseDynamics:
+    """The best-response engine shared by all GT variants."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        valid_pairs: ValidPairs,
+        assignment: Assignment,
+        tolerance: float,
+        lazy_update: bool,
+    ) -> None:
+        self.instance = instance
+        self.valid_pairs = valid_pairs
+        self.assignment = assignment
+        self.tolerance = tolerance
+        self.lazy_update = lazy_update
+        self.quality = instance.quality
+        self.order_rng = None  # set for player_order="shuffled"
+        # LUB state: cached best alternative task per worker, and the
+        # dirty set of workers whose cache may be stale.
+        self._cached_best = np.full(instance.worker_count, UNASSIGNED, dtype=int)
+        self._dirty = np.ones(instance.worker_count, dtype=bool)
+        self._counted: list[tuple[int, ...]] = [
+            self._counted_subset(task) for task in range(instance.task_count)
+        ]
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> tuple[int, float]:
+        """One Algorithm 3 round: every worker plays its best response.
+
+        Returns ``(moves, score_gain)``; the gain equals the potential
+        increase of the round (Theorem V.1).
+        """
+        moves = 0
+        gain = 0.0
+        if self.order_rng is None:
+            order = range(self.instance.worker_count)
+        else:
+            order = self.order_rng.permutation(self.instance.worker_count)
+        for worker in order:
+            improvement = self._play_best_response(int(worker))
+            if improvement > 0.0:
+                moves += 1
+                gain += improvement
+        return moves, gain
+
+    def _play_best_response(self, worker: int) -> float:
+        """Move ``worker`` to its best response; returns the utility gain."""
+        assignment = self.assignment
+        current_task = assignment.task_of(worker)
+        current_utility = assignment.leave_delta(worker)
+
+        best_task, best_utility = self._best_alternative(worker, current_task)
+
+        # The idle strategy has utility 0.
+        if best_utility <= self.tolerance:
+            best_task, best_utility = UNASSIGNED, 0.0
+
+        if best_utility <= current_utility + self.tolerance:
+            return 0.0
+
+        if current_task != UNASSIGNED:
+            assignment.unassign(worker)
+            self._after_membership_change(current_task)
+        if best_task != UNASSIGNED:
+            assignment.assign(worker, best_task)
+            self._after_membership_change(best_task)
+        self._cached_best[worker] = best_task
+        self._dirty[worker] = False
+        return best_utility - current_utility
+
+    def _best_alternative(self, worker: int, current_task: int) -> tuple[int, float]:
+        """The worker's best task *other than* staying put.
+
+        With LUB enabled and a clean cache, only the cached candidate is
+        re-evaluated; otherwise all valid tasks are scanned.
+        """
+        assignment = self.assignment
+        if self.lazy_update and not self._dirty[worker]:
+            cached = int(self._cached_best[worker])
+            if cached == UNASSIGNED:
+                return UNASSIGNED, 0.0
+            if cached == current_task:
+                return cached, assignment.leave_delta(worker)
+            return cached, assignment.join_gain(worker, cached)
+
+        best_task, best_utility = UNASSIGNED, -np.inf
+        for task in self.valid_pairs.tasks_for_worker[worker]:
+            if task == current_task:
+                utility = assignment.leave_delta(worker)
+            else:
+                utility = assignment.join_gain(worker, task)
+            if utility > best_utility:
+                best_task, best_utility = task, utility
+        self._cached_best[worker] = best_task
+        self._dirty[worker] = False
+        if best_task == UNASSIGNED:
+            return UNASSIGNED, 0.0
+        return best_task, best_utility
+
+    # ------------------------------------------------------------------
+    # LUB invalidation (Theorems V.3 / V.4)
+    # ------------------------------------------------------------------
+    def _counted_subset(self, task: int) -> tuple[int, ...]:
+        members = self.assignment.members(task)
+        capacity = self.instance.tasks[task].capacity
+        if len(members) <= capacity:
+            return tuple(sorted(members))
+        return tuple(best_counted_subset(self.quality, members, capacity))
+
+    def _after_membership_change(self, task: int) -> None:
+        if not self.lazy_update:
+            return
+        before = set(self._counted[task])
+        after_tuple = self._counted_subset(task)
+        self._counted[task] = after_tuple
+        after = set(after_tuple)
+        added = after - before
+        removed = before - after
+        watchers = self.valid_pairs.workers_for_task[task]
+
+        if not removed and len(added) <= 1:
+            # Pure growth: Theorem V.3's no-crowd-out case — a worker whose
+            # best response already is this task keeps it; everyone else
+            # must rescan because joining here just became different.
+            for other in watchers:
+                if self._cached_best[other] != task:
+                    self._dirty[other] = True
+            return
+        if len(added) == 1 and len(removed) == 1:
+            # Exchange x in / y out: apply the quality comparisons of
+            # Theorems V.3 (current best == task) and V.4 (other tasks).
+            (entering,) = added
+            (leaving,) = removed
+            q = self.quality.values
+            for other in watchers:
+                if other in (entering, leaving):
+                    self._dirty[other] = True
+                    continue
+                if self._cached_best[other] == task:
+                    if q[other, leaving] > q[other, entering]:
+                        self._dirty[other] = True
+                else:
+                    if q[other, leaving] < q[other, entering]:
+                        self._dirty[other] = True
+            return
+        # Shrink or multi-element change: no theorem applies — rescan all.
+        for other in watchers:
+            self._dirty[other] = True
+
+
+def verify_nash_equilibrium(
+    assignment: Assignment,
+    valid_pairs: ValidPairs,
+    tolerance: float = 1e-6,
+) -> list[tuple[int, int, float]]:
+    """All profitable unilateral deviations, as ``(worker, task, gain)``.
+
+    Empty iff the assignment is a pure Nash equilibrium (up to
+    ``tolerance``). ``task = UNASSIGNED`` denotes the idle deviation.
+    Used by the test suite to certify the solver's stability claim.
+    """
+    deviations: list[tuple[int, int, float]] = []
+    probe = assignment.copy()
+    probe.allow_overflow = True
+    for worker in range(assignment.instance.worker_count):
+        current_utility = probe.leave_delta(worker)
+        if current_utility < -tolerance:
+            deviations.append((worker, UNASSIGNED, -current_utility))
+        current_task = probe.task_of(worker)
+        for task in valid_pairs.tasks_for_worker[worker]:
+            if task == current_task:
+                continue
+            gain = probe.join_gain(worker, task)
+            if gain > current_utility + tolerance:
+                deviations.append((worker, task, gain - current_utility))
+    return deviations

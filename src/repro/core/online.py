@@ -1,0 +1,90 @@
+"""Online greedy assignment — the contrast mode of Section VII.
+
+The paper's related work distinguishes *batch-based* server assignment
+(what CA-SC uses) from *online* assignment, where the platform commits a
+worker to a task the moment the worker appears and never revisits the
+decision. This module implements that mode for the CA-SC objective so
+the repository can quantify the value of batching:
+
+each worker, in arrival order, joins the valid task with the highest
+marginal cooperation gain given only the *already-committed* workers —
+i.e. a single pass of best-response with no adjustment rounds.
+
+This is exactly the first round of Algorithm 3 from an empty profile, so
+``solve_online_greedy`` is both a meaningful baseline and a lower bound
+on the GT result from ``init="empty"``.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.core.model import Instance
+from repro.core.validity import ValidPairs, compute_valid_pairs
+
+__all__ = ["solve_online_greedy"]
+
+
+def solve_online_greedy(
+    instance: Instance,
+    valid_pairs: ValidPairs | None = None,
+    arrival_order: list[int] | None = None,
+) -> Assignment:
+    """Assign each worker on arrival to its best task, irrevocably.
+
+    Parameters
+    ----------
+    arrival_order:
+        Worker indices in the order they appear; defaults to the
+        instance's ``arrival_time`` order (ties broken by index). Workers
+        with no positive-gain valid task stay idle.
+
+    Notes
+    -----
+    Because early workers commit before teammates exist, groups below the
+    minimum size ``B`` can strand workers — the price of the online mode
+    the paper's batch framework avoids. Stranded (sub-``B``) groups are
+    kept in the returned assignment (their revenue is zero) so callers
+    can measure that stranding directly.
+    """
+    if valid_pairs is None:
+        valid_pairs = compute_valid_pairs(instance)
+    if arrival_order is None:
+        arrival_order = sorted(
+            range(instance.worker_count),
+            key=lambda w: (instance.workers[w].arrival_time, w),
+        )
+    elif sorted(arrival_order) != list(range(instance.worker_count)):
+        raise ValueError("arrival_order must be a permutation of all workers")
+
+    assignment = Assignment(instance, valid_pairs)
+    for worker in arrival_order:
+        best_task, best_gain = -1, 0.0
+        for task in valid_pairs.tasks_for_worker[worker]:
+            if assignment.assigned_count(task) >= instance.tasks[task].capacity:
+                continue
+            gain = assignment.join_gain(worker, task)
+            # An online platform must also value progress toward B:
+            # joining a sub-B group has zero immediate gain, so break
+            # ties toward the group closest to completion.
+            if gain > best_gain or (
+                gain == best_gain
+                and best_task >= 0
+                and assignment.assigned_count(task)
+                > assignment.assigned_count(best_task)
+            ):
+                best_task, best_gain = task, gain
+        if best_task < 0:
+            # No positive-gain task: join the fullest non-full valid task
+            # to build toward B (otherwise nothing ever reaches B).
+            candidates = [
+                task
+                for task in valid_pairs.tasks_for_worker[worker]
+                if assignment.assigned_count(task) < instance.tasks[task].capacity
+            ]
+            if not candidates:
+                continue
+            best_task = max(
+                candidates, key=lambda task: assignment.assigned_count(task)
+            )
+        assignment.assign(worker, best_task)
+    return assignment

@@ -1,0 +1,274 @@
+"""Pairwise cooperation quality — Definition 1 and Equation 1.
+
+The platform maintains a score ``q_i(w_k) in [0, 1]`` for every ordered
+worker pair. :class:`CooperationMatrix` wraps a dense numpy matrix with
+constructors for every way the paper obtains these scores:
+
+* :meth:`CooperationMatrix.from_history` — the Equation 1 estimator that
+  blends a platform-configured base quality with the mean rating of tasks
+  the two workers completed together.
+* :meth:`CooperationMatrix.from_group_memberships` — the Meetup
+  configuration of Section VI-A: ``q_i(w_k) = alpha * omega +
+  (1 - alpha) * |common groups| / |union groups|`` with
+  ``alpha = omega = 0.5``.
+* :meth:`CooperationMatrix.random_uniform` /
+  :meth:`CooperationMatrix.random_community` — synthetic matrices for the
+  UNIF/SKEW experiments and for tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.errors import InvalidInstanceError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CooperationMatrix", "estimate_pair_quality"]
+
+DEFAULT_BASE_QUALITY = 0.5
+DEFAULT_ALPHA = 0.5
+
+
+def estimate_pair_quality(
+    ratings: Sequence[float],
+    base_quality: float = DEFAULT_BASE_QUALITY,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Equation 1 for a single pair.
+
+    ``ratings`` are the requester scores ``s_j in [0, 1]`` of the tasks the
+    two workers completed together (``T_ik``). With no shared history the
+    estimate falls back to the prior ``base_quality`` alone — the paper's
+    "priori assumption" term — because the historical mean is undefined.
+
+    >>> estimate_pair_quality([1.0, 0.5])
+    0.625
+    >>> estimate_pair_quality([])
+    0.5
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if not 0.0 <= base_quality <= 1.0:
+        raise ValueError(f"base_quality must be in [0, 1], got {base_quality}")
+    for score in ratings:
+        if not 0.0 <= score <= 1.0:
+            raise ValueError(f"rating {score} outside [0, 1]")
+    if not ratings:
+        return base_quality
+    historical = sum(ratings) / len(ratings)
+    return alpha * base_quality + (1.0 - alpha) * historical
+
+
+class CooperationMatrix:
+    """Dense ``(m, m)`` matrix of cooperation qualities.
+
+    The diagonal is forced to zero (a worker has no cooperation score with
+    themselves — Equation 2 sums over ``k != i`` only). Entries may be
+    asymmetric in general; every constructor that derives scores from
+    shared history produces a symmetric matrix, matching the paper's
+    experimental setup.
+    """
+
+    __slots__ = ("_q",)
+
+    def __init__(self, values: np.ndarray, copy: bool = True) -> None:
+        q = np.array(values, dtype=float, copy=copy)
+        if q.ndim != 2 or q.shape[0] != q.shape[1]:
+            raise InvalidInstanceError(
+                f"cooperation matrix must be square, got shape {q.shape}"
+            )
+        if q.size and (np.nanmin(q) < 0.0 or np.nanmax(q) > 1.0):
+            raise InvalidInstanceError("cooperation scores must lie in [0, 1]")
+        if np.isnan(q).any():
+            raise InvalidInstanceError("cooperation matrix contains NaN")
+        np.fill_diagonal(q, 0.0)
+        q.setflags(write=False)
+        self._q = q
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_history(
+        cls,
+        worker_count: int,
+        shared_task_ratings: dict[tuple[int, int], Sequence[float]],
+        base_quality: float = DEFAULT_BASE_QUALITY,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> "CooperationMatrix":
+        """Build the matrix from co-completed task ratings (Equation 1).
+
+        ``shared_task_ratings[(i, k)]`` lists the ratings of tasks workers
+        ``i`` and ``k`` completed together. Pairs are treated as unordered:
+        an entry for ``(i, k)`` also fills ``(k, i)``. Pairs with no entry
+        get the prior ``base_quality``.
+        """
+        prior = estimate_pair_quality([], base_quality, alpha)
+        q = np.full((worker_count, worker_count), prior, dtype=float)
+        for (i, k), ratings in shared_task_ratings.items():
+            if i == k:
+                raise InvalidInstanceError(f"self-pair ({i}, {k}) in history")
+            if not (0 <= i < worker_count and 0 <= k < worker_count):
+                raise InvalidInstanceError(f"pair ({i}, {k}) out of range")
+            value = estimate_pair_quality(list(ratings), base_quality, alpha)
+            q[i, k] = value
+            q[k, i] = value
+        return cls(q, copy=False)
+
+    @classmethod
+    def from_group_memberships(
+        cls,
+        memberships: Sequence[Iterable[int]],
+        base_quality: float = DEFAULT_BASE_QUALITY,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> "CooperationMatrix":
+        """The paper's Meetup configuration of Equation 1.
+
+        ``memberships[i]`` is the set of group ids worker ``i`` belongs to.
+        The historical term is the Jaccard similarity of the two workers'
+        group sets: ``c_ik / C_ik`` with ``c_ik = |common|`` and
+        ``C_ik = |union|``. Two workers with no groups at all share no
+        evidence, so their score is the prior ``alpha * base_quality``
+        contribution only (the paper's formula with ``c_ik / C_ik = 0``).
+        """
+        group_sets = [frozenset(groups) for groups in memberships]
+        count = len(group_sets)
+        prior = alpha * base_quality
+        if count == 0:
+            return cls(np.zeros((0, 0)), copy=False)
+
+        all_groups = sorted({g for groups in group_sets for g in groups})
+        group_index = {group: index for index, group in enumerate(all_groups)}
+        incidence = np.zeros((count, max(len(all_groups), 1)), dtype=np.float64)
+        for worker, groups in enumerate(group_sets):
+            for group in groups:
+                incidence[worker, group_index[group]] = 1.0
+
+        # |common| via one matmul; |union| = deg_i + deg_k - |common|.
+        common = incidence @ incidence.T
+        degrees = incidence.sum(axis=1)
+        union = degrees[:, None] + degrees[None, :] - common
+        with np.errstate(divide="ignore", invalid="ignore"):
+            jaccard = np.where(union > 0, common / np.maximum(union, 1e-300), 0.0)
+        q = prior + (1.0 - alpha) * jaccard
+        return cls(q, copy=False)
+
+    @classmethod
+    def random_uniform(
+        cls, worker_count: int, seed=None, low: float = 0.0, high: float = 1.0
+    ) -> "CooperationMatrix":
+        """A symmetric matrix with i.i.d. uniform off-diagonal scores."""
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+        rng = ensure_rng(seed)
+        q = rng.uniform(low, high, size=(worker_count, worker_count))
+        q = (q + q.T) / 2.0
+        return cls(q, copy=False)
+
+    @classmethod
+    def random_community(
+        cls,
+        worker_count: int,
+        community_count: int = 8,
+        within: float = 0.8,
+        across: float = 0.3,
+        noise: float = 0.1,
+        seed=None,
+    ) -> "CooperationMatrix":
+        """A block-structured matrix mimicking social communities.
+
+        Workers are split uniformly into ``community_count`` communities;
+        pairs inside a community centre on ``within``, pairs across
+        communities on ``across``, with truncated Gaussian noise. This is
+        the synthetic stand-in for the Meetup group structure and gives
+        cooperation-aware solvers real signal to exploit.
+        """
+        if community_count < 1:
+            raise ValueError("community_count must be >= 1")
+        rng = ensure_rng(seed)
+        labels = rng.integers(0, community_count, size=worker_count)
+        same = labels[:, None] == labels[None, :]
+        base = np.where(same, within, across)
+        jitter = rng.normal(0.0, noise, size=(worker_count, worker_count))
+        q = np.clip(base + (jitter + jitter.T) / 2.0, 0.0, 1.0)
+        return cls(q, copy=False)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._q.shape[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``(m, m)`` array."""
+        return self._q
+
+    def pair(self, i: int, k: int) -> float:
+        """``q_i(w_k)`` — quality of worker ``i`` toward worker ``k``."""
+        if i == k:
+            raise ValueError("cooperation quality is undefined for a self-pair")
+        return float(self._q[i, k])
+
+    def is_symmetric(self, tolerance: float = 1e-12) -> bool:
+        return bool(np.allclose(self._q, self._q.T, atol=tolerance))
+
+    def ordered_pair_sum(self, members: Sequence[int]) -> float:
+        """``sum_{i in M} sum_{k in M, k != i} q_i(w_k)``.
+
+        This is the numerator of Equation 2 for the member set ``M``
+        (diagonal is zero so the full submatrix sum equals the ordered
+        off-diagonal sum).
+        """
+        index = np.asarray(members, dtype=int)
+        if index.size != len(set(index.tolist())):
+            raise ValueError(f"duplicate members: {sorted(members)}")
+        return float(self._q[np.ix_(index, index)].sum())
+
+    def cross_sum(self, worker: int, members: Sequence[int]) -> float:
+        """Ordered-pair contribution of adding ``worker`` to ``members``.
+
+        Equals ``sum_k (q_worker(k) + q_k(worker))`` over ``k in members``,
+        i.e. exactly the increase of :meth:`ordered_pair_sum` when
+        ``worker`` joins.
+        """
+        index = np.asarray(members, dtype=int)
+        return float(self._q[worker, index].sum() + self._q[index, worker].sum())
+
+    def top_qualities(self, worker: int, count: int) -> np.ndarray:
+        """The worker's ``count`` largest qualities toward others, sorted
+        descending. Used by the UPPER bound (Lemma V.2)."""
+        row = np.delete(self._q[worker], worker)
+        if count >= row.size:
+            return np.sort(row)[::-1]
+        top = np.partition(row, row.size - count)[row.size - count :]
+        return np.sort(top)[::-1]
+
+    def bottom_qualities(self, worker: int, count: int) -> np.ndarray:
+        """The worker's ``count`` smallest qualities, sorted ascending
+        (Lemma V.3's lower bound)."""
+        row = np.delete(self._q[worker], worker)
+        if count >= row.size:
+            return np.sort(row)
+        bottom = np.partition(row, count - 1)[:count]
+        return np.sort(bottom)
+
+    def restricted_to(self, workers: Sequence[int]) -> "CooperationMatrix":
+        """The submatrix over ``workers``, re-indexed positionally.
+
+        The batch framework uses this to carve each batch's matrix out of
+        the population-level matrix.
+        """
+        index = np.asarray(workers, dtype=int)
+        return CooperationMatrix(self._q[np.ix_(index, index)], copy=True)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CooperationMatrix):
+            return NotImplemented
+        return np.array_equal(self._q, other._q)
+
+    def __repr__(self) -> str:
+        return f"CooperationMatrix(size={self.size})"

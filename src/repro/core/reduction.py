@@ -1,0 +1,188 @@
+"""The k-set-packing reduction behind Theorem II.1, made executable.
+
+The NP-hardness proof maps a k-SP instance (universe ``U``, weighted
+subsets ``C``, size bound ``k``) to CA-SC: one worker per element, one
+task per subset, reachability configured so every subset's workers can
+serve its task, and group revenue arranged so a task served by its full
+subset earns the subset's weight.
+
+The paper's proof treats ``Q(W_j)`` as a free set function; this library
+implements Equation 2's *pairwise* revenue, which can encode per-subset
+weights exactly when
+
+* no two subsets share a pair of elements (a shared pair would need two
+  different quality values), and
+* all subsets have the same size ``s`` (with ``B = a_j = s`` every
+  counted group must be exactly one subset, so partial groups earn
+  nothing and the CA-SC optimum equals the packing optimum).
+
+These restrictions retain NP-hardness — exact-size pair-disjoint k-SP
+contains 3-dimensional matching. Validity is emitted as an explicit
+:class:`~repro.core.validity.ValidPairs` (the proof itself configures
+reachability arbitrarily, so geometric realizability is irrelevant to the
+reduction's content).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Instance, Task, Worker
+from repro.core.quality import CooperationMatrix
+from repro.core.validity import ValidPairs
+from repro.spatial.geometry import Point
+from repro.utils.errors import InvalidInstanceError
+
+__all__ = ["KSetPackingInstance", "reduce_k_set_packing", "solve_k_set_packing"]
+
+
+@dataclass(frozen=True)
+class KSetPackingInstance:
+    """A weighted k-set-packing instance.
+
+    ``subsets[j]`` is a frozenset of element ids in ``range(universe)``;
+    ``weights[j]`` its weight. A feasible packing picks pairwise-disjoint
+    subsets of size at most ``k`` maximizing total weight.
+    """
+
+    universe: int
+    subsets: tuple[frozenset[int], ...]
+    weights: tuple[float, ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if len(self.subsets) != len(self.weights):
+            raise ValueError("subsets and weights must align")
+        for j, subset in enumerate(self.subsets):
+            if not subset:
+                raise ValueError(f"subset {j} is empty")
+            if len(subset) > self.k:
+                raise ValueError(f"subset {j} exceeds size bound k={self.k}")
+            if any(not 0 <= e < self.universe for e in subset):
+                raise ValueError(f"subset {j} has out-of-universe elements")
+        for j, weight in enumerate(self.weights):
+            if weight < 0:
+                raise ValueError(f"negative weight on subset {j}")
+
+    def is_pair_disjoint(self) -> bool:
+        """True when no two subsets share two or more elements."""
+        seen: set[tuple[int, int]] = set()
+        for subset in self.subsets:
+            for pair in itertools.combinations(sorted(subset), 2):
+                if pair in seen:
+                    return False
+                seen.add(pair)
+        return True
+
+
+def reduce_k_set_packing(
+    ksp: KSetPackingInstance,
+) -> tuple[Instance, ValidPairs, float]:
+    """Map an exact-size, pair-disjoint k-SP instance to CA-SC.
+
+    Returns ``(instance, valid_pairs, scale)``. Weights are scaled by
+    ``scale`` so the largest per-pair quality is 1.0; the CA-SC optimum
+    then equals ``scale *`` the k-SP optimum, and an optimal assignment's
+    completed tasks are exactly an optimal packing.
+
+    Raises
+    ------
+    InvalidInstanceError
+        When the instance violates the pair-disjointness or uniform-size
+        requirements documented in the module docstring.
+    """
+    if not ksp.is_pair_disjoint():
+        raise InvalidInstanceError(
+            "pairwise qualities cannot encode subsets sharing an element pair"
+        )
+    sizes = {len(subset) for subset in ksp.subsets}
+    if len(sizes) != 1:
+        raise InvalidInstanceError(
+            f"exact objective equivalence needs uniform subset sizes, got {sorted(sizes)}"
+        )
+    size = sizes.pop()
+    if size < 2:
+        raise InvalidInstanceError(
+            "Equation 2 needs groups of >= 2 workers; singleton subsets "
+            "cannot carry weight through pair qualities"
+        )
+
+    # Per-direction pair quality p = w(C_j) / s: Equation 2 sums the
+    # s * (s - 1) ordered pairs and divides by (s - 1), so the full
+    # subset's revenue is s * p = w(C_j) (after global scaling into the
+    # [0, 1] quality budget).
+    raw_max = max((weight / size for weight in ksp.weights), default=0.0)
+    scale = 1.0 / raw_max if raw_max > 0 else 1.0
+
+    q = np.zeros((ksp.universe, ksp.universe))
+    for subset, weight in zip(ksp.subsets, ksp.weights):
+        per_pair = scale * weight / size
+        for i, j in itertools.combinations(sorted(subset), 2):
+            q[i, j] = q[j, i] = per_pair
+    # The largest pair value is exactly 1 up to float rounding; clip the
+    # few-ULP overshoot so the quality validation accepts it.
+    np.clip(q, 0.0, 1.0, out=q)
+    quality = CooperationMatrix(q, copy=False)
+
+    origin = Point(0.0, 0.0)
+    workers = [
+        Worker(worker_id=e, location=origin, speed=1.0, radius=1.0)
+        for e in range(ksp.universe)
+    ]
+    tasks = [
+        Task(task_id=j, location=origin, capacity=size, deadline=1.0)
+        for j in range(len(ksp.subsets))
+    ]
+    instance = Instance(
+        workers=workers,
+        tasks=tasks,
+        quality=quality,
+        min_group_size=size,
+        now=0.0,
+    )
+
+    element_tasks: list[list[int]] = [[] for _ in range(ksp.universe)]
+    for j, subset in enumerate(ksp.subsets):
+        for element in subset:
+            element_tasks[element].append(j)
+    valid_pairs = ValidPairs.from_worker_lists(element_tasks, len(ksp.subsets))
+    return instance, valid_pairs, scale
+
+
+def solve_k_set_packing(ksp: KSetPackingInstance) -> tuple[list[int], float]:
+    """Exact DFS solver for k-SP (test oracle for the reduction).
+
+    Returns ``(chosen subset indices, total weight)``.
+    """
+    order = sorted(
+        range(len(ksp.subsets)), key=lambda j: ksp.weights[j], reverse=True
+    )
+    suffix = [0.0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        suffix[position] = suffix[position + 1] + ksp.weights[order[position]]
+
+    best: tuple[float, list[int]] = (0.0, [])
+    used: set[int] = set()
+    chosen: list[int] = []
+
+    def recurse(position: int, value: float) -> None:
+        nonlocal best
+        if value > best[0]:
+            best = (value, list(chosen))
+        if position == len(order) or value + suffix[position] <= best[0]:
+            return
+        subset_index = order[position]
+        subset = ksp.subsets[subset_index]
+        if not (subset & used):
+            used.update(subset)
+            chosen.append(subset_index)
+            recurse(position + 1, value + ksp.weights[subset_index])
+            chosen.pop()
+            used.difference_update(subset)
+        recurse(position + 1, value)
+
+    recurse(0, 0.0)
+    return sorted(best[1]), best[0]

@@ -1,0 +1,134 @@
+"""Cooperation quality revenue — Equations 2 and 4.
+
+``Q(W_j)`` is zero below the minimum group size ``B``, and otherwise the
+ordered pair-quality sum divided by ``min(|W_j|, a_j) - 1``. When more
+than ``a_j`` workers are attached to a task, only the best ``a_j``-subset
+counts (the requester pays at most ``a_j`` workers). Finding that subset
+is the NP-hard maximum-weight k-induced-subgraph problem, so
+:func:`best_counted_subset` uses deterministic greedy peeling — groups are
+tiny (``a_j <= 6`` in all experiments), and determinism is what keeps the
+CA-SC game an *exact* potential game (see ``repro.core.game``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.quality import CooperationMatrix
+
+__all__ = [
+    "group_revenue",
+    "best_counted_subset",
+    "marginal_gain",
+    "removal_delta",
+    "worker_average_quality",
+]
+
+
+def best_counted_subset(
+    quality: CooperationMatrix, members: Sequence[int], size: int
+) -> list[int]:
+    """The (approximately) best ``size``-subset of ``members``.
+
+    Greedy peeling: repeatedly remove the member with the smallest
+    ordered-pair contribution to the rest, until ``size`` remain. Ties are
+    broken by the lower worker index so the result — and therefore the
+    revenue function — is deterministic.
+
+    Returns the members themselves when ``size >= len(members)``.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    kept = sorted(members)
+    if len(kept) != len(set(kept)):
+        raise ValueError(f"duplicate members: {sorted(members)}")
+    while len(kept) > size:
+        contributions = [
+            (quality.cross_sum(worker, [k for k in kept if k != worker]), -worker)
+            for worker in kept
+        ]
+        weakest = min(range(len(kept)), key=lambda idx: contributions[idx])
+        kept.pop(weakest)
+    return kept
+
+
+def group_revenue(
+    quality: CooperationMatrix,
+    members: Sequence[int],
+    capacity: int,
+    min_group_size: int,
+) -> float:
+    """``Q(W_j)`` of Equation 2.
+
+    * ``0`` when fewer than ``min_group_size`` (``B``) members;
+    * ordered pair sum divided by ``|W_j| - 1`` when within capacity;
+    * revenue of the best ``capacity``-subset when over capacity.
+
+    >>> q = CooperationMatrix([[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    >>> group_revenue(q, [0, 1, 2], capacity=3, min_group_size=2)
+    3.0
+    """
+    count = len(members)
+    if count < min_group_size:
+        return 0.0
+    if count > capacity:
+        members = best_counted_subset(quality, members, capacity)
+        count = capacity
+    return quality.ordered_pair_sum(members) / (count - 1)
+
+
+def marginal_gain(
+    quality: CooperationMatrix,
+    members: Sequence[int],
+    worker: int,
+    capacity: int,
+    min_group_size: int,
+) -> float:
+    """``DeltaQ(w_i, t_j) = Q(W_j + {w_i}) - Q(W_j)`` (Equation 4 applied
+    to a prospective join).
+
+    ``members`` must not already contain ``worker``. The gain can be
+    negative — a poorly-matched worker dilutes the per-member average —
+    and is zero when even with the newcomer the group stays below ``B``.
+    """
+    if worker in members:
+        raise ValueError(f"worker {worker} already in the group")
+    before = group_revenue(quality, members, capacity, min_group_size)
+    after = group_revenue(quality, [*members, worker], capacity, min_group_size)
+    return after - before
+
+
+def removal_delta(
+    quality: CooperationMatrix,
+    members: Sequence[int],
+    worker: int,
+    capacity: int,
+    min_group_size: int,
+) -> float:
+    """``Q(W_j) - Q(W_j - {w_i})`` — the utility a member currently
+    derives from staying (Equation 5 evaluated at the current strategy)."""
+    if worker not in members:
+        raise ValueError(f"worker {worker} not in the group")
+    with_worker = group_revenue(quality, members, capacity, min_group_size)
+    rest = [m for m in members if m != worker]
+    without_worker = group_revenue(quality, rest, capacity, min_group_size)
+    return with_worker - without_worker
+
+
+def worker_average_quality(
+    quality: CooperationMatrix, worker: int, members: Sequence[int], capacity: int
+) -> float:
+    """``q_i(W_j)`` — a member's average quality within the group.
+
+    Defined in Section II as the member's quality sum over the other
+    members divided by ``min(|W_j|, a_j) - 1``; the paper interprets it as
+    the expected revenue from hiring that worker.
+    """
+    others = [m for m in members if m != worker]
+    if not others:
+        return 0.0
+    denominator = min(len(members), capacity) - 1
+    if denominator <= 0:
+        return 0.0
+    total = sum(quality.pair(worker, other) for other in others)
+    return total / denominator

@@ -1,0 +1,37 @@
+"""Dataset generators for the CA-SC experiments.
+
+* :mod:`repro.datasets.synthetic` — UNIF/SKEW location generators and the
+  truncated-Gaussian speed/radius mapping of Section VI-A.
+* :mod:`repro.datasets.meetup` — a Meetup-like event-based social network
+  (users, groups, events) standing in for the paper's 2011-2012 crawl,
+  with co-group Jaccard cooperation qualities.
+"""
+
+from repro.datasets.io import (
+    load_instance,
+    load_meetup_dataset,
+    save_instance,
+    save_meetup_dataset,
+)
+from repro.datasets.meetup import MeetupDataset, generate_meetup_dataset
+from repro.datasets.synthetic import (
+    gaussian_in_range,
+    generate_instance,
+    generate_locations,
+    generate_tasks,
+    generate_workers,
+)
+
+__all__ = [
+    "load_instance",
+    "load_meetup_dataset",
+    "save_instance",
+    "save_meetup_dataset",
+    "MeetupDataset",
+    "generate_meetup_dataset",
+    "gaussian_in_range",
+    "generate_instance",
+    "generate_locations",
+    "generate_tasks",
+    "generate_workers",
+]

@@ -1,0 +1,168 @@
+"""Persistence for instances and datasets.
+
+Two formats:
+
+* **JSON** for single :class:`~repro.core.model.Instance` objects — human
+  readable, diff-friendly, good for bug reports and tiny fixtures.
+* **NPZ** for :class:`~repro.datasets.meetup.MeetupDataset` populations —
+  the quality matrix of a full-size population is tens of MB, so it is
+  stored as compressed numpy arrays.
+
+Both round-trip exactly (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import Instance, Task, Worker
+from repro.core.quality import CooperationMatrix
+from repro.datasets.meetup import MeetupDataset
+from repro.spatial.geometry import Point
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_meetup_dataset",
+    "load_meetup_dataset",
+]
+
+_FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    """A JSON-serializable representation of an instance."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "min_group_size": instance.min_group_size,
+        "now": instance.now,
+        "workers": [
+            {
+                "id": worker.worker_id,
+                "x": worker.location.x,
+                "y": worker.location.y,
+                "speed": worker.speed,
+                "radius": worker.radius,
+                "arrival_time": worker.arrival_time,
+            }
+            for worker in instance.workers
+        ],
+        "tasks": [
+            {
+                "id": task.task_id,
+                "x": task.location.x,
+                "y": task.location.y,
+                "capacity": task.capacity,
+                "deadline": task.deadline,
+                "created_time": task.created_time,
+            }
+            for task in instance.tasks
+        ],
+        "quality": instance.quality.values.tolist(),
+    }
+
+
+def instance_from_dict(payload: dict) -> Instance:
+    """Inverse of :func:`instance_to_dict`.
+
+    Raises ``ValueError`` on unknown format versions so old readers fail
+    loudly rather than misinterpret newer files.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported instance format version {version!r} "
+            f"(this reader supports {_FORMAT_VERSION})"
+        )
+    workers = [
+        Worker(
+            worker_id=entry["id"],
+            location=Point(entry["x"], entry["y"]),
+            speed=entry["speed"],
+            radius=entry["radius"],
+            arrival_time=entry.get("arrival_time", 0.0),
+        )
+        for entry in payload["workers"]
+    ]
+    tasks = [
+        Task(
+            task_id=entry["id"],
+            location=Point(entry["x"], entry["y"]),
+            capacity=entry["capacity"],
+            deadline=entry["deadline"],
+            created_time=entry.get("created_time", 0.0),
+        )
+        for entry in payload["tasks"]
+    ]
+    return Instance(
+        workers=workers,
+        tasks=tasks,
+        quality=CooperationMatrix(np.asarray(payload["quality"], dtype=float)),
+        min_group_size=payload["min_group_size"],
+        now=payload.get("now", 0.0),
+    )
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(instance_to_dict(instance), handle)
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance written by :func:`save_instance`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def save_meetup_dataset(dataset: MeetupDataset, path: str | Path) -> None:
+    """Write a Meetup-like population to a compressed ``.npz`` file.
+
+    Memberships are stored as a flat (user, group) pair array — NPZ has
+    no ragged-array support.
+    """
+    pairs = np.array(
+        [
+            (user, group)
+            for user, groups in enumerate(dataset.memberships)
+            for group in sorted(groups)
+        ],
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        user_locations=dataset.user_locations,
+        event_locations=dataset.event_locations,
+        membership_pairs=pairs,
+        quality=dataset.quality.values,
+    )
+
+
+def load_meetup_dataset(path: str | Path) -> MeetupDataset:
+    """Read a population written by :func:`save_meetup_dataset`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version} "
+                f"(this reader supports {_FORMAT_VERSION})"
+            )
+        user_locations = archive["user_locations"]
+        event_locations = archive["event_locations"]
+        pairs = archive["membership_pairs"]
+        quality = CooperationMatrix(archive["quality"])
+    memberships: list[set[int]] = [set() for _ in range(user_locations.shape[0])]
+    for user, group in pairs:
+        memberships[int(user)].add(int(group))
+    return MeetupDataset(
+        user_locations=user_locations,
+        event_locations=event_locations,
+        memberships=tuple(frozenset(m) for m in memberships),
+        quality=quality,
+    )

@@ -1,0 +1,114 @@
+"""Empirical equilibrium-quality study (Section V-C instantiated).
+
+Theorem V.2 bounds the price of stability (PoS <= 1) and the price of
+anarchy (PoA >= N_init * B * q_check / UPPER) analytically. This module
+*measures* both on small instances: it samples many pure Nash equilibria
+by running best-response dynamics from random initial profiles, computes
+the true optimum with the exact solver, and reports
+
+* ``PoS_hat`` — best sampled equilibrium / OPT (upper-bounds the true
+  PoS from below... i.e. it is an optimistic estimate of equilibrium
+  quality), and
+* ``PoA_hat`` — worst sampled equilibrium / OPT (an upper bound on the
+  true PoA, which requires the worst equilibrium overall).
+
+Used by the ablation benchmarks and by ``examples``-level analyses; the
+test suite checks the invariant chain
+``theorem lower bound <= PoA_hat <= PoS_hat <= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import price_of_anarchy_lower_bound, upper_bound
+from repro.core.exact import solve_exact
+from repro.core.game import solve_game_theoretic
+from repro.core.model import Instance
+from repro.core.tpg import solve_tpg_with_stats
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.utils.rng import ensure_rng
+
+__all__ = ["EquilibriumStudy", "study_equilibria"]
+
+
+@dataclass(frozen=True)
+class EquilibriumStudy:
+    """Sampled-equilibrium quality statistics for one instance.
+
+    Attributes
+    ----------
+    optimum:
+        The exact optimal total score (OPT).
+    best_equilibrium / worst_equilibrium:
+        Extremes over the sampled pure Nash equilibria.
+    pos_estimate / poa_estimate:
+        ``best / OPT`` and ``worst / OPT`` (both 1.0 when OPT is 0 — an
+        empty instance has nothing to lose).
+    theorem_poa_bound:
+        Theorem V.2's analytic lower bound on the PoA, for comparison.
+    samples:
+        Number of equilibria sampled.
+    """
+
+    optimum: float
+    best_equilibrium: float
+    worst_equilibrium: float
+    pos_estimate: float
+    poa_estimate: float
+    theorem_poa_bound: float
+    samples: int
+
+
+def study_equilibria(
+    instance: Instance,
+    valid_pairs: ValidPairs | None = None,
+    samples: int = 20,
+    seed=None,
+) -> EquilibriumStudy:
+    """Sample equilibria from random starts and compare against OPT.
+
+    The instance must be small enough for :func:`~repro.core.exact.solve_exact`
+    (roughly <= 12 workers with a handful of valid tasks each).
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if valid_pairs is None:
+        valid_pairs = compute_valid_pairs(instance)
+    rng = ensure_rng(seed)
+
+    optimum = solve_exact(instance, valid_pairs).total_score()
+
+    scores = []
+    # Always include the TPG-seeded equilibrium (the solver's default).
+    scores.append(solve_game_theoretic(instance, valid_pairs).final_score)
+    for _ in range(samples - 1):
+        result = solve_game_theoretic(
+            instance,
+            valid_pairs,
+            init="random",
+            seed=rng,
+        )
+        scores.append(result.final_score)
+
+    best = max(scores)
+    worst = min(scores)
+    if optimum > 0:
+        pos = best / optimum
+        poa = worst / optimum
+    else:
+        pos = poa = 1.0
+
+    bound = upper_bound(instance, valid_pairs)
+    seeded = solve_tpg_with_stats(instance, valid_pairs).seeded_tasks
+    theorem_bound = price_of_anarchy_lower_bound(instance, seeded, bound)
+
+    return EquilibriumStudy(
+        optimum=optimum,
+        best_equilibrium=best,
+        worst_equilibrium=worst,
+        pos_estimate=pos,
+        poa_estimate=poa,
+        theorem_poa_bound=theorem_bound,
+        samples=len(scores),
+    )

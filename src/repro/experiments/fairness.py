@@ -1,0 +1,127 @@
+"""Worker-fairness analysis of assignments.
+
+Section V of the paper motivates the game-theoretic approach with
+fairness: TPG "may be unfair for some workers as they may have better
+choices if they are allowed to select tasks by themselves", while a Nash
+equilibrium gives every worker their best response. This module makes
+that claim measurable: it extracts each assigned worker's utility
+(Equation 5 at the final profile) and summarizes the distribution.
+
+Metrics
+-------
+* ``min_utility`` / ``mean_utility`` — levels.
+* ``gini`` — inequality of the utility distribution in [0, 1]
+  (0 = perfectly equal).
+* ``envy_count`` — workers who could strictly gain by unilaterally
+  switching to another valid task ("envious" of an available slot); zero
+  at a pure Nash equilibrium by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.validity import ValidPairs
+
+__all__ = ["FairnessReport", "worker_utilities", "fairness_report", "gini_coefficient"]
+
+
+def worker_utilities(assignment: Assignment) -> np.ndarray:
+    """Each worker's Equation 5 utility at the current profile.
+
+    Idle workers have utility 0.
+    """
+    return np.array(
+        [
+            assignment.leave_delta(worker)
+            for worker in range(assignment.instance.worker_count)
+        ]
+    )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """The Gini coefficient of a non-negative value distribution.
+
+    Returns 0 for empty or all-zero inputs (a degenerate but equal
+    distribution). Negative inputs are rejected — utilities fed here are
+    clamped by the caller.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return 0.0
+    if (data < 0).any():
+        raise ValueError("gini_coefficient expects non-negative values")
+    total = data.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(data)
+    ranks = np.arange(1, data.size + 1)
+    return float(
+        (2.0 * (ranks * sorted_values).sum() / (data.size * total))
+        - (data.size + 1.0) / data.size
+    )
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Summary of a profile's worker-utility distribution."""
+
+    assigned_workers: int
+    min_utility: float
+    mean_utility: float
+    gini: float
+    envy_count: int
+
+    def is_envy_free(self) -> bool:
+        """True when no worker can gain by unilaterally switching —
+        i.e. the profile is a pure Nash equilibrium."""
+        return self.envy_count == 0
+
+
+def fairness_report(
+    assignment: Assignment,
+    valid_pairs: ValidPairs,
+    tolerance: float = 1e-6,
+) -> FairnessReport:
+    """Compute the fairness metrics over *assigned* workers.
+
+    Unassigned workers are excluded from the level/inequality statistics
+    (they have nothing to be treated unfairly about within this batch)
+    but do count toward ``envy_count`` if some valid task would give them
+    positive utility.
+    """
+    utilities = worker_utilities(assignment)
+    assigned_mask = np.array(
+        [
+            assignment.task_of(worker) != UNASSIGNED
+            for worker in range(assignment.instance.worker_count)
+        ]
+    )
+    assigned_utilities = utilities[assigned_mask]
+
+    envy = 0
+    for worker in range(assignment.instance.worker_count):
+        current = utilities[worker]
+        for task in valid_pairs.tasks_for_worker[worker]:
+            if task == assignment.task_of(worker):
+                continue
+            if assignment.join_gain(worker, task) > current + tolerance:
+                envy += 1
+                break
+
+    if assigned_utilities.size:
+        minimum = float(assigned_utilities.min())
+        mean = float(assigned_utilities.mean())
+        inequality = gini_coefficient(np.clip(assigned_utilities, 0.0, None))
+    else:
+        minimum = mean = inequality = 0.0
+    return FairnessReport(
+        assigned_workers=int(assigned_mask.sum()),
+        min_utility=minimum,
+        mean_utility=mean,
+        gini=inequality,
+        envy_count=envy,
+    )

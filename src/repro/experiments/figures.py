@@ -1,0 +1,276 @@
+"""One sweep per paper figure (Figures 2-8).
+
+Every function returns a :class:`FigureResult` whose points hold, per
+parameter value, the total cooperation score and mean batch time of each
+approach plus the UPPER bound — the two panels (a) and (b) of each paper
+figure. ``scale < 1`` shrinks the workload (fewer rounds, workers and
+tasks) for the pytest-benchmark wrappers; the full-size runs are invoked
+by ``python -m repro.experiments.run_all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.config import (
+    DEFAULT_APPROACH_ORDER,
+    TABLE_II,
+    ExperimentSettings,
+)
+from repro.experiments.runner import SweepPoint, build_population, run_approaches
+
+__all__ = [
+    "FigureResult",
+    "fig2_capacity",
+    "fig3_speed",
+    "fig4_radius",
+    "fig5_deadline",
+    "fig6_epsilon",
+    "fig7_workers",
+    "fig8_tasks",
+    "fig9_extensions",
+    "EXTENSION_LINEUP",
+    "ALL_FIGURES",
+]
+
+
+@dataclass
+class FigureResult:
+    """A full sweep for one figure."""
+
+    figure: str
+    parameter: str
+    approaches: tuple[str, ...]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> list[object]:
+        return [point.value for point in self.points]
+
+
+def _sweep(
+    figure: str,
+    parameter: str,
+    values,
+    settings_for_value,
+    base: ExperimentSettings,
+    approaches: tuple[str, ...],
+    seed: int,
+) -> FigureResult:
+    result = FigureResult(figure=figure, parameter=parameter, approaches=approaches)
+    population = build_population(base, seed=seed)
+    rebuild_population = parameter in ("workers_per_round", "tasks_per_round")
+    for value in values:
+        settings = settings_for_value(base, value)
+        if rebuild_population and settings.dataset != "meetup":
+            population = build_population(settings, seed=seed)
+        result.points.append(
+            run_approaches(
+                population,
+                settings,
+                approaches=approaches,
+                parameter=parameter,
+                value=value,
+                seed=seed,
+            )
+        )
+    return result
+
+
+def fig2_capacity(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["capacity"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
+    base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
+    return _sweep(
+        "Figure 2",
+        "capacity",
+        values,
+        lambda settings, value: replace(settings, capacity=value),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig3_speed(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["speed_range_percent"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
+
+    Values are percent of the unit space per time unit, e.g. ``(1, 5)``
+    means speeds in ``[0.01, 0.05]``.
+    """
+    base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
+    return _sweep(
+        "Figure 3",
+        "speed_range_percent",
+        values,
+        lambda settings, value: replace(
+            settings, speed_range=(value[0] / 100.0, value[1] / 100.0)
+        ),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig4_radius(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["radius_range_percent"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
+    base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
+    return _sweep(
+        "Figure 4",
+        "radius_range_percent",
+        values,
+        lambda settings, value: replace(
+            settings, radius_range=(value[0] / 100.0, value[1] / 100.0)
+        ),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig5_deadline(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["remaining_time"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
+    base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
+    return _sweep(
+        "Figure 5",
+        "remaining_time",
+        values,
+        lambda settings, value: replace(settings, remaining_time=float(value)),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig6_epsilon(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["epsilon"],
+    approaches: tuple[str, ...] = ("GT+TSI",),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
+
+    The paper plots GT+TSI only; ``epsilon = 0`` degenerates to plain GT.
+    """
+    base = base or ExperimentSettings(dataset="unif")
+    base = base.scaled(scale)
+    return _sweep(
+        "Figure 6",
+        "epsilon",
+        values,
+        lambda settings, value: replace(settings, epsilon=float(value)),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig7_workers(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["workers_per_round"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
+    base = base or ExperimentSettings(dataset="unif")
+    base = base.scaled(scale)
+    scaled_values = [max(20, round(v * scale)) for v in values]
+    return _sweep(
+        "Figure 7",
+        "workers_per_round",
+        scaled_values,
+        lambda settings, value: replace(settings, workers_per_round=int(value)),
+        base,
+        approaches,
+        seed,
+    )
+
+
+def fig8_tasks(
+    base: ExperimentSettings | None = None,
+    values=TABLE_II["tasks_per_round"],
+    approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
+    base = base or ExperimentSettings(dataset="unif")
+    base = base.scaled(scale)
+    scaled_values = [max(5, round(v * scale)) for v in values]
+    return _sweep(
+        "Figure 8",
+        "tasks_per_round",
+        scaled_values,
+        lambda settings, value: replace(settings, tasks_per_round=int(value)),
+        base,
+        approaches,
+        seed,
+    )
+
+
+EXTENSION_LINEUP = ("ONLINE", "PGREEDY", "MFLOW", "WFLOW", "TPG", "GT+ALL", "LSEARCH")
+
+
+def fig9_extensions(
+    base: ExperimentSettings | None = None,
+    values=(500, 1000, 2000),
+    approaches: tuple[str, ...] = EXTENSION_LINEUP,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Extension figure (not in the paper): the baseline ladder.
+
+    Sweeps the number of workers over the extension lineup — ONLINE <
+    PGREEDY/MFLOW < WFLOW < TPG < GT+ALL <= LSEARCH — quantifying, in
+    order: the value of batching, of task-priority seeding, of preferring
+    good workers, of true pairwise reasoning, and of coalitional 2-swaps
+    beyond the Nash equilibrium.
+    """
+    base = base or ExperimentSettings(dataset="unif")
+    base = base.scaled(scale)
+    scaled_values = [max(20, round(v * scale)) for v in values]
+    return _sweep(
+        "Figure 9 (extension)",
+        "workers_per_round",
+        scaled_values,
+        lambda settings, value: replace(settings, workers_per_round=int(value)),
+        base,
+        approaches,
+        seed,
+    )
+
+
+ALL_FIGURES = {
+    "fig2": fig2_capacity,
+    "fig3": fig3_speed,
+    "fig4": fig4_radius,
+    "fig5": fig5_deadline,
+    "fig6": fig6_epsilon,
+    "fig7": fig7_workers,
+    "fig8": fig8_tasks,
+    "fig9": fig9_extensions,
+}

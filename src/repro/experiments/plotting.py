@@ -1,0 +1,128 @@
+"""Terminal visualizations — ASCII maps and unicode line charts.
+
+The environment has no plotting stack, so the examples and the
+``run_all`` harness render results directly in the terminal:
+
+* :func:`render_map` — a character grid of one batch: task sites, worker
+  positions, and (optionally) which workers were grouped together.
+* :func:`render_curves` — a block-character line chart of one metric
+  across a parameter sweep, one series per approach — a textual stand-in
+  for the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.model import Instance
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SweepPoint
+
+__all__ = ["render_map", "render_curves", "render_figure_charts"]
+
+_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def render_map(
+    instance: Instance,
+    assignment: Assignment | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a batch as a character grid.
+
+    Tasks are digits (their index modulo 10, ``#`` where several tasks
+    coincide); idle workers are ``.``; assigned workers are the letter of
+    their task (``a`` = task 0, ``b`` = task 1, ...), so teams are
+    visually traceable. Locations are assumed in ``[0, 1]^2`` (clipped
+    otherwise).
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        column = int(np.clip(x, 0.0, 1.0) * (width - 1))
+        row = int((1.0 - np.clip(y, 0.0, 1.0)) * (height - 1))
+        return row, column
+
+    for worker_index, worker in enumerate(instance.workers):
+        row, column = cell(worker.location.x, worker.location.y)
+        symbol = "."
+        if assignment is not None:
+            task = assignment.task_of(worker_index)
+            if task != UNASSIGNED:
+                symbol = chr(ord("a") + task % 26)
+        grid[row][column] = symbol
+
+    for task_index, task in enumerate(instance.tasks):
+        row, column = cell(task.location.x, task.location.y)
+        current = grid[row][column]
+        grid[row][column] = "#" if current.isdigit() else str(task_index % 10)
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    legend = (
+        "digits = task sites, '.' = idle worker, letters = workers "
+        "grouped by task"
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def _sparkline(values: Sequence[float], lowest: float, highest: float) -> str:
+    span = highest - lowest
+    if span <= 0:
+        return _LEVELS[-1] * len(values)
+    characters = []
+    for value in values:
+        level = int((value - lowest) / span * (len(_LEVELS) - 1))
+        characters.append(_LEVELS[max(0, min(level, len(_LEVELS) - 1))])
+    return "".join(characters)
+
+
+def render_curves(
+    result: FigureResult,
+    metric: Callable[[SweepPoint, str], float],
+    metric_name: str,
+    width_per_point: int = 3,
+) -> str:
+    """One unicode sparkline per approach, on a shared y-scale.
+
+    Reading guide: each character column is one parameter value (repeated
+    ``width_per_point`` times for visibility); taller blocks are larger
+    values; all series share min/max so heights are comparable.
+    """
+    if not result.points:
+        return f"{result.figure} — {metric_name}: (no data)"
+    series = {
+        approach: [metric(point, approach) for point in result.points]
+        for approach in result.approaches
+    }
+    all_values = [value for values in series.values() for value in values]
+    lowest, highest = min(all_values), max(all_values)
+
+    label_width = max(len(name) for name in series)
+    lines = [f"{result.figure} — {metric_name} (shared scale "
+             f"[{lowest:.3g}, {highest:.3g}])"]
+    for name, values in series.items():
+        stretched = [value for value in values for _ in range(width_per_point)]
+        lines.append(
+            f"{name.rjust(label_width)} {_sparkline(stretched, lowest, highest)}"
+        )
+    axis = " ".join(str(point.value) for point in result.points)
+    lines.append(f"{''.rjust(label_width)} x: {axis}")
+    return "\n".join(lines)
+
+
+def render_figure_charts(result: FigureResult) -> str:
+    """Both panels of a figure as sparkline charts."""
+    scores = render_curves(
+        result, lambda p, a: p.score(a), "(a) Total Cooperation Score"
+    )
+    times = render_curves(
+        result, lambda p, a: p.seconds(a), "(b) Batch Running Time (s)"
+    )
+    return scores + "\n\n" + times

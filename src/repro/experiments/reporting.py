@@ -1,0 +1,97 @@
+"""Plain-text and markdown tables for experiment results.
+
+The paper presents each experiment as two panels — (a) total cooperation
+score and (b) batch running time. :func:`format_figure` renders both
+panels for a :class:`~repro.experiments.figures.FigureResult`;
+:func:`format_sweep_table` renders a single metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SweepPoint
+
+__all__ = ["format_sweep_table", "format_figure", "figure_to_markdown"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(str(v) for v in value) + "]"
+    return str(value)
+
+
+def _render(headers: list[str], rows: list[list[str]], markdown: bool) -> str:
+    if markdown:
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in rows)
+        return "\n".join(lines)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join([line, "-" * len(line), *body])
+
+
+def format_sweep_table(
+    result: FigureResult,
+    metric: Callable[[SweepPoint, str], float],
+    metric_name: str,
+    include_upper: bool = False,
+    markdown: bool = False,
+    precision: int = 2,
+) -> str:
+    """Render one metric across the sweep as an aligned table.
+
+    ``metric(point, approach)`` extracts the cell value — e.g.
+    ``lambda p, a: p.score(a)``.
+    """
+    headers = [result.parameter, *result.approaches]
+    if include_upper:
+        headers.append("UPPER")
+    rows = []
+    for point in result.points:
+        row = [_format_value(point.value)]
+        row.extend(
+            f"{metric(point, approach):.{precision}f}"
+            for approach in result.approaches
+        )
+        if include_upper:
+            row.append(f"{point.upper:.{precision}f}")
+        rows.append(row)
+    title = f"{result.figure} — {metric_name}"
+    return title + "\n" + _render(headers, rows, markdown)
+
+
+def format_figure(result: FigureResult, markdown: bool = False) -> str:
+    """Both panels of a paper figure: scores then batch times."""
+    scores = format_sweep_table(
+        result,
+        lambda point, approach: point.score(approach),
+        "(a) Total Cooperation Score",
+        include_upper=True,
+        markdown=markdown,
+    )
+    times = format_sweep_table(
+        result,
+        lambda point, approach: point.seconds(approach),
+        "(b) Batch Running Time (s)",
+        markdown=markdown,
+        precision=4,
+    )
+    return scores + "\n\n" + times
+
+
+def figure_to_markdown(result: FigureResult) -> str:
+    return format_figure(result, markdown=True)

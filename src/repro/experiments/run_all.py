@@ -1,0 +1,74 @@
+"""Regenerate every paper experiment.
+
+Usage::
+
+    python -m repro.experiments.run_all                # full Table II scale
+    python -m repro.experiments.run_all --scale 0.2    # quick pass
+    python -m repro.experiments.run_all --figures fig2 fig6 --out results.md
+
+With ``--out`` the tables are also written as markdown (the format
+EXPERIMENTS.md embeds); stdout always gets the plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import figure_to_markdown, format_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all", description=__doc__
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        default=sorted(ALL_FIGURES),
+        choices=sorted(ALL_FIGURES),
+        help="which figures to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale in (0, 1]; 1.0 reproduces Table II sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=str, default=None, help="markdown output file (appended)"
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also print unicode sparkline charts of both panels",
+    )
+    args = parser.parse_args(argv)
+
+    markdown_chunks: list[str] = []
+    for name in args.figures:
+        sweep = ALL_FIGURES[name]
+        started = time.perf_counter()
+        result = sweep(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(format_figure(result))
+        if args.charts:
+            from repro.experiments.plotting import render_figure_charts
+
+            print()
+            print(render_figure_charts(result))
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        sys.stdout.flush()
+        markdown_chunks.append(f"### {result.figure}\n\n" + figure_to_markdown(result))
+
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write("\n\n".join(markdown_chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

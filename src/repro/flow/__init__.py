@@ -1,0 +1,22 @@
+"""Maximum-flow substrate.
+
+The MFLOW baseline of the paper ([11], GeoCrowd) converts each batch into a
+maximum-flow instance: ``source -> worker (cap 1) -> valid task (cap a_j)
+-> sink``, then assigns along saturated worker->task edges. This package
+implements the flow machinery from scratch: an adjacency-list flow network
+(:class:`~repro.flow.graph.FlowNetwork`) and Dinic's algorithm
+(:func:`~repro.flow.dinic.max_flow`). ``networkx`` is used only as a test
+oracle, never at runtime.
+"""
+
+from repro.flow.graph import Edge, FlowNetwork
+from repro.flow.dinic import DinicResult, max_flow
+from repro.flow.bipartite import max_bipartite_assignment
+
+__all__ = [
+    "Edge",
+    "FlowNetwork",
+    "DinicResult",
+    "max_flow",
+    "max_bipartite_assignment",
+]

@@ -1,0 +1,107 @@
+"""Dinic's maximum-flow algorithm.
+
+Level-graph BFS plus blocking-flow DFS with the ``next_edge`` pointer
+optimization. Runs in ``O(V^2 E)`` in general and ``O(E sqrt(V))`` on the
+unit-capacity bipartite graphs MFLOW produces, which is more than fast
+enough for the paper's batch sizes (5K workers x 1K tasks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.flow.graph import FlowNetwork
+
+__all__ = ["DinicResult", "max_flow"]
+
+
+@dataclass(frozen=True)
+class DinicResult:
+    """Outcome of a max-flow run.
+
+    ``min_cut_source_side`` is the set of nodes reachable from the source
+    in the final residual graph; edges leaving it form a minimum cut
+    (used by tests to certify optimality via max-flow = min-cut).
+    """
+
+    value: int
+    min_cut_source_side: frozenset[int]
+
+
+def max_flow(network: FlowNetwork, source: int, sink: int) -> DinicResult:
+    """Compute the maximum ``source -> sink`` flow in place.
+
+    The network's edge ``flow`` fields are updated; call
+    :meth:`FlowNetwork.reset_flow` to solve again from scratch.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    network._check_node(source)
+    network._check_node(sink)
+
+    total = 0
+    while True:
+        levels = _bfs_levels(network, source, sink)
+        if levels[sink] < 0:
+            break
+        next_edge = [0] * network.node_count
+        while True:
+            pushed = _dfs_push(network, source, sink, float("inf"), levels, next_edge)
+            if pushed == 0:
+                break
+            total += pushed
+
+    reachable = frozenset(
+        node for node, level in enumerate(_bfs_levels(network, source, sink)) if level >= 0
+    )
+    return DinicResult(value=total, min_cut_source_side=reachable)
+
+
+def _bfs_levels(network: FlowNetwork, source: int, sink: int) -> list[int]:
+    """Breadth-first levels in the residual graph (-1 = unreachable)."""
+    levels = [-1] * network.node_count
+    levels[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for edge_index in network.adjacency[node]:
+            edge = network.edges[edge_index]
+            if edge.residual > 0 and levels[edge.head] < 0:
+                levels[edge.head] = levels[node] + 1
+                queue.append(edge.head)
+    return levels
+
+
+def _dfs_push(
+    network: FlowNetwork,
+    node: int,
+    sink: int,
+    limit: float,
+    levels: list[int],
+    next_edge: list[int],
+) -> int:
+    """Push a blocking-flow augmenting path; returns the pushed amount."""
+    if node == sink:
+        # ``limit`` is bounded by some finite capacity on the way down
+        # except on the degenerate first call, which cannot reach here
+        # because source != sink.
+        return int(limit)
+    adjacency = network.adjacency[node]
+    while next_edge[node] < len(adjacency):
+        edge = network.edges[adjacency[next_edge[node]]]
+        if edge.residual > 0 and levels[edge.head] == levels[node] + 1:
+            pushed = _dfs_push(
+                network,
+                edge.head,
+                sink,
+                min(limit, edge.residual),
+                levels,
+                next_edge,
+            )
+            if pushed > 0:
+                edge.flow += pushed
+                network.edges[edge.reverse_index].flow -= pushed
+                return pushed
+        next_edge[node] += 1
+    return 0

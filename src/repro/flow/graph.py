@@ -1,0 +1,125 @@
+"""Adjacency-list flow network with residual edges.
+
+Edges are stored in a flat list; each edge knows the index of its reverse
+twin, the standard layout for Dinic's algorithm. Capacities are integers —
+every CA-SC flow instance has unit worker capacities and integral task
+capacities, so integer arithmetic is exact and the max-flow is integral
+(which MFLOW relies on to read off worker-task assignments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Edge", "FlowNetwork"]
+
+
+@dataclass(slots=True)
+class Edge:
+    """A directed edge with residual bookkeeping.
+
+    ``flow`` may exceed 0 only up to ``capacity``; the reverse twin holds
+    the residual. ``is_forward`` distinguishes original edges from the
+    zero-capacity twins when reading assignments back.
+    """
+
+    head: int
+    capacity: int
+    flow: int = 0
+    reverse_index: int = -1
+    is_forward: bool = True
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+
+@dataclass
+class FlowNetwork:
+    """A directed flow network over nodes ``0 .. node_count-1``.
+
+    >>> net = FlowNetwork(4)
+    >>> net.add_edge(0, 1, 2)
+    0
+    >>> net.add_edge(1, 3, 1)
+    2
+    """
+
+    node_count: int
+    edges: list[Edge] = field(default_factory=list)
+    adjacency: list[list[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError(f"node_count must be positive, got {self.node_count}")
+        self.adjacency = [[] for _ in range(self.node_count)]
+
+    def add_node(self) -> int:
+        """Append a node and return its id."""
+        self.adjacency.append([])
+        self.node_count += 1
+        return self.node_count - 1
+
+    def add_edge(self, tail: int, head: int, capacity: int) -> int:
+        """Add edge ``tail -> head`` and its residual twin.
+
+        Returns the index of the forward edge so callers can inspect its
+        flow after running max-flow.
+        """
+        self._check_node(tail)
+        self._check_node(head)
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        if int(capacity) != capacity:
+            raise ValueError(f"capacity must be integral, got {capacity}")
+        forward = Edge(head=head, capacity=int(capacity), is_forward=True)
+        backward = Edge(head=tail, capacity=0, is_forward=False)
+        forward_index = len(self.edges)
+        backward_index = forward_index + 1
+        forward.reverse_index = backward_index
+        backward.reverse_index = forward_index
+        self.edges.append(forward)
+        self.edges.append(backward)
+        self.adjacency[tail].append(forward_index)
+        self.adjacency[head].append(backward_index)
+        return forward_index
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise ValueError(f"node {node} out of range [0, {self.node_count})")
+
+    def reset_flow(self) -> None:
+        """Zero all flows so the network can be re-solved."""
+        for edge in self.edges:
+            edge.flow = 0
+
+    def outgoing(self, node: int) -> list[Edge]:
+        """Forward edges leaving ``node`` (residual twins excluded)."""
+        self._check_node(node)
+        return [
+            self.edges[index]
+            for index in self.adjacency[node]
+            if self.edges[index].is_forward
+        ]
+
+    def flow_out_of(self, node: int) -> int:
+        """Net flow leaving ``node`` (outgoing minus incoming)."""
+        self._check_node(node)
+        total = 0
+        for index in self.adjacency[node]:
+            edge = self.edges[index]
+            if edge.is_forward:
+                total += edge.flow
+            else:
+                # The twin's flow is negative of the forward edge into node.
+                total -= self.edges[edge.reverse_index].flow
+        return total
+
+    def check_conservation(self, source: int, sink: int) -> None:
+        """Assert flow conservation at all nodes except source/sink."""
+        for node in range(self.node_count):
+            if node in (source, sink):
+                continue
+            net = self.flow_out_of(node)
+            if net != 0:
+                raise AssertionError(f"conservation violated at node {node}: {net}")

@@ -1,0 +1,38 @@
+"""The batch-based framework of Algorithm 1.
+
+A :class:`~repro.simulation.batch.BatchSimulator` runs ``R`` assignment
+rounds over a :class:`~repro.simulation.population.Population`: each round
+samples available workers and tasks, builds an :class:`~repro.core.Instance`,
+invokes a solver, dispatches complete groups, and carries unserved tasks
+and freed workers into the next round.
+"""
+
+from repro.simulation.arrivals import DiurnalArrivals, PoissonArrivals, TopUpArrivals
+from repro.simulation.batch import BatchConfig, BatchSimulator, RoundMetrics, SimulationReport
+from repro.simulation.metrics import AggregateMetrics, aggregate, write_csv, write_jsonl
+from repro.simulation.feedback import (
+    LearningRound,
+    QualityEstimator,
+    RatingModel,
+    run_learning_simulation,
+)
+from repro.simulation.population import Population
+
+__all__ = [
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "TopUpArrivals",
+    "AggregateMetrics",
+    "aggregate",
+    "write_csv",
+    "write_jsonl",
+    "BatchConfig",
+    "BatchSimulator",
+    "RoundMetrics",
+    "SimulationReport",
+    "LearningRound",
+    "QualityEstimator",
+    "RatingModel",
+    "run_learning_simulation",
+    "Population",
+]

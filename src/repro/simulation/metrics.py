@@ -1,0 +1,106 @@
+"""Metrics export and aggregation for simulation reports.
+
+The experiment harness keeps results in memory; operations teams want
+them on disk. This module renders a
+:class:`~repro.simulation.batch.SimulationReport` as CSV or JSON-lines,
+and computes the aggregate statistics the paper's figures are built from
+(plus a few a platform would track: assignment rate, completion rate,
+score per completed task).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.simulation.batch import RoundMetrics, SimulationReport
+
+__all__ = ["AggregateMetrics", "aggregate", "write_csv", "write_jsonl", "read_jsonl"]
+
+_FIELDS = [
+    "round_index",
+    "timestamp",
+    "worker_count",
+    "task_count",
+    "valid_pair_count",
+    "score",
+    "assigned_workers",
+    "completed_tasks",
+    "solver_seconds",
+]
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Whole-run statistics derived from the per-round records."""
+
+    rounds: int
+    total_score: float
+    mean_round_score: float
+    total_completed_tasks: int
+    total_assigned_workers: int
+    assignment_rate: float
+    completion_rate: float
+    score_per_completed_task: float
+    mean_batch_seconds: float
+    max_batch_seconds: float
+
+
+def aggregate(report: SimulationReport) -> AggregateMetrics:
+    """Summarize a report (all ratios are 0.0 on empty denominators)."""
+    rounds = report.rounds
+    count = len(rounds)
+    total_workers_offered = sum(r.worker_count for r in rounds)
+    total_tasks_offered = sum(r.task_count for r in rounds)
+    completed = report.total_completed_tasks
+    return AggregateMetrics(
+        rounds=count,
+        total_score=report.total_score,
+        mean_round_score=report.total_score / count if count else 0.0,
+        total_completed_tasks=completed,
+        total_assigned_workers=report.total_assigned_workers,
+        assignment_rate=(
+            report.total_assigned_workers / total_workers_offered
+            if total_workers_offered
+            else 0.0
+        ),
+        completion_rate=(
+            completed / total_tasks_offered if total_tasks_offered else 0.0
+        ),
+        score_per_completed_task=(
+            report.total_score / completed if completed else 0.0
+        ),
+        mean_batch_seconds=report.mean_batch_seconds,
+        max_batch_seconds=max((r.solver_seconds for r in rounds), default=0.0),
+    )
+
+
+def write_csv(report: SimulationReport, path: str | Path) -> None:
+    """One CSV row per round, with a header."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for metrics in report.rounds:
+            writer.writerow(asdict(metrics))
+
+
+def write_jsonl(report: SimulationReport, path: str | Path) -> None:
+    """One JSON object per round (safe to append across runs)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for metrics in report.rounds:
+            handle.write(json.dumps(asdict(metrics)) + "\n")
+
+
+def read_jsonl(path: str | Path) -> SimulationReport:
+    """Rebuild a report from a JSON-lines file."""
+    report = SimulationReport()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            report.rounds.append(RoundMetrics(**payload))
+    return report

@@ -1,0 +1,130 @@
+"""Worker/task populations the batch framework samples from.
+
+The paper's experiments draw each round's workers and tasks uniformly
+from a fixed population (the Meetup crawl, or a synthetic point cloud)
+whose cooperation matrix is known up front. :class:`Population` bundles
+those three ingredients and provides the per-round sampling plus the
+quality-submatrix extraction the framework needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quality import CooperationMatrix
+from repro.datasets.meetup import MeetupDataset
+from repro.datasets.synthetic import generate_locations
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Population"]
+
+
+@dataclass(frozen=True)
+class Population:
+    """A pool of potential workers and task sites with pairwise quality.
+
+    Attributes
+    ----------
+    worker_locations:
+        ``(M, 2)`` home locations of every potential worker.
+    task_locations:
+        ``(N, 2)`` locations where tasks may appear.
+    quality:
+        The ``(M, M)`` population-level cooperation matrix; per-batch
+        matrices are carved out with
+        :meth:`~repro.core.quality.CooperationMatrix.restricted_to`.
+    """
+
+    worker_locations: np.ndarray
+    task_locations: np.ndarray
+    quality: CooperationMatrix
+
+    def __post_init__(self) -> None:
+        if self.worker_locations.ndim != 2 or self.worker_locations.shape[1] != 2:
+            raise ValueError("worker_locations must have shape (M, 2)")
+        if self.task_locations.ndim != 2 or self.task_locations.shape[1] != 2:
+            raise ValueError("task_locations must have shape (N, 2)")
+        if self.quality.size != self.worker_locations.shape[0]:
+            raise ValueError(
+                f"quality matrix is {self.quality.size}x{self.quality.size} but "
+                f"there are {self.worker_locations.shape[0]} workers"
+            )
+
+    @property
+    def worker_pool_size(self) -> int:
+        return self.worker_locations.shape[0]
+
+    @property
+    def task_pool_size(self) -> int:
+        return self.task_locations.shape[0]
+
+    @classmethod
+    def from_meetup(cls, dataset: MeetupDataset) -> "Population":
+        """Wrap a (generated) Meetup dataset as a population."""
+        return cls(
+            worker_locations=dataset.user_locations,
+            task_locations=dataset.event_locations,
+            quality=dataset.quality,
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        worker_pool_size: int,
+        task_pool_size: int,
+        distribution: str = "uniform",
+        quality_kind: str = "community",
+        seed=None,
+    ) -> "Population":
+        """A synthetic population (UNIF or SKEW locations).
+
+        ``quality_kind`` selects the cooperation structure — see
+        :class:`~repro.core.quality.CooperationMatrix`.
+        """
+        rng = ensure_rng(seed)
+        worker_locations = generate_locations(rng, worker_pool_size, distribution)
+        task_locations = generate_locations(rng, task_pool_size, distribution)
+        if quality_kind == "community":
+            quality = CooperationMatrix.random_community(worker_pool_size, seed=rng)
+        elif quality_kind == "uniform":
+            quality = CooperationMatrix.random_uniform(worker_pool_size, seed=rng)
+        else:
+            raise ValueError(
+                f"unknown quality_kind {quality_kind!r}; "
+                "expected 'community' or 'uniform'"
+            )
+        return cls(
+            worker_locations=worker_locations,
+            task_locations=task_locations,
+            quality=quality,
+        )
+
+    def sample_workers(
+        self, count: int, rng, exclude: set[int] | None = None
+    ) -> np.ndarray:
+        """Uniformly sample ``count`` distinct worker indices.
+
+        ``exclude`` removes busy workers from the pool; when fewer than
+        ``count`` candidates remain, all of them are returned.
+        """
+        rng = ensure_rng(rng)
+        if exclude:
+            candidates = np.array(
+                [w for w in range(self.worker_pool_size) if w not in exclude]
+            )
+        else:
+            candidates = np.arange(self.worker_pool_size)
+        take = min(count, candidates.size)
+        if take == 0:
+            return np.array([], dtype=int)
+        return np.sort(rng.choice(candidates, size=take, replace=False))
+
+    def sample_task_sites(self, count: int, rng) -> np.ndarray:
+        """Sample ``count`` task-site indices (with replacement — several
+        tasks may appear at a popular venue)."""
+        rng = ensure_rng(rng)
+        if self.task_pool_size == 0 or count == 0:
+            return np.array([], dtype=int)
+        return rng.integers(0, self.task_pool_size, size=count)

@@ -1,0 +1,43 @@
+"""Spatial substrate: geometry primitives and spatial indexes.
+
+The batch framework (paper Section III) computes, for every worker, the set
+of tasks inside the worker's working area via a spatial range query. The
+paper suggests an R-tree; this package provides one built from scratch
+(:class:`~repro.spatial.rtree.RTree`) plus a uniform grid index
+(:class:`~repro.spatial.grid.GridIndex`) that is often faster for the
+paper's point workloads in the unit square.
+"""
+
+from repro.spatial.geometry import (
+    BoundingBox,
+    Point,
+    euclidean,
+    pairwise_distances,
+    travel_time,
+)
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.roadnet import (
+    EuclideanTravel,
+    RoadNetwork,
+    RoadNetworkTravel,
+    grid_network,
+    random_geometric_network,
+)
+from repro.spatial.rtree import RTree
+
+__all__ = [
+    "KDTree",
+    "EuclideanTravel",
+    "RoadNetwork",
+    "RoadNetworkTravel",
+    "grid_network",
+    "random_geometric_network",
+    "BoundingBox",
+    "Point",
+    "euclidean",
+    "pairwise_distances",
+    "travel_time",
+    "GridIndex",
+    "RTree",
+]

@@ -1,0 +1,126 @@
+"""A uniform grid index over 2-D points.
+
+For the paper's workloads — points in the unit square, circular range
+queries with radii of 5-25% of the space — a uniform grid answers queries
+in near-constant time and builds in O(n). The validity layer lets callers
+choose between :class:`GridIndex` and the R-tree; both expose the same
+``query_circle`` interface and the test suite checks they agree.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterable, Iterator
+
+from repro.spatial.geometry import BoundingBox, Point
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Hash-grid over points with a fixed cell size.
+
+    Parameters
+    ----------
+    cell_size:
+        Side length of a square cell. A good default for circular queries
+        of radius ``r`` is ``r`` itself; the experiment harness uses the
+        mean worker radius.
+
+    Examples
+    --------
+    >>> grid = GridIndex(cell_size=0.25)
+    >>> grid.insert("a", Point(0.1, 0.1))
+    >>> grid.query_circle(Point(0.0, 0.0), 0.2)
+    ['a']
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, int], list[tuple[Hashable, Point]]] = defaultdict(
+            list
+        )
+        self._size = 0
+
+    @classmethod
+    def build(
+        cls, items: Iterable[tuple[Hashable, Point]], cell_size: float
+    ) -> "GridIndex":
+        """Build an index from an iterable of ``(item, point)`` pairs."""
+        grid = cls(cell_size)
+        for item, point in items:
+            grid.insert(item, point)
+        return grid
+
+    def _cell_of(self, point: Point) -> tuple[int, int]:
+        return (
+            math.floor(point.x / self.cell_size),
+            math.floor(point.y / self.cell_size),
+        )
+
+    def insert(self, item: Hashable, point: Point) -> None:
+        self._cells[self._cell_of(point)].append((item, point))
+        self._size += 1
+
+    def delete(self, item: Hashable, point: Point) -> bool:
+        """Remove one matching entry; returns ``False`` when absent."""
+        key = self._cell_of(point)
+        bucket = self._cells.get(key)
+        if not bucket:
+            return False
+        for index, (entry_item, entry_point) in enumerate(bucket):
+            if entry_item == item and entry_point == point:
+                bucket.pop(index)
+                if not bucket:
+                    del self._cells[key]
+                self._size -= 1
+                return True
+        return False
+
+    def query_circle(self, center: Point, radius: float) -> list[Hashable]:
+        """Items within Euclidean distance ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        results: list[Hashable] = []
+        min_cx = math.floor((center.x - radius) / self.cell_size)
+        max_cx = math.floor((center.x + radius) / self.cell_size)
+        min_cy = math.floor((center.y - radius) / self.cell_size)
+        max_cy = math.floor((center.y + radius) / self.cell_size)
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                results.extend(
+                    item
+                    for item, point in bucket
+                    if point.distance_to(center) <= radius
+                )
+        return results
+
+    def query_box(self, box: BoundingBox) -> list[Hashable]:
+        """Items whose point lies inside ``box`` (boundary inclusive)."""
+        results: list[Hashable] = []
+        min_cx = math.floor(box.min_x / self.cell_size)
+        max_cx = math.floor(box.max_x / self.cell_size)
+        min_cy = math.floor(box.min_y / self.cell_size)
+        max_cy = math.floor(box.max_y / self.cell_size)
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                results.extend(
+                    item for item, point in bucket if box.contains_point(point)
+                )
+        return results
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[tuple[Hashable, Point]]:
+        for bucket in self._cells.values():
+            yield from bucket

@@ -1,0 +1,186 @@
+"""A from-scratch 2-D k-d tree over points.
+
+Third spatial index alongside the R-tree and the uniform grid. Built by
+median splitting (balanced, O(n log n)), with circle/box range queries
+and best-first kNN. The k-d tree is static — the batch framework builds
+a fresh index per batch anyway — which keeps it simple and cache-friendly
+via array-backed nodes.
+
+All three indexes answer identical queries; the property tests assert
+their agreement, and ``benchmarks/test_substrates.py`` compares their
+build/query costs on the paper's workload shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.spatial.geometry import BoundingBox, Point
+
+__all__ = ["KDTree"]
+
+_LEAF = -1
+
+
+class KDTree:
+    """Static, balanced 2-D k-d tree.
+
+    Build with :meth:`build`; the constructor takes pre-split arrays and
+    is considered internal.
+
+    >>> tree = KDTree.build([("a", Point(0.1, 0.1)), ("b", Point(0.9, 0.9))])
+    >>> tree.query_circle(Point(0, 0), 0.5)
+    ['a']
+    """
+
+    def __init__(self, items: list[Hashable], xy: np.ndarray) -> None:
+        self._items = items
+        self._xy = xy
+        count = len(items)
+        # Array-backed tree: node i splits on axis (depth mod 2); children
+        # are encoded by index ranges, computed once at build time.
+        self._order = np.arange(count)
+        self._split_axis = np.zeros(count, dtype=np.int8)
+        if count:
+            self._build_recursive(0, count, 0)
+
+    @classmethod
+    def build(cls, items: Iterable[tuple[Hashable, Point]]) -> "KDTree":
+        pairs = list(items)
+        labels = [item for item, _ in pairs]
+        xy = np.array([(p.x, p.y) for _, p in pairs], dtype=float).reshape(-1, 2)
+        return cls(labels, xy)
+
+    def _build_recursive(self, low: int, high: int, depth: int) -> None:
+        """Median-split ``order[low:high]`` in place."""
+        if high - low <= 1:
+            return
+        axis = depth % 2
+        segment = self._order[low:high]
+        keys = self._xy[segment, axis]
+        median = (high - low) // 2
+        partition = np.argpartition(keys, median)
+        self._order[low:high] = segment[partition]
+        middle = low + median
+        self._split_axis[middle] = axis
+        self._build_recursive(low, middle, depth + 1)
+        self._build_recursive(middle + 1, high, depth + 1)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[Hashable, Point]]:
+        for index, item in enumerate(self._items):
+            yield item, Point(float(self._xy[index, 0]), float(self._xy[index, 1]))
+
+    def query_circle(self, center: Point, radius: float) -> list[Hashable]:
+        """Items within Euclidean distance ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        results: list[Hashable] = []
+        if not self._items:
+            return results
+        target = np.array([center.x, center.y])
+        radius_sq = radius * radius
+
+        stack = [(0, len(self._items), 0)]
+        while stack:
+            low, high, depth = stack.pop()
+            if high <= low:
+                continue
+            if high - low == 1:
+                self._check_point(low, target, radius_sq, results)
+                continue
+            axis = depth % 2
+            middle = low + (high - low) // 2
+            self._check_point(middle, target, radius_sq, results)
+            split_value = self._xy[self._order[middle], axis]
+            delta = target[axis] - split_value
+            # Always descend the near side; the far side only when the
+            # splitting plane is within the radius.
+            if delta <= 0:
+                stack.append((low, middle, depth + 1))
+                if delta * delta <= radius_sq:
+                    stack.append((middle + 1, high, depth + 1))
+            else:
+                stack.append((middle + 1, high, depth + 1))
+                if delta * delta <= radius_sq:
+                    stack.append((low, middle, depth + 1))
+        return results
+
+    def _check_point(
+        self, position: int, target: np.ndarray, radius_sq: float, results: list
+    ) -> None:
+        index = self._order[position]
+        diff = self._xy[index] - target
+        if float(diff @ diff) <= radius_sq:
+            results.append(self._items[index])
+
+    def query_box(self, box: BoundingBox) -> list[Hashable]:
+        """Items inside the axis-aligned ``box`` (boundary inclusive)."""
+        results: list[Hashable] = []
+        if not self._items:
+            return results
+        lower = np.array([box.min_x, box.min_y])
+        upper = np.array([box.max_x, box.max_y])
+
+        stack = [(0, len(self._items), 0)]
+        while stack:
+            low, high, depth = stack.pop()
+            if high <= low:
+                continue
+            middle = low + (high - low) // 2
+            index = self._order[middle]
+            if bool(np.all(self._xy[index] >= lower) and np.all(self._xy[index] <= upper)):
+                results.append(self._items[index])
+            if high - low == 1:
+                continue
+            axis = depth % 2
+            split_value = self._xy[index, axis]
+            if lower[axis] <= split_value:
+                stack.append((low, middle, depth + 1))
+            if upper[axis] >= split_value:
+                stack.append((middle + 1, high, depth + 1))
+        return results
+
+    def nearest(self, center: Point, k: int = 1) -> list[tuple[Hashable, float]]:
+        """The ``k`` nearest items as ``(item, distance)``, ascending."""
+        if k <= 0 or not self._items:
+            return []
+        target = np.array([center.x, center.y])
+        # Max-heap of the best k candidates (negated distances).
+        best: list[tuple[float, int]] = []
+
+        def consider(position: int) -> None:
+            index = self._order[position]
+            diff = self._xy[index] - target
+            distance = float(np.sqrt(diff @ diff))
+            if len(best) < k:
+                heapq.heappush(best, (-distance, index))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, index))
+
+        def recurse(low: int, high: int, depth: int) -> None:
+            if high <= low:
+                return
+            middle = low + (high - low) // 2
+            consider(middle)
+            if high - low == 1:
+                return
+            axis = depth % 2
+            split_value = self._xy[self._order[middle], axis]
+            delta = float(target[axis] - split_value)
+            near = (low, middle) if delta <= 0 else (middle + 1, high)
+            far = (middle + 1, high) if delta <= 0 else (low, middle)
+            recurse(near[0], near[1], depth + 1)
+            worst = -best[0][0] if len(best) == k else float("inf")
+            if abs(delta) <= worst:
+                recurse(far[0], far[1], depth + 1)
+
+        recurse(0, len(self._items), 0)
+        ordered = sorted((-negative, index) for negative, index in best)
+        return [(self._items[index], distance) for distance, index in ordered]

@@ -1,0 +1,449 @@
+"""A from-scratch R-tree over 2-D points.
+
+Supports Guttman-style insertion with quadratic split, Sort-Tile-Recursive
+(STR) bulk loading, deletion, rectangle/circle range queries, and
+best-first k-nearest-neighbour search. The batch framework indexes task
+locations once per batch and answers one circular range query per worker
+(the worker's working area), as the paper prescribes in Section III.
+
+Only points are indexed (every task is a point), which keeps leaf entries
+simple: ``(item, Point)``. Items may be any hashable payload — the
+framework stores task indices.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Hashable, Iterable, Iterator
+
+from repro.spatial.geometry import BoundingBox, Point
+
+__all__ = ["RTree"]
+
+
+class _Node:
+    """An R-tree node. Leaves hold ``(item, Point)``; internals hold nodes."""
+
+    __slots__ = ("is_leaf", "entries", "box", "parent")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list = []
+        self.box: BoundingBox | None = None
+        self.parent: "_Node | None" = None
+
+    def recompute_box(self) -> None:
+        if self.is_leaf:
+            boxes = [BoundingBox.from_point(point) for _, point in self.entries]
+        else:
+            boxes = [child.box for child in self.entries]
+        if not boxes:
+            self.box = None
+            return
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        self.box = box
+
+
+def _entry_box(node: _Node, entry) -> BoundingBox:
+    if node.is_leaf:
+        return BoundingBox.from_point(entry[1])
+    return entry.box
+
+
+class RTree:
+    """Dynamic R-tree over 2-D points.
+
+    Parameters
+    ----------
+    max_entries:
+        Node fan-out ``M``; nodes split when they exceed it.
+    min_entries:
+        Minimum fill ``m`` (defaults to ``ceil(M * 0.4)``), used by the
+        quadratic split to keep both halves adequately full.
+
+    Examples
+    --------
+    >>> tree = RTree()
+    >>> tree.insert("a", Point(0.1, 0.1))
+    >>> tree.insert("b", Point(0.9, 0.9))
+    >>> sorted(tree.query_circle(Point(0.0, 0.0), 0.5))
+    ['a']
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max(1, math.ceil(max_entries * 0.4))
+        )
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise ValueError(
+                f"min_entries must be in [1, {max_entries // 2}], got {self.min_entries}"
+            )
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[tuple[Hashable, Point]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive (STR) loading.
+
+        STR sorts points by x, slices them into vertical strips, sorts each
+        strip by y and packs runs of ``max_entries`` points per leaf. The
+        result is a near-perfectly filled tree, much better clustered than
+        one grown by repeated insertion — this is what the experiment
+        harness uses, since each batch indexes all tasks at once.
+        """
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        entries = list(items)
+        tree._size = len(entries)
+        if not entries:
+            return tree
+
+        capacity = tree.max_entries
+        entries.sort(key=lambda e: (e[1].x, e[1].y))
+        leaf_count = math.ceil(len(entries) / capacity)
+        strip_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        strip_size = strip_count * capacity
+
+        leaves: list[_Node] = []
+        for start in range(0, len(entries), strip_size):
+            strip = entries[start : start + strip_size]
+            strip.sort(key=lambda e: (e[1].y, e[1].x))
+            for leaf_start in range(0, len(strip), capacity):
+                node = _Node(is_leaf=True)
+                node.entries = strip[leaf_start : leaf_start + capacity]
+                node.recompute_box()
+                leaves.append(node)
+
+        level = leaves
+        while len(level) > 1:
+            level = tree._pack_level(level)
+        tree._root = level[0]
+        tree._root.parent = None
+        return tree
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        """Pack one tree level into parents using the STR recipe."""
+        capacity = self.max_entries
+        nodes.sort(key=lambda n: (n.box.center().x, n.box.center().y))
+        parent_count = math.ceil(len(nodes) / capacity)
+        strip_count = max(1, math.ceil(math.sqrt(parent_count)))
+        strip_size = strip_count * capacity
+
+        parents: list[_Node] = []
+        for start in range(0, len(nodes), strip_size):
+            strip = nodes[start : start + strip_size]
+            strip.sort(key=lambda n: (n.box.center().y, n.box.center().x))
+            for group_start in range(0, len(strip), capacity):
+                parent = _Node(is_leaf=False)
+                parent.entries = strip[group_start : group_start + capacity]
+                for child in parent.entries:
+                    child.parent = parent
+                parent.recompute_box()
+                parents.append(parent)
+        return parents
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, item: Hashable, point: Point) -> None:
+        """Insert ``item`` located at ``point`` (duplicates allowed)."""
+        leaf = self._choose_leaf(self._root, point)
+        leaf.entries.append((item, point))
+        self._size += 1
+        self._grow_boxes(leaf, BoundingBox.from_point(point))
+        if len(leaf.entries) > self.max_entries:
+            self._split(leaf)
+
+    def _choose_leaf(self, node: _Node, point: Point) -> _Node:
+        while not node.is_leaf:
+            target = BoundingBox.from_point(point)
+            node = min(
+                node.entries,
+                key=lambda child: (child.box.enlargement(target), child.box.area),
+            )
+        return node
+
+    def _grow_boxes(self, node: _Node, box: BoundingBox) -> None:
+        while node is not None:
+            node.box = box if node.box is None else node.box.union(box)
+            node = node.parent
+
+    def _split(self, node: _Node) -> None:
+        """Quadratic split of an overfull node, propagating upward."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(node, entries)
+
+        group_a: list = [entries[seed_a]]
+        group_b: list = [entries[seed_b]]
+        box_a = _entry_box(node, entries[seed_a])
+        box_b = _entry_box(node, entries[seed_b])
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while remaining:
+            # Force-assign when one group must take everything left to
+            # reach the minimum fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                for entry in remaining:
+                    box_a = box_a.union(_entry_box(node, entry))
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                for entry in remaining:
+                    box_b = box_b.union(_entry_box(node, entry))
+                remaining = []
+                break
+            # Pick the entry with the strongest preference for one group.
+            best_index, best_diff, best_to_a = 0, -1.0, True
+            for index, entry in enumerate(remaining):
+                entry_box = _entry_box(node, entry)
+                d_a = box_a.enlargement(entry_box)
+                d_b = box_b.enlargement(entry_box)
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_index, best_diff, best_to_a = index, diff, d_a <= d_b
+            entry = remaining.pop(best_index)
+            entry_box = _entry_box(node, entry)
+            if best_to_a:
+                group_a.append(entry)
+                box_a = box_a.union(entry_box)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry_box)
+
+        sibling = _Node(is_leaf=node.is_leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        node.box, sibling.box = box_a, box_b
+        if not node.is_leaf:
+            for child in node.entries:
+                child.parent = node
+            for child in sibling.entries:
+                child.parent = sibling
+
+        parent = node.parent
+        if parent is None:
+            new_root = _Node(is_leaf=False)
+            new_root.entries = [node, sibling]
+            node.parent = sibling.parent = new_root
+            new_root.recompute_box()
+            self._root = new_root
+            return
+        sibling.parent = parent
+        parent.entries.append(sibling)
+        parent.recompute_box()
+        if len(parent.entries) > self.max_entries:
+            self._split(parent)
+
+    def _pick_seeds(self, node: _Node, entries: list) -> tuple[int, int]:
+        """Quadratic seed pick: the pair wasting the most area together."""
+        worst = (-1.0, 0, 1)
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            box_i = _entry_box(node, entries[i])
+            box_j = _entry_box(node, entries[j])
+            waste = box_i.union(box_j).area - box_i.area - box_j.area
+            if waste > worst[0]:
+                worst = (waste, i, j)
+        return worst[1], worst[2]
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, item: Hashable, point: Point) -> bool:
+        """Remove one ``(item, point)`` entry; returns ``False`` if absent.
+
+        Uses the classic condense-tree strategy: underfull nodes on the
+        path are dissolved and their orphaned entries re-inserted.
+        """
+        leaf = self._find_leaf(self._root, item, point)
+        if leaf is None:
+            return False
+        leaf.entries = [e for e in leaf.entries if not (e[0] == item and e[1] == point)]
+        self._size -= 1
+        self._condense(leaf)
+        if not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0]
+            self._root.parent = None
+        return True
+
+    def _find_leaf(self, node: _Node, item: Hashable, point: Point) -> _Node | None:
+        if node.box is not None and not node.box.contains_point(point):
+            return None
+        if node.is_leaf:
+            for entry_item, entry_point in node.entries:
+                if entry_item == item and entry_point == point:
+                    return node
+            return None
+        for child in node.entries:
+            found = self._find_leaf(child, item, point)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: list[tuple[Hashable, Point]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_box()
+            node = parent
+        node.recompute_box()
+        for item, point in orphans:
+            self._size -= 1  # insert() re-increments
+            self.insert(item, point)
+
+    def _collect_entries(self, node: _Node) -> Iterator[tuple[Hashable, Point]]:
+        if node.is_leaf:
+            yield from node.entries
+            return
+        for child in node.entries:
+            yield from self._collect_entries(child)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_box(self, box: BoundingBox) -> list[Hashable]:
+        """Items whose point lies inside ``box`` (boundary inclusive)."""
+        results: list[Hashable] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.box is None or not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    item for item, point in node.entries if box.contains_point(point)
+                )
+            else:
+                stack.extend(node.entries)
+        return results
+
+    def query_circle(self, center: Point, radius: float) -> list[Hashable]:
+        """Items within Euclidean distance ``radius`` of ``center``.
+
+        This is the working-area query of the batch framework: one call
+        per worker with the worker's location and radius ``r_i``.
+        """
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        results: list[Hashable] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.box is None or node.box.min_distance_to_point(center) > radius:
+                continue
+            if node.is_leaf:
+                results.extend(
+                    item
+                    for item, point in node.entries
+                    if point.distance_to(center) <= radius
+                )
+            else:
+                stack.extend(node.entries)
+        return results
+
+    def nearest(self, center: Point, k: int = 1) -> list[tuple[Hashable, float]]:
+        """The ``k`` nearest items to ``center`` as ``(item, distance)``.
+
+        Best-first traversal over node boxes; ties broken arbitrarily.
+        """
+        if k <= 0:
+            return []
+        heap: list[tuple[float, int, bool, object]] = []
+        counter = itertools.count()
+        if self._root.box is not None:
+            heapq.heappush(heap, (0.0, next(counter), False, self._root))
+        results: list[tuple[Hashable, float]] = []
+        while heap and len(results) < k:
+            distance, _, is_item, payload = heapq.heappop(heap)
+            if is_item:
+                results.append((payload, distance))
+                continue
+            node = payload
+            if node.is_leaf:
+                for item, point in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (point.distance_to(center), next(counter), True, item),
+                    )
+            else:
+                for child in node.entries:
+                    if child.box is not None:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.box.min_distance_to_point(center),
+                                next(counter),
+                                False,
+                                child,
+                            ),
+                        )
+        return results
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[tuple[Hashable, Point]]:
+        yield from self._collect_entries(self._root)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        height, node = 1, self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.entries[0]
+        return height
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is broken.
+
+        Verifies box containment, parent pointers, fill factors and leaf
+        depth uniformity. Exercised heavily by the property-based tests.
+        Note: STR bulk loading may leave one trailing node per level below
+        the minimum fill (inherent to tile packing), so only non-emptiness
+        and the maximum fill are enforced here.
+        """
+        leaf_depths: set[int] = set()
+
+        def visit(node: _Node, depth: int) -> None:
+            if node is not self._root:
+                assert 1 <= len(node.entries) <= self.max_entries, (
+                    f"fill violation at depth {depth}: {len(node.entries)} entries"
+                )
+            assert len(node.entries) <= self.max_entries
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                for _, point in node.entries:
+                    assert node.box.contains_point(point)
+                return
+            for child in node.entries:
+                assert child.parent is node, "broken parent pointer"
+                assert node.box.contains_box(child.box), "box not covering child"
+                visit(child, depth + 1)
+
+        if self._size:
+            visit(self._root, 0)
+            assert len(leaf_depths) == 1, f"leaves at different depths: {leaf_depths}"
+        assert sum(1 for _ in self) == self._size

@@ -1,0 +1,63 @@
+"""A small stopwatch used by the experiment harness.
+
+The paper reports per-batch running times for each approach; the harness
+wraps every solver call in a :class:`Stopwatch` so the reporting layer can
+aggregate mean/total wall-clock time per parameter setting.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Can be used as a context manager (each ``with`` block adds to the
+    accumulated total) or driven manually with :meth:`start`/:meth:`stop`.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the watch and return the duration of this lap."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration over all completed laps (0.0 when none ran)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = []
+        self._started_at = None

@@ -1,0 +1,104 @@
+"""Tests for task arrival processes and their simulator integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.tpg import solve_tpg
+from repro.simulation.arrivals import DiurnalArrivals, PoissonArrivals, TopUpArrivals
+from repro.simulation.batch import BatchConfig, BatchSimulator
+from repro.simulation.population import Population
+
+
+class TestProcesses:
+    def test_top_up(self):
+        process = TopUpArrivals(target=20)
+        assert process.count(0, 0, rng=0) == 20
+        assert process.count(1, 12, rng=0) == 8
+        assert process.count(2, 25, rng=0) == 0
+
+    def test_top_up_validation(self):
+        with pytest.raises(ValueError):
+            TopUpArrivals(target=-1)
+
+    def test_poisson_mean(self):
+        process = PoissonArrivals(rate=7.0)
+        rng = np.random.default_rng(0)
+        counts = [process.count(r, 0, rng) for r in range(2000)]
+        assert np.mean(counts) == pytest.approx(7.0, abs=0.3)
+        assert min(counts) >= 0
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-0.1)
+
+    def test_diurnal_rate_profile(self):
+        process = DiurnalArrivals(base=10.0, amplitude=0.5, period=8)
+        # Peak at a quarter period, trough at three quarters.
+        assert process.rate_at(2) == pytest.approx(15.0)
+        assert process.rate_at(6) == pytest.approx(5.0)
+        assert process.rate_at(0) == pytest.approx(10.0)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base=1.0, amplitude=2.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base=1.0, period=0)
+
+    def test_diurnal_counts_follow_rate(self):
+        process = DiurnalArrivals(base=20.0, amplitude=0.8, period=4)
+        rng = np.random.default_rng(1)
+        peak = np.mean([process.count(1, 0, rng) for _ in range(500)])
+        trough = np.mean([process.count(3, 0, rng) for _ in range(500)])
+        assert peak > trough
+
+
+class TestSimulatorIntegration:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return Population.synthetic(120, 50, seed=3)
+
+    def _config(self, arrivals):
+        return BatchConfig(
+            rounds=4,
+            workers_per_round=50,
+            tasks_per_round=10,
+            speed_range=(0.05, 0.2),
+            radius_range=(0.2, 0.4),
+            task_arrivals=arrivals,
+        )
+
+    def test_default_matches_topup(self, population):
+        explicit = BatchSimulator(
+            population,
+            self._config(TopUpArrivals(target=10)),
+            solve_tpg,
+            seed=7,
+        ).run()
+        implicit = BatchSimulator(
+            population, self._config(None), solve_tpg, seed=7
+        ).run()
+        assert [r.task_count for r in explicit.rounds] == [
+            r.task_count for r in implicit.rounds
+        ]
+        assert explicit.total_score == pytest.approx(implicit.total_score)
+
+    def test_poisson_varies_task_counts(self, population):
+        report = BatchSimulator(
+            population,
+            self._config(PoissonArrivals(rate=8.0)),
+            solve_tpg,
+            seed=8,
+        ).run()
+        counts = [r.task_count for r in report.rounds]
+        assert len(set(counts)) > 1  # stochastic demand actually varies
+
+    def test_diurnal_runs(self, population):
+        report = BatchSimulator(
+            population,
+            self._config(DiurnalArrivals(base=8.0, amplitude=0.9, period=4)),
+            solve_tpg,
+            seed=9,
+        ).run()
+        assert len(report.rounds) == 4

@@ -1,0 +1,207 @@
+"""Tests for the Assignment state object, including property-based
+consistency of the incremental revenue maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.revenue import group_revenue
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.utils.errors import CapacityError, ValidityError
+
+from tests.conftest import make_dense_instance
+
+
+@pytest.fixture
+def instance():
+    return make_dense_instance(20, 4, capacity=4, min_group_size=3, seed=1)
+
+
+@pytest.fixture
+def pairs(instance):
+    return compute_valid_pairs(instance)
+
+
+class TestBasicOperations:
+    def test_initial_state(self, instance):
+        assignment = Assignment(instance)
+        assert assignment.total_score() == 0.0
+        assert assignment.assigned_worker_count() == 0
+        assert assignment.task_of(0) == UNASSIGNED
+        assert not assignment.is_assigned(0)
+        assert assignment.to_pairs() == []
+
+    def test_assign_and_members(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 1)
+        assignment.assign(5, 1)
+        assert assignment.members(1) == (0, 5)
+        assert assignment.task_of(0) == 1
+        assert assignment.assigned_count(1) == 2
+        assert assignment.to_pairs() == [(0, 1), (5, 1)]
+
+    def test_double_assign_rejected(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 1)
+        with pytest.raises(ValidityError):
+            assignment.assign(0, 2)
+
+    def test_unassign(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 1)
+        assert assignment.unassign(0) == 1
+        assert assignment.task_of(0) == UNASSIGNED
+        with pytest.raises(ValidityError):
+            assignment.unassign(0)
+
+    def test_move(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 1)
+        assignment.move(0, 2)
+        assert assignment.task_of(0) == 2
+        assert assignment.members(1) == ()
+
+    def test_capacity_enforced(self, instance):
+        assignment = Assignment(instance)
+        for worker in range(instance.tasks[0].capacity):
+            assignment.assign(worker, 0)
+        with pytest.raises(CapacityError):
+            assignment.assign(10, 0)
+
+    def test_overflow_allowed_when_enabled(self, instance):
+        assignment = Assignment(instance, allow_overflow=True)
+        for worker in range(instance.tasks[0].capacity + 2):
+            assignment.assign(worker, 0)
+        assert assignment.assigned_count(0) == instance.tasks[0].capacity + 2
+        # Revenue equals the best-capacity-subset revenue.
+        expected = group_revenue(
+            instance.quality,
+            assignment.members(0),
+            instance.tasks[0].capacity,
+            instance.min_group_size,
+        )
+        assert assignment.revenue_of(0) == pytest.approx(expected)
+
+    def test_validity_enforced(self, instance, pairs):
+        assignment = Assignment(instance, pairs)
+        invalid = None
+        for worker in range(instance.worker_count):
+            for task in range(instance.task_count):
+                if not pairs.is_valid(worker, task):
+                    invalid = (worker, task)
+                    break
+            if invalid:
+                break
+        if invalid is None:
+            pytest.skip("dense instance has no invalid pair")
+        with pytest.raises(ValidityError):
+            assignment.assign(*invalid)
+
+    def test_revenue_zero_below_minimum(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 0)
+        assignment.assign(1, 0)
+        assert assignment.revenue_of(0) == 0.0
+        assignment.assign(2, 0)
+        assert assignment.revenue_of(0) > 0.0
+
+    def test_copy_is_independent(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 0)
+        clone = assignment.copy()
+        clone.assign(1, 0)
+        assert assignment.assigned_count(0) == 1
+        assert clone.assigned_count(0) == 2
+
+    def test_repr_mentions_score(self, instance):
+        assignment = Assignment(instance)
+        assert "score=" in repr(assignment)
+
+
+class TestMarginals:
+    def test_join_gain_matches_actual_join(self, instance):
+        assignment = Assignment(instance)
+        for worker, task in [(0, 0), (1, 0), (4, 0), (7, 1), (8, 1)]:
+            assignment.assign(worker, task)
+        for worker, task in [(2, 0), (9, 1), (3, 2)]:
+            predicted = assignment.join_gain(worker, task)
+            before = assignment.total_score()
+            assignment.assign(worker, task)
+            actual = assignment.total_score() - before
+            assert predicted == pytest.approx(actual)
+            assignment.unassign(worker)
+
+    def test_leave_delta_matches_actual_leave(self, instance):
+        assignment = Assignment(instance)
+        for worker, task in [(0, 0), (1, 0), (4, 0), (6, 0)]:
+            assignment.assign(worker, task)
+        for worker in (0, 1, 4, 6):
+            predicted = assignment.leave_delta(worker)
+            before = assignment.total_score()
+            task = assignment.unassign(worker)
+            actual = before - assignment.total_score()
+            assert predicted == pytest.approx(actual)
+            assignment.assign(worker, task)
+
+    def test_leave_delta_idle_worker(self, instance):
+        assignment = Assignment(instance)
+        assert assignment.leave_delta(3) == 0.0
+
+
+class TestFeasibility:
+    def test_check_feasible_passes(self, instance, pairs):
+        assignment = Assignment(instance, pairs)
+        worker = pairs.workers_for_task[0][0]
+        assignment.assign(worker, 0)
+        assignment.check_feasible()
+
+    def test_clamp_to_capacity(self, instance):
+        assignment = Assignment(instance, allow_overflow=True)
+        capacity = instance.tasks[0].capacity
+        for worker in range(capacity + 3):
+            assignment.assign(worker, 0)
+        score_before = assignment.total_score()
+        dropped = assignment.clamp_to_capacity()
+        assert len(dropped) == 3
+        assert assignment.assigned_count(0) == capacity
+        # Clamping removes only uncounted members: score unchanged.
+        assert assignment.total_score() == pytest.approx(score_before)
+        assignment.check_feasible()
+
+    def test_drop_incomplete_groups(self, instance):
+        assignment = Assignment(instance)
+        assignment.assign(0, 0)
+        assignment.assign(1, 0)  # below B=3
+        assignment.assign(2, 1)
+        assignment.assign(3, 1)
+        assignment.assign(4, 1)  # complete
+        dropped = assignment.drop_incomplete_groups()
+        assert sorted(dropped) == [0, 1]
+        assert assignment.members(1) == (2, 3, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), st.integers(10, 25), st.integers(2, 5))
+def test_property_incremental_score_matches_scratch(seed, worker_count, task_count):
+    """A random mutation sequence keeps the cached score equal to a
+    from-scratch Equation 3 evaluation."""
+    instance = make_dense_instance(
+        worker_count, task_count, capacity=4, min_group_size=3, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    assignment = Assignment(instance, allow_overflow=True)
+    for _ in range(60):
+        worker = int(rng.integers(worker_count))
+        if assignment.is_assigned(worker) and rng.random() < 0.4:
+            assignment.unassign(worker)
+        else:
+            task = int(rng.integers(task_count))
+            if assignment.is_assigned(worker):
+                assignment.move(worker, task)
+            else:
+                assignment.assign(worker, task)
+    assert assignment.total_score() == pytest.approx(
+        assignment.recompute_total(), abs=1e-8
+    )

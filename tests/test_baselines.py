@@ -1,0 +1,106 @@
+"""Tests for the RAND and MFLOW baselines."""
+
+import pytest
+
+from repro.core.baselines.mflow import solve_mflow
+from repro.core.baselines.random_assign import solve_random
+from repro.core.tpg import solve_tpg
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance
+
+
+class TestRandom:
+    def test_feasible(self):
+        instance = make_dense_instance(30, 6, seed=1)
+        pairs = compute_valid_pairs(instance)
+        assignment = solve_random(instance, pairs, seed=0)
+        assignment.check_feasible()
+
+    def test_deterministic_given_seed(self):
+        instance = make_dense_instance(30, 6, seed=2)
+        pairs = compute_valid_pairs(instance)
+        first = solve_random(instance, pairs, seed=42).to_pairs()
+        second = solve_random(instance, pairs, seed=42).to_pairs()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        instance = make_dense_instance(40, 8, seed=3)
+        pairs = compute_valid_pairs(instance)
+        results = {
+            tuple(solve_random(instance, pairs, seed=s).to_pairs())
+            for s in range(5)
+        }
+        assert len(results) > 1
+
+    def test_no_incomplete_groups(self):
+        """RAND only commits groups reaching the minimum size B."""
+        instance = generate_instance(50, 10, seed=4)
+        pairs = compute_valid_pairs(instance)
+        assignment = solve_random(instance, pairs, seed=0)
+        for task in range(instance.task_count):
+            count = assignment.assigned_count(task)
+            assert count == 0 or count >= instance.min_group_size
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        assert solve_random(instance, seed=0).total_score() == 0.0
+
+
+class TestMFlow:
+    def test_feasible(self):
+        instance = make_dense_instance(30, 6, seed=5)
+        pairs = compute_valid_pairs(instance)
+        assignment = solve_mflow(instance, pairs)
+        assignment.check_feasible()
+
+    def test_maximizes_pair_count_on_dense_instance(self):
+        """On a dense instance MFLOW should assign min(m, sum capacities)
+        workers — the max-flow value."""
+        instance = make_dense_instance(30, 6, capacity=4, seed=6)
+        pairs = compute_valid_pairs(instance)
+        assignment = solve_mflow(instance, pairs)
+        upper = min(
+            sum(1 for w in range(30) if pairs.tasks_for_worker[w]),
+            sum(t.capacity for t in instance.tasks),
+        )
+        # Sub-B dissolution may shave a few, but the bulk must be assigned.
+        assert assignment.assigned_worker_count() >= upper - 2 * instance.min_group_size
+
+    def test_assigns_at_least_tpg_pairs_often(self):
+        """MFLOW optimizes cardinality; TPG optimizes quality. On random
+        instances MFLOW's pair count should not be dominated badly."""
+        instance = generate_instance(60, 12, seed=7)
+        pairs = compute_valid_pairs(instance)
+        mflow_pairs = solve_mflow(instance, pairs).assigned_worker_count()
+        tpg_pairs = solve_tpg(instance, pairs).assigned_worker_count()
+        assert mflow_pairs >= tpg_pairs - instance.min_group_size
+
+    def test_cooperation_oblivious_scores_below_tpg(self):
+        """The paper's headline: quality-aware solvers beat MFLOW on the
+        cooperation score (community-structured quality)."""
+        wins = 0
+        for seed in range(5):
+            instance = make_dense_instance(40, 6, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            if (
+                solve_tpg(instance, pairs).total_score()
+                >= solve_mflow(instance, pairs).total_score()
+            ):
+                wins += 1
+        assert wins >= 4
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        assert solve_mflow(instance).total_score() == 0.0
+
+    def test_no_valid_pairs(self):
+        instance = generate_instance(
+            10, 3, radius_range=(0.0001, 0.0002), seed=8
+        )
+        pairs = compute_valid_pairs(instance)
+        if pairs.pair_count > 0:
+            pytest.skip("random geometry produced valid pairs")
+        assignment = solve_mflow(instance, pairs)
+        assert assignment.assigned_worker_count() == 0

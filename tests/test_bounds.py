@@ -1,0 +1,135 @@
+"""Tests for the Lemma V.2/V.3 bounds and the Equation 9 UPPER bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    highest_average_quality,
+    lowest_average_quality,
+    price_of_anarchy_lower_bound,
+    task_upper_bound,
+    upper_bound,
+)
+from repro.core.game import solve_game_theoretic
+from repro.core.quality import CooperationMatrix
+from repro.core.revenue import worker_average_quality
+from repro.core.tpg import solve_tpg, solve_tpg_with_stats
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance
+
+
+class TestWorkerBounds:
+    def test_q_hat_mean_of_top(self):
+        q = np.array(
+            [
+                [0, 0.9, 0.1, 0.5],
+                [0.9, 0, 0.2, 0.3],
+                [0.1, 0.2, 0, 0.8],
+                [0.5, 0.3, 0.8, 0],
+            ]
+        )
+        matrix = CooperationMatrix(q)
+        assert highest_average_quality(matrix, 0, 3) == pytest.approx(0.7)
+        assert lowest_average_quality(matrix, 0, 3) == pytest.approx(0.3)
+
+    def test_single_worker_matrix(self):
+        matrix = CooperationMatrix(np.zeros((1, 1)))
+        assert highest_average_quality(matrix, 0, 3) == 0.0
+        assert lowest_average_quality(matrix, 0, 3) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(4, 12), st.integers(3, 5), st.integers(0, 10**6))
+    def test_lemma_v2_v3_sandwich(self, size, min_group, seed):
+        """Any group average lies between q_check and q_hat."""
+        rng = np.random.default_rng(seed)
+        matrix = CooperationMatrix.random_uniform(size, seed=seed)
+        min_group = min(min_group, size)
+        group_size = int(rng.integers(min_group, size + 1))
+        members = rng.permutation(size)[:group_size].tolist()
+        worker = members[0]
+        average = worker_average_quality(
+            matrix, worker, members, capacity=group_size
+        )
+        assert average <= highest_average_quality(matrix, worker, min_group) + 1e-9
+        assert average >= lowest_average_quality(matrix, worker, min_group) - 1e-9
+
+    @given(st.integers(2, 10), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_check_below_hat(self, size, seed):
+        matrix = CooperationMatrix.random_uniform(size, seed=seed)
+        for worker in range(size):
+            assert lowest_average_quality(matrix, worker, 3) <= (
+                highest_average_quality(matrix, worker, 3) + 1e-12
+            )
+
+
+class TestUpperBound:
+    def test_upper_dominates_all_solvers(self):
+        for seed in range(5):
+            instance = make_dense_instance(30, 6, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            bound = upper_bound(instance, pairs)
+            assert solve_tpg(instance, pairs).total_score() <= bound.value + 1e-9
+            assert (
+                solve_game_theoretic(instance, pairs).final_score
+                <= bound.value + 1e-9
+            )
+
+    def test_value_is_min_of_sides(self):
+        instance = make_dense_instance(20, 4, seed=1)
+        bound = upper_bound(instance)
+        assert bound.value == pytest.approx(min(bound.task_side, bound.worker_side))
+
+    def test_task_without_enough_workers_contributes_zero(self):
+        instance = generate_instance(
+            6, 2, radius_range=(0.0001, 0.0002), seed=2
+        )
+        pairs = compute_valid_pairs(instance)
+        bound = upper_bound(instance, pairs)
+        if pairs.pair_count == 0:
+            assert bound.value == 0.0
+
+    def test_task_upper_bound_respects_capacity(self):
+        instance = make_dense_instance(20, 3, capacity=3, seed=3)
+        pairs = compute_valid_pairs(instance)
+        bound = upper_bound(instance, pairs)
+        q_hat = bound.q_hat
+        for task in range(instance.task_count):
+            value = task_upper_bound(instance, task, pairs, q_hat)
+            workers = pairs.workers_for_task[task]
+            if len(workers) >= instance.min_group_size:
+                top = sorted((q_hat[w] for w in workers), reverse=True)[:3]
+                assert value == pytest.approx(sum(top))
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        assert upper_bound(instance).value == 0.0
+
+
+class TestPriceOfAnarchy:
+    def test_poa_bound_in_unit_interval_when_sensible(self):
+        instance = make_dense_instance(30, 5, seed=4)
+        pairs = compute_valid_pairs(instance)
+        bound = upper_bound(instance, pairs)
+        stats = solve_tpg_with_stats(instance, pairs)
+        poa = price_of_anarchy_lower_bound(instance, stats.seeded_tasks, bound)
+        assert poa >= 0.0
+
+    def test_poa_zero_on_empty(self):
+        instance = generate_instance(0, 0, seed=0)
+        bound = upper_bound(instance)
+        assert price_of_anarchy_lower_bound(instance, 0, bound) == 0.0
+
+    def test_gt_score_between_poa_bound_and_upper(self):
+        """Theorem V.2 instantiated: N_init * B * q_check <= GT score <= UPPER."""
+        instance = make_dense_instance(40, 6, seed=5)
+        pairs = compute_valid_pairs(instance)
+        bound = upper_bound(instance, pairs)
+        result = solve_game_theoretic(instance, pairs)
+        q_check_min = float(bound.q_check.min())
+        lower = result.seeded_tasks * instance.min_group_size * q_check_min
+        assert lower - 1e-9 <= result.final_score <= bound.value + 1e-9

@@ -1,0 +1,54 @@
+"""Tests for the convergence trace (Lemma V.1 instantiated)."""
+
+import pytest
+
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.convergence import trace_convergence
+
+from tests.conftest import make_dense_instance
+
+
+class TestTraceConvergence:
+    def test_gain_accounting(self):
+        instance = make_dense_instance(40, 8, seed=1)
+        trace = trace_convergence(instance, init="random", seed=0)
+        assert trace.converged
+        assert sum(trace.round_gains) == pytest.approx(trace.total_gain)
+        # Every non-final round has a strictly positive potential gain.
+        assert all(gain >= -1e-9 for gain in trace.round_gains)
+
+    def test_final_round_gains_nothing(self):
+        instance = make_dense_instance(30, 6, seed=2)
+        trace = trace_convergence(instance)
+        assert trace.round_gains[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_final_score_below_upper_bound(self):
+        for seed in range(3):
+            instance = make_dense_instance(30, 6, seed=seed)
+            trace = trace_convergence(instance)
+            assert trace.final_score <= trace.upper_bound_value + 1e-9
+
+    def test_tpg_init_converges_in_fewer_rounds_than_random(self):
+        """The Algorithm 3 line-1 rationale: a good initial profile
+        shortens the dynamics (holds on the large majority of seeds)."""
+        faster = 0
+        for seed in range(5):
+            instance = make_dense_instance(40, 8, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            tpg_trace = trace_convergence(instance, pairs, init="tpg")
+            random_trace = trace_convergence(
+                instance, pairs, init="random", seed=seed
+            )
+            if tpg_trace.rounds <= random_trace.rounds:
+                faster += 1
+        assert faster >= 4
+
+    def test_diminishing_gains_common(self):
+        """The TSI motivation: per-round gains typically shrink."""
+        diminishing = 0
+        for seed in range(5):
+            instance = make_dense_instance(40, 8, seed=10 + seed)
+            trace = trace_convergence(instance, init="random", seed=seed)
+            if trace.gains_are_diminishing:
+                diminishing += 1
+        assert diminishing >= 3

@@ -1,0 +1,188 @@
+"""Tests for the synthetic and Meetup-surrogate data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.meetup import MeetupDataset, generate_meetup_dataset
+from repro.datasets.synthetic import (
+    gaussian_in_range,
+    generate_instance,
+    generate_locations,
+    generate_tasks,
+    generate_workers,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestGaussianInRange:
+    def test_bounds_respected(self):
+        rng = ensure_rng(0)
+        samples = gaussian_in_range(rng, 5000, 0.01, 0.05)
+        assert samples.min() >= 0.01
+        assert samples.max() <= 0.05
+
+    def test_centered_on_midpoint(self):
+        rng = ensure_rng(1)
+        samples = gaussian_in_range(rng, 20000, 0.0, 1.0)
+        assert samples.mean() == pytest.approx(0.5, abs=0.01)
+        # Truncated Gaussian: mass concentrates near the middle.
+        central = np.mean((samples > 0.3) & (samples < 0.7))
+        assert central > 0.6
+
+    def test_degenerate_range(self):
+        rng = ensure_rng(2)
+        samples = gaussian_in_range(rng, 100, 0.3, 0.3)
+        assert (samples == 0.3).all()
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_in_range(ensure_rng(0), 10, 0.5, 0.4)
+
+    @given(st.integers(0, 10**6), st.floats(0, 0.5), st.floats(0.5, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_within_range(self, seed, low, high):
+        samples = gaussian_in_range(ensure_rng(seed), 200, low, high)
+        assert ((samples >= low) & (samples <= high)).all()
+
+
+class TestLocations:
+    def test_uniform_in_unit_square(self):
+        locations = generate_locations(ensure_rng(0), 1000, "uniform")
+        assert locations.shape == (1000, 2)
+        assert locations.min() >= 0.0
+        assert locations.max() <= 1.0
+
+    def test_skewed_clusters_near_center(self):
+        locations = generate_locations(ensure_rng(1), 4000, "skewed")
+        assert locations.min() >= 0.0 and locations.max() <= 1.0
+        distances = np.linalg.norm(locations - 0.5, axis=1)
+        # 80% Gaussian(0.2) around the centre => most mass within 0.4.
+        assert np.mean(distances < 0.4) > 0.6
+
+    def test_skew_more_concentrated_than_uniform(self):
+        uniform = generate_locations(ensure_rng(2), 3000, "uniform")
+        skewed = generate_locations(ensure_rng(2), 3000, "skewed")
+        d_unif = np.linalg.norm(uniform - 0.5, axis=1).mean()
+        d_skew = np.linalg.norm(skewed - 0.5, axis=1).mean()
+        assert d_skew < d_unif
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate_locations(ensure_rng(0), 10, "zipf")
+
+
+class TestWorkersAndTasks:
+    def test_worker_fields(self):
+        workers = generate_workers(
+            50, speed_range=(0.01, 0.05), radius_range=(0.05, 0.1), seed=0
+        )
+        assert len(workers) == 50
+        assert len({w.worker_id for w in workers}) == 50
+        for worker in workers:
+            assert 0.01 <= worker.speed <= 0.05
+            assert 0.05 <= worker.radius <= 0.1
+
+    def test_explicit_locations(self):
+        locations = np.array([[0.1, 0.2], [0.3, 0.4]])
+        workers = generate_workers(2, locations=locations, seed=0)
+        assert workers[0].location.x == 0.1
+        assert workers[1].location.y == 0.4
+        with pytest.raises(ValueError):
+            generate_workers(3, locations=locations, seed=0)
+
+    def test_id_offset(self):
+        workers = generate_workers(3, seed=0, id_offset=100)
+        assert [w.worker_id for w in workers] == [100, 101, 102]
+
+    def test_task_fields(self):
+        tasks = generate_tasks(
+            20, capacity=5, remaining_time=2.5, created_time=1.0, seed=0
+        )
+        assert len(tasks) == 20
+        for task in tasks:
+            assert task.capacity == 5
+            assert task.deadline == pytest.approx(3.5)
+            assert task.created_time == 1.0
+
+    def test_generate_instance_shapes(self):
+        instance = generate_instance(30, 8, capacity=4, seed=0)
+        assert instance.worker_count == 30
+        assert instance.task_count == 8
+        assert instance.quality.size == 30
+
+    def test_generate_instance_quality_kinds(self):
+        community = generate_instance(10, 2, quality_kind="community", seed=1)
+        uniform = generate_instance(10, 2, quality_kind="uniform", seed=1)
+        assert community.quality != uniform.quality
+        with pytest.raises(ValueError):
+            generate_instance(10, 2, quality_kind="zipf", seed=1)
+
+    def test_reproducible_with_seed(self):
+        a = generate_instance(15, 4, seed=99)
+        b = generate_instance(15, 4, seed=99)
+        assert a.quality == b.quality
+        assert a.workers == b.workers
+        assert a.tasks == b.tasks
+
+
+class TestMeetup:
+    @pytest.fixture(scope="class")
+    def small_dataset(self) -> MeetupDataset:
+        return generate_meetup_dataset(
+            user_count=300,
+            event_count=120,
+            group_count=60,
+            district_count=5,
+            seed=7,
+        )
+
+    def test_shapes(self, small_dataset):
+        assert small_dataset.user_count == 300
+        assert small_dataset.event_count == 120
+        assert small_dataset.quality.size == 300
+        assert small_dataset.group_count <= 60
+
+    def test_locations_in_unit_square(self, small_dataset):
+        for array in (small_dataset.user_locations, small_dataset.event_locations):
+            assert array.min() >= 0.0
+            assert array.max() <= 1.0
+
+    def test_quality_follows_paper_formula(self, small_dataset):
+        """Spot-check Equation 1 with alpha = omega = 0.5 on raw
+        memberships."""
+        memberships = small_dataset.memberships
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            i, k = rng.integers(0, 300, size=2)
+            if i == k:
+                continue
+            union = len(memberships[i] | memberships[k])
+            common = len(memberships[i] & memberships[k])
+            jaccard = common / union if union else 0.0
+            expected = 0.25 + 0.5 * jaccard
+            assert small_dataset.quality.pair(int(i), int(k)) == pytest.approx(
+                expected
+            )
+
+    def test_community_signal_exists(self, small_dataset):
+        """Some pairs share groups (quality above the prior floor)."""
+        values = small_dataset.quality.values
+        off = values[~np.eye(300, dtype=bool)]
+        assert (off > 0.26).any()
+        assert off.min() >= 0.25 - 1e-12
+
+    def test_locality_validation(self):
+        with pytest.raises(ValueError):
+            generate_meetup_dataset(user_count=10, locality=1.5, seed=0)
+
+    def test_reproducible(self):
+        a = generate_meetup_dataset(
+            user_count=50, event_count=20, group_count=10, seed=3
+        )
+        b = generate_meetup_dataset(
+            user_count=50, event_count=20, group_count=10, seed=3
+        )
+        assert a.quality == b.quality
+        np.testing.assert_array_equal(a.user_locations, b.user_locations)

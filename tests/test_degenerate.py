@@ -1,0 +1,121 @@
+"""Degenerate-but-legal inputs pushed through every solver.
+
+Real deployments produce weird batches: nobody in range, all qualities
+zero, identical locations, a single task, B exactly equal to capacity.
+Every registered approach must return a feasible assignment on all of
+them without crashing, and scores must respect the trivial bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import upper_bound
+from repro.core.model import Instance, Task, Worker
+from repro.core.quality import CooperationMatrix
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.config import (
+    APPROACHES,
+    DEFAULT_APPROACH_ORDER,
+    EXTENSION_APPROACHES,
+    make_solver,
+)
+from repro.spatial.geometry import Point
+
+ALL_APPROACHES = DEFAULT_APPROACH_ORDER + EXTENSION_APPROACHES
+
+
+def co_located_instance(worker_count, task_count, quality, capacity=4, b=3):
+    origin = Point(0.5, 0.5)
+    workers = [
+        Worker(worker_id=i, location=origin, speed=1.0, radius=1.0)
+        for i in range(worker_count)
+    ]
+    tasks = [
+        Task(task_id=j, location=origin, capacity=capacity, deadline=5.0)
+        for j in range(task_count)
+    ]
+    return Instance(workers, tasks, quality, min_group_size=b)
+
+
+def run_all_approaches(instance):
+    pairs = compute_valid_pairs(instance)
+    bound = upper_bound(instance, pairs).value
+    results = {}
+    for name in ALL_APPROACHES:
+        assignment = make_solver(name, seed=0)(instance, pairs)
+        assignment.check_feasible()
+        score = assignment.total_score()
+        assert -1e-9 <= score <= bound + 1e-9, f"{name}: {score} vs UPPER {bound}"
+        results[name] = score
+    return results
+
+
+class TestDegenerateBatches:
+    def test_nobody_in_range(self):
+        workers = [
+            Worker(worker_id=0, location=Point(0.0, 0.0), speed=0.01, radius=0.01),
+            Worker(worker_id=1, location=Point(0.0, 0.1), speed=0.01, radius=0.01),
+            Worker(worker_id=2, location=Point(0.1, 0.0), speed=0.01, radius=0.01),
+        ]
+        tasks = [Task(task_id=0, location=Point(0.9, 0.9), capacity=3, deadline=1.0)]
+        instance = Instance(
+            workers, tasks, CooperationMatrix.random_uniform(3, seed=0),
+            min_group_size=3,
+        )
+        results = run_all_approaches(instance)
+        assert all(score == 0.0 for score in results.values())
+
+    def test_all_zero_quality(self):
+        quality = CooperationMatrix(np.zeros((9, 9)))
+        instance = co_located_instance(9, 2, quality)
+        results = run_all_approaches(instance)
+        assert all(score == pytest.approx(0.0) for score in results.values())
+
+    def test_all_perfect_quality(self):
+        """Uniform quality 1: any full group is optimal; every approach
+        that fills groups reaches the same per-task revenue."""
+        quality = CooperationMatrix(np.ones((8, 8)))
+        instance = co_located_instance(8, 2, quality)
+        results = run_all_approaches(instance)
+        # GT should realize two full 4-groups: revenue 4 each, total 8.
+        assert results["GT"] == pytest.approx(8.0)
+        assert results["TPG"] == pytest.approx(8.0)
+
+    def test_single_task_exact_b(self):
+        quality = CooperationMatrix.random_uniform(3, seed=1)
+        instance = co_located_instance(3, 1, quality, capacity=3, b=3)
+        results = run_all_approaches(instance)
+        expected = quality.ordered_pair_sum([0, 1, 2]) / 2
+        for name in ("TPG", "GT", "GT+ALL", "LSEARCH"):
+            assert results[name] == pytest.approx(expected)
+
+    def test_more_capacity_than_workers(self):
+        quality = CooperationMatrix.random_uniform(4, seed=2)
+        instance = co_located_instance(4, 3, quality, capacity=4, b=3)
+        run_all_approaches(instance)
+
+    def test_pair_tasks(self):
+        """B = capacity = 2: the pure matching regime of Example 1."""
+        quality = CooperationMatrix.random_uniform(6, seed=3)
+        instance = co_located_instance(6, 3, quality, capacity=2, b=2)
+        results = run_all_approaches(instance)
+        assert results["GT"] >= results["RAND"] - 1e-9
+
+    def test_one_worker_zero_everything(self):
+        quality = CooperationMatrix(np.zeros((1, 1)))
+        instance = co_located_instance(1, 1, quality, capacity=3, b=3)
+        results = run_all_approaches(instance)
+        assert all(score == 0.0 for score in results.values())
+
+    def test_many_tasks_few_workers(self):
+        quality = CooperationMatrix.random_uniform(5, seed=4)
+        instance = co_located_instance(5, 20, quality, capacity=3, b=3)
+        results = run_all_approaches(instance)
+        # At most one task can be completed... actually floor(5/3) = 1.
+        for name, score in results.items():
+            assert score >= 0.0
+
+
+class TestRegistryCompleteness:
+    def test_battery_covers_every_registered_approach(self):
+        assert set(ALL_APPROACHES) == set(APPROACHES)

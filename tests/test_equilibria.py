@@ -1,0 +1,51 @@
+"""Tests for the empirical equilibrium-quality study (Section V-C)."""
+
+import pytest
+
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.equilibria import study_equilibria
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance, make_example1_instance
+
+
+class TestStudyEquilibria:
+    def test_invariant_chain(self):
+        """theorem PoA bound <= sampled worst/OPT <= sampled best/OPT <= 1."""
+        for seed in range(3):
+            instance = make_dense_instance(
+                8, 2, capacity=3, min_group_size=2, seed=seed
+            )
+            pairs = compute_valid_pairs(instance)
+            study = study_equilibria(instance, pairs, samples=8, seed=seed)
+            assert study.samples == 8
+            assert study.worst_equilibrium <= study.best_equilibrium + 1e-9
+            assert study.best_equilibrium <= study.optimum + 1e-9
+            assert study.poa_estimate <= study.pos_estimate + 1e-9
+            assert study.pos_estimate <= 1.0 + 1e-9
+            # Every sampled equilibrium respects the theorem's PoA floor.
+            if study.optimum > 0:
+                assert (
+                    study.poa_estimate
+                    >= study.theorem_poa_bound - 1e-9
+                )
+
+    def test_example1_pos_is_one(self):
+        """Example 1's game has an equilibrium at the optimum."""
+        instance, _, _ = make_example1_instance()
+        pairs = compute_valid_pairs(instance)
+        study = study_equilibria(instance, pairs, samples=10, seed=0)
+        assert study.optimum == pytest.approx(1.8)
+        assert study.pos_estimate == pytest.approx(1.0)
+
+    def test_sample_validation(self):
+        instance = make_dense_instance(6, 2, min_group_size=2, capacity=2, seed=0)
+        with pytest.raises(ValueError):
+            study_equilibria(instance, samples=0)
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        study = study_equilibria(instance, samples=2, seed=0)
+        assert study.optimum == 0.0
+        assert study.pos_estimate == 1.0
+        assert study.poa_estimate == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the exact branch-and-bound solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.exact import solve_exact
+from repro.core.game import solve_game_theoretic
+from repro.core.tpg import solve_tpg
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+from repro.utils.errors import InvalidInstanceError
+
+from tests.conftest import make_dense_instance, make_example1_instance
+
+
+def brute_force_optimum(instance, pairs) -> float:
+    """Enumerate every strategy profile (tiny instances only)."""
+    choices = [
+        [None, *pairs.tasks_for_worker[worker]]
+        for worker in range(instance.worker_count)
+    ]
+    best = 0.0
+    for profile in itertools.product(*choices):
+        counts = [0] * instance.task_count
+        feasible = True
+        for task in profile:
+            if task is None:
+                continue
+            counts[task] += 1
+            if counts[task] > instance.tasks[task].capacity:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        assignment = Assignment(instance)
+        for worker, task in enumerate(profile):
+            if task is not None:
+                assignment.assign(worker, task)
+        best = max(best, assignment.total_score())
+    return best
+
+
+class TestExact:
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            instance = make_dense_instance(
+                7, 2, capacity=3, min_group_size=2, seed=seed
+            )
+            pairs = compute_valid_pairs(instance)
+            exact = solve_exact(instance, pairs)
+            assert exact.total_score() == pytest.approx(
+                brute_force_optimum(instance, pairs)
+            )
+
+    def test_dominates_heuristics(self):
+        for seed in range(4):
+            instance = make_dense_instance(
+                8, 2, capacity=3, min_group_size=2, seed=10 + seed
+            )
+            pairs = compute_valid_pairs(instance)
+            optimal = solve_exact(instance, pairs).total_score()
+            assert optimal >= solve_tpg(instance, pairs).total_score() - 1e-9
+            assert (
+                optimal
+                >= solve_game_theoretic(instance, pairs).final_score - 1e-9
+            )
+
+    def test_example1_optimum(self):
+        instance, _, _ = make_example1_instance()
+        pairs = compute_valid_pairs(instance)
+        assert solve_exact(instance, pairs).total_score() == pytest.approx(1.8)
+
+    def test_rejects_large_search_space(self):
+        instance = make_dense_instance(40, 8, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            solve_exact(instance, node_limit=1000)
+
+    def test_feasible_result(self):
+        instance = make_dense_instance(8, 2, min_group_size=2, capacity=3, seed=5)
+        pairs = compute_valid_pairs(instance)
+        result = solve_exact(instance, pairs)
+        result.check_feasible()
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        assert solve_exact(instance).total_score() == 0.0

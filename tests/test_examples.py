@@ -1,0 +1,67 @@
+"""Integration tests: every example script runs end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_wedding_catering_reproduces_example1():
+    output = run_example("wedding_catering.py")
+    assert "total = 0.2" in output
+    assert "total = 1.8" in output
+    assert "{w1, w4} -> t1" in output
+
+
+def test_quickstart_runs_all_approaches():
+    output = run_example("quickstart.py", "7")
+    for name in ("RAND", "MFLOW", "TPG", "GT", "GT+LUB", "GT+TSI", "GT+ALL"):
+        assert name in output
+    assert "UPPER" in output
+    assert "pure Nash equilibrium" in output
+
+
+@pytest.mark.slow
+def test_wifi_campaign_runs():
+    output = run_example("wifi_survey_campaign.py")
+    assert "campaign totals:" in output
+    assert "GT" in output and "RAND" in output
+
+
+def test_meetup_city_study_tiny():
+    output = run_example("meetup_city_study.py", "--tiny")
+    assert "== default setting: all approaches ==" in output
+    assert "Figure 2" in output
+
+
+def test_equilibrium_analysis_runs():
+    output = run_example("equilibrium_analysis.py")
+    assert "empirical PoS estimate" in output
+    assert "batch GT score" in output
+
+
+def test_learning_platform_runs():
+    output = run_example("learning_platform.py")
+    assert "cold start realized" in output
+    assert "estimate MAE" in output
+
+
+def test_road_network_city_runs():
+    output = run_example("road_network_city.py")
+    assert "valid pairs:" in output
+    assert "street grid" in output
+    assert "batch map" in output

@@ -1,0 +1,112 @@
+"""Tests for the fairness analysis module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import solve_game_theoretic
+from repro.core.tpg import solve_tpg
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.fairness import (
+    fairness_report,
+    gini_coefficient,
+    worker_utilities,
+)
+
+from tests.conftest import make_dense_instance
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini_coefficient(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_unequal(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=1e-9)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    def test_property_in_unit_interval(self, values):
+        gini = gini_coefficient(np.array(values))
+        assert -1e-9 <= gini <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 100), min_size=1, max_size=30),
+        st.floats(0.1, 10),
+    )
+    def test_property_scale_invariant(self, values, factor):
+        data = np.array(values)
+        assert gini_coefficient(data) == pytest.approx(
+            gini_coefficient(data * factor), abs=1e-9
+        )
+
+
+class TestWorkerUtilities:
+    def test_idle_workers_zero(self):
+        instance = make_dense_instance(10, 2, seed=0)
+        from repro.core.assignment import Assignment
+
+        utilities = worker_utilities(Assignment(instance))
+        assert (utilities == 0.0).all()
+
+    def test_sum_of_utilities_vs_total_score(self):
+        """For groups within capacity, the sum of member utilities is
+        related to (not equal to) Q — a sanity check that utilities are
+        per-member marginal contributions, all non-negative at Nash."""
+        instance = make_dense_instance(30, 6, seed=1)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        utilities = worker_utilities(result.equilibrium)
+        assert (utilities >= -1e-9).all()
+
+
+class TestFairnessReport:
+    def test_nash_is_envy_free(self):
+        instance = make_dense_instance(30, 6, seed=2)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        report = fairness_report(result.equilibrium, pairs)
+        assert report.is_envy_free()
+        assert report.envy_count == 0
+        assert report.min_utility >= -1e-9
+
+    def test_gt_no_less_fair_than_tpg(self):
+        """The paper's fairness motivation: the equilibrium has no
+        envious workers, while TPG typically leaves some."""
+        envy_tpg = []
+        for seed in range(4):
+            instance = make_dense_instance(36, 6, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            tpg = solve_tpg(instance, pairs)
+            envy_tpg.append(fairness_report(tpg, pairs).envy_count)
+            result = solve_game_theoretic(instance, pairs)
+            assert fairness_report(result.equilibrium, pairs).envy_count == 0
+        assert max(envy_tpg) >= 0  # defined for TPG too (often positive)
+
+    def test_report_fields(self):
+        instance = make_dense_instance(20, 4, seed=3)
+        pairs = compute_valid_pairs(instance)
+        report = fairness_report(solve_tpg(instance, pairs), pairs)
+        assert report.assigned_workers >= 0
+        assert 0.0 <= report.gini <= 1.0
+        assert report.mean_utility >= report.min_utility - 1e-12
+
+    def test_empty_assignment(self):
+        from repro.core.assignment import Assignment
+
+        instance = make_dense_instance(10, 2, seed=4)
+        pairs = compute_valid_pairs(instance)
+        report = fairness_report(Assignment(instance, pairs), pairs)
+        assert report.assigned_workers == 0
+        assert report.mean_utility == 0.0

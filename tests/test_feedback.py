@@ -1,0 +1,140 @@
+"""Tests for the Equation 1 learning loop (repro.simulation.feedback)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import CooperationMatrix
+from repro.core.tpg import solve_tpg
+from repro.datasets.synthetic import generate_tasks, generate_workers
+from repro.core.model import Instance
+from repro.simulation.feedback import (
+    QualityEstimator,
+    RatingModel,
+    run_learning_simulation,
+)
+
+
+@pytest.fixture
+def true_quality():
+    return CooperationMatrix.random_community(
+        30, community_count=3, within=0.85, across=0.15, noise=0.03, seed=7
+    )
+
+
+class TestRatingModel:
+    def test_noiseless_rating_is_mean_pair_quality(self, true_quality):
+        model = RatingModel(true_quality, noise=0.0)
+        members = [0, 1, 2]
+        expected = true_quality.ordered_pair_sum(members) / 6
+        assert model.rate(members, rng=0) == pytest.approx(expected)
+
+    def test_rating_clipped_to_unit_interval(self, true_quality):
+        model = RatingModel(true_quality, noise=10.0)
+        for seed in range(20):
+            rating = model.rate([0, 1, 2], rng=seed)
+            assert 0.0 <= rating <= 1.0
+
+    def test_singleton_rejected(self, true_quality):
+        model = RatingModel(true_quality)
+        with pytest.raises(ValueError):
+            model.rate([3], rng=0)
+
+
+class TestQualityEstimator:
+    def test_cold_start_is_prior(self):
+        estimator = QualityEstimator(worker_count=5)
+        assert estimator.pair_estimate(0, 1) == pytest.approx(0.5)
+        assert estimator.observed_pair_count() == 0
+
+    def test_record_group_credits_all_pairs(self):
+        estimator = QualityEstimator(worker_count=5)
+        estimator.record_group([0, 1, 2], rating=1.0)
+        assert estimator.observed_pair_count() == 3
+        # Equation 1 with one rating of 1.0: 0.5*0.5 + 0.5*1.0 = 0.75.
+        assert estimator.pair_estimate(0, 2) == pytest.approx(0.75)
+        assert estimator.pair_estimate(2, 0) == pytest.approx(0.75)
+
+    def test_validation(self):
+        estimator = QualityEstimator(worker_count=5)
+        with pytest.raises(ValueError):
+            estimator.record_group([0, 1], rating=1.5)
+        with pytest.raises(ValueError):
+            estimator.record_group([0, 0, 1], rating=0.5)
+        with pytest.raises(ValueError):
+            estimator.pair_estimate(2, 2)
+
+    def test_estimate_converges_with_noiseless_ratings(self, true_quality):
+        """With many noiseless pair ratings, the estimate approaches
+        alpha*omega + (1-alpha)*true mean pair signal."""
+        model = RatingModel(true_quality, noise=0.0)
+        estimator = QualityEstimator(worker_count=30)
+        for _ in range(50):
+            estimator.record_group([3, 4], model.rate([3, 4], rng=0))
+        symmetric_mean = (
+            true_quality.pair(3, 4) + true_quality.pair(4, 3)
+        ) / 2.0
+        expected = 0.25 + 0.5 * symmetric_mean
+        assert estimator.pair_estimate(3, 4) == pytest.approx(expected)
+
+    def test_to_matrix_round_trip(self):
+        estimator = QualityEstimator(worker_count=4)
+        estimator.record_group([0, 1], 0.9)
+        matrix = estimator.to_matrix()
+        assert matrix.pair(0, 1) == pytest.approx(estimator.pair_estimate(0, 1))
+        assert matrix.pair(2, 3) == pytest.approx(0.5)  # prior
+
+    def test_estimation_error_zero_without_observations(self, true_quality):
+        estimator = QualityEstimator(worker_count=30)
+        assert estimator.estimation_error(true_quality) == 0.0
+
+
+class TestLearningSimulation:
+    def _make_instance_factory(self):
+        workers = generate_workers(
+            30,
+            speed_range=(0.2, 0.5),
+            radius_range=(0.5, 0.9),
+            seed=1,
+        )
+        tasks = generate_tasks(6, capacity=4, remaining_time=3.0, seed=2)
+
+        def make_instance(round_index, estimates, rng):
+            return Instance(
+                workers=workers,
+                tasks=tasks,
+                quality=estimates,
+                min_group_size=3,
+            )
+
+        return make_instance
+
+    def test_trajectory_shapes(self, true_quality):
+        trajectory = run_learning_simulation(
+            true_quality,
+            self._make_instance_factory(),
+            solve_tpg,
+            rounds=5,
+            rating_noise=0.02,
+            seed=0,
+        )
+        assert len(trajectory) == 5
+        observed = [entry.observed_pairs for entry in trajectory]
+        assert observed == sorted(observed)  # knowledge only grows
+        for entry in trajectory:
+            assert entry.realized_score >= 0.0
+            assert 0.0 <= entry.estimation_error <= 1.0
+
+    def test_learning_improves_realized_score(self, true_quality):
+        """With community structure, later rounds (informed estimates)
+        should realize more true cooperation than the cold-start round."""
+        trajectory = run_learning_simulation(
+            true_quality,
+            self._make_instance_factory(),
+            solve_tpg,
+            rounds=12,
+            rating_noise=0.02,
+            seed=3,
+        )
+        first = trajectory[0].realized_score
+        late = np.mean([entry.realized_score for entry in trajectory[-3:]])
+        assert late >= first - 1e-9

@@ -1,0 +1,212 @@
+"""Tests for the flow substrate: network bookkeeping, Dinic vs the
+networkx oracle, min-cut certification, and the bipartite helper."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.bipartite import max_bipartite_assignment
+from repro.flow.dinic import max_flow
+from repro.flow.graph import FlowNetwork
+
+
+class TestFlowNetwork:
+    def test_bad_node_count(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+
+    def test_add_edge_validation(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, 1.5)
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        net.add_edge(0, 1, 3)  # must not raise
+
+    def test_residual_twins(self):
+        net = FlowNetwork(2)
+        index = net.add_edge(0, 1, 5)
+        forward = net.edges[index]
+        backward = net.edges[forward.reverse_index]
+        assert backward.capacity == 0
+        assert backward.head == 0
+        assert net.edges[backward.reverse_index] is forward
+
+    def test_outgoing_excludes_twins(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        assert [e.head for e in net.outgoing(1)] == [2]
+
+    def test_reset_flow(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1)
+        max_flow(net, 0, 1)
+        assert net.edges[0].flow == 1
+        net.reset_flow()
+        assert all(edge.flow == 0 for edge in net.edges)
+
+
+class TestDinicSmall:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 7)
+        assert max_flow(net, 0, 1).value == 7
+
+    def test_source_equals_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            max_flow(net, 0, 0)
+
+    def test_disconnected(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 4)
+        assert max_flow(net, 0, 2).value == 0
+
+    def test_classic_diamond(self):
+        # source 0, sink 3; two paths sharing nothing.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 3)
+        assert max_flow(net, 0, 3).value == 4
+
+    def test_needs_residual_reversal(self):
+        # Greedy augmentation down the middle edge must be undone.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert max_flow(net, 0, 3).value == 2
+
+    def test_conservation_checked(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(1, 2, 2)
+        net.add_edge(2, 3, 5)
+        max_flow(net, 0, 3)
+        net.check_conservation(0, 3)
+
+    def test_min_cut_certifies_value(self):
+        net = FlowNetwork(4)
+        edges = [(0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)]
+        for tail, head, cap in edges:
+            net.add_edge(tail, head, cap)
+        result = max_flow(net, 0, 3)
+        cut = result.min_cut_source_side
+        assert 0 in cut and 3 not in cut
+        cut_capacity = sum(
+            cap for tail, head, cap in edges if tail in cut and head not in cut
+        )
+        assert cut_capacity == result.value
+
+
+def random_network(rng, node_count, edge_count, max_capacity=10):
+    net = FlowNetwork(node_count)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(node_count))
+    for _ in range(edge_count):
+        tail, head = rng.integers(0, node_count, size=2)
+        if tail == head:
+            continue
+        capacity = int(rng.integers(1, max_capacity + 1))
+        net.add_edge(int(tail), int(head), capacity)
+        if graph.has_edge(int(tail), int(head)):
+            graph[int(tail)][int(head)]["capacity"] += capacity
+        else:
+            graph.add_edge(int(tail), int(head), capacity=capacity)
+    return net, graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(2, 12),
+    st.integers(0, 40),
+    st.integers(0, 2**31),
+)
+def test_dinic_matches_networkx(node_count, edge_count, seed):
+    rng = np.random.default_rng(seed)
+    net, graph = random_network(rng, node_count, edge_count)
+    source, sink = 0, node_count - 1
+    expected = nx.maximum_flow_value(graph, source, sink) if graph.edges else 0
+    result = max_flow(net, source, sink)
+    assert result.value == expected
+    net.check_conservation(source, sink)
+    # Every forward edge respects its capacity; every flow non-negative.
+    for edge in net.edges:
+        if edge.is_forward:
+            assert 0 <= edge.flow <= edge.capacity
+
+
+class TestBipartite:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_bipartite_assignment(2, 1, [[0]], [1])
+        with pytest.raises(ValueError):
+            max_bipartite_assignment(1, 1, [[0]], [1, 2])
+        with pytest.raises(ValueError):
+            max_bipartite_assignment(1, 1, [[3]], [1])
+
+    def test_simple(self):
+        assignment, value = max_bipartite_assignment(2, 1, [[0], [0]], [1])
+        assert value == 1
+        assert len(assignment) == 1
+
+    def test_capacities_respected(self):
+        assignment, value = max_bipartite_assignment(
+            5, 2, [[0, 1]] * 5, [2, 2]
+        )
+        assert value == 4
+        counts = {0: 0, 1: 0}
+        for task in assignment.values():
+            counts[task] += 1
+        assert counts == {0: 2, 1: 2}
+
+    def test_matches_networkx_on_random_bipartite(self):
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            workers = int(rng.integers(1, 12))
+            tasks = int(rng.integers(1, 6))
+            capacities = rng.integers(1, 4, size=tasks).tolist()
+            valid = [
+                sorted(
+                    set(
+                        rng.integers(0, tasks, size=rng.integers(0, tasks + 1))
+                        .tolist()
+                    )
+                )
+                for _ in range(workers)
+            ]
+            assignment, value = max_bipartite_assignment(
+                workers, tasks, valid, capacities
+            )
+            graph = nx.DiGraph()
+            graph.add_node("s")
+            graph.add_node("t")
+            for w in range(workers):
+                graph.add_edge("s", f"w{w}", capacity=1)
+                for task in valid[w]:
+                    graph.add_edge(f"w{w}", f"t{task}", capacity=1)
+            for task in range(tasks):
+                graph.add_edge(f"t{task}", "t", capacity=capacities[task])
+            expected = (
+                nx.maximum_flow_value(graph, "s", "t")
+                if graph.has_node("t") and graph.out_degree("s")
+                else 0
+            )
+            assert value == expected
+            # Assignment is consistent with the declared validity.
+            for worker, task in assignment.items():
+                assert task in valid[worker]

@@ -1,0 +1,239 @@
+"""Tests for the game-theoretic solver: stability (Nash), the exact
+potential property (Theorem V.1), monotone convergence, and the LUB/TSI
+optimizations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.game import solve_game_theoretic, verify_nash_equilibrium
+from repro.core.tpg import solve_tpg
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance, make_example1_instance
+
+
+class TestConvergenceAndStability:
+    def test_converges_on_dense_instance(self):
+        instance = make_dense_instance(30, 6, seed=1)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        assert result.converged
+        assert result.rounds >= 1
+
+    def test_result_is_nash_equilibrium(self):
+        instance = make_dense_instance(36, 6, seed=2)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        deviations = verify_nash_equilibrium(result.equilibrium, pairs)
+        assert deviations == []
+        # The clamped deliverable keeps the equilibrium's total score.
+        assert result.assignment.total_score() == pytest.approx(
+            result.equilibrium.total_score()
+        )
+
+    def test_nash_from_random_init(self):
+        instance = make_dense_instance(30, 5, seed=3)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs, init="random", seed=0)
+        assert result.converged
+        assert verify_nash_equilibrium(result.equilibrium, pairs) == []
+
+    def test_score_monotone_over_rounds(self):
+        instance = make_dense_instance(40, 8, seed=4)
+        result = solve_game_theoretic(instance, init="random", seed=1)
+        history = [result.initial_score, *result.score_history]
+        for before, after in zip(history, history[1:]):
+            assert after >= before - 1e-9
+
+    def test_gt_at_least_tpg(self):
+        """Best-response from the TPG start can only climb the potential."""
+        for seed in range(5):
+            instance = make_dense_instance(30, 6, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            tpg_score = solve_tpg(instance, pairs).total_score()
+            gt_score = solve_game_theoretic(instance, pairs).final_score
+            assert gt_score >= tpg_score - 1e-9
+
+    def test_final_assignment_feasible(self):
+        instance = generate_instance(60, 12, seed=5)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        result.assignment.check_feasible()
+
+    def test_solves_example1_optimally(self):
+        instance, w, t = make_example1_instance()
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        assert result.final_score == pytest.approx(1.8)
+        assert sorted(result.assignment.members(t["t1"])) == [w["w1"], w["w4"]]
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        result = solve_game_theoretic(instance)
+        assert result.final_score == 0.0
+        assert result.converged
+
+    def test_parameter_validation(self):
+        instance = make_dense_instance(10, 2)
+        with pytest.raises(ValueError):
+            solve_game_theoretic(instance, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            solve_game_theoretic(instance, max_rounds=0)
+        with pytest.raises(ValueError):
+            solve_game_theoretic(instance, init="warmstart")
+
+
+class TestPotentialProperty:
+    """Theorem V.1: a unilateral move changes the total score by exactly
+    the mover's utility change."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_exact_potential_identity(self, seed):
+        instance = make_dense_instance(15, 4, seed=seed)
+        rng = np.random.default_rng(seed)
+        assignment = Assignment(instance, allow_overflow=True)
+        # Random starting profile.
+        for worker in range(instance.worker_count):
+            if rng.random() < 0.7:
+                assignment.assign(worker, int(rng.integers(instance.task_count)))
+        for _ in range(10):
+            worker = int(rng.integers(instance.worker_count))
+            target = int(rng.integers(instance.task_count))
+            if assignment.task_of(worker) == target:
+                continue
+            old_utility = assignment.leave_delta(worker)
+            new_utility = assignment.join_gain(worker, target)
+            before = assignment.total_score()
+            assignment.move(worker, target)
+            after = assignment.total_score()
+            assert after - before == pytest.approx(
+                new_utility - old_utility, abs=1e-8
+            )
+
+
+class TestOptimizations:
+    def test_lub_matches_plain_gt_closely(self):
+        for seed in range(4):
+            instance = make_dense_instance(40, 8, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            plain = solve_game_theoretic(instance, pairs)
+            lazy = solve_game_theoretic(instance, pairs, lazy_update=True)
+            assert lazy.final_score >= 0.97 * plain.final_score
+
+    def test_lub_converges(self):
+        instance = make_dense_instance(40, 8, seed=9)
+        result = solve_game_theoretic(instance, lazy_update=True)
+        assert result.converged
+
+    def test_tsi_stops_earlier_and_scores_close(self):
+        instance = make_dense_instance(60, 10, seed=10)
+        pairs = compute_valid_pairs(instance)
+        plain = solve_game_theoretic(instance, pairs, init="random", seed=3)
+        stopped = solve_game_theoretic(
+            instance, pairs, init="random", seed=3, epsilon=0.05
+        )
+        assert stopped.rounds <= plain.rounds
+        assert stopped.final_score <= plain.final_score + 1e-9
+        assert stopped.final_score >= 0.8 * plain.final_score
+
+    def test_epsilon_zero_equals_plain(self):
+        instance = make_dense_instance(30, 6, seed=11)
+        pairs = compute_valid_pairs(instance)
+        plain = solve_game_theoretic(instance, pairs)
+        zero = solve_game_theoretic(instance, pairs, epsilon=0.0)
+        assert plain.final_score == pytest.approx(zero.final_score)
+
+    def test_all_optimizations_together(self):
+        instance = make_dense_instance(50, 8, seed=12)
+        pairs = compute_valid_pairs(instance)
+        plain = solve_game_theoretic(instance, pairs)
+        both = solve_game_theoretic(
+            instance, pairs, epsilon=0.05, lazy_update=True
+        )
+        both.assignment.check_feasible()
+        assert both.final_score >= 0.9 * plain.final_score
+
+    def test_max_rounds_cap(self):
+        instance = make_dense_instance(40, 8, seed=13)
+        result = solve_game_theoretic(instance, init="random", seed=0, max_rounds=1)
+        assert result.rounds == 1
+
+
+class TestCrowdOut:
+    def test_joining_full_task_can_displace_weak_member(self):
+        """A strong newcomer joins a full task; the weak member is crowded
+        out of the counted subset and eventually idled by the clamp."""
+        from repro.core.model import Instance, Task, Worker
+        from repro.core.quality import CooperationMatrix
+        from repro.spatial.geometry import Point
+
+        # Workers 0-2 mutually great; worker 3 poor with everyone.
+        q = np.full((4, 4), 0.9)
+        q[3, :] = q[:, 3] = 0.05
+        origin = Point(0.5, 0.5)
+        workers = [
+            Worker(worker_id=i, location=origin, speed=1.0, radius=1.0)
+            for i in range(4)
+        ]
+        tasks = [Task(task_id=0, location=origin, capacity=3, deadline=5.0)]
+        instance = Instance(
+            workers=workers,
+            tasks=tasks,
+            quality=CooperationMatrix(q),
+            min_group_size=3,
+        )
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        members = sorted(result.assignment.members(0))
+        assert members == [0, 1, 2]
+        assert result.assignment.task_of(3) == UNASSIGNED
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_property_gt_always_nash_and_feasible(seed):
+    instance = generate_instance(
+        30,
+        6,
+        speed_range=(0.1, 0.4),
+        radius_range=(0.2, 0.6),
+        seed=seed,
+    )
+    pairs = compute_valid_pairs(instance)
+    result = solve_game_theoretic(instance, pairs)
+    result.assignment.check_feasible()
+    assert result.converged
+    assert verify_nash_equilibrium(result.equilibrium, pairs) == []
+
+
+class TestPlayerOrder:
+    def test_shuffled_order_converges_to_nash(self):
+        instance = make_dense_instance(30, 6, seed=21)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(
+            instance, pairs, player_order="shuffled", seed=5
+        )
+        assert result.converged
+        assert verify_nash_equilibrium(result.equilibrium, pairs) == []
+
+    def test_shuffled_reproducible_with_seed(self):
+        instance = make_dense_instance(30, 6, seed=22)
+        pairs = compute_valid_pairs(instance)
+        first = solve_game_theoretic(
+            instance, pairs, init="random", player_order="shuffled", seed=9
+        )
+        second = solve_game_theoretic(
+            instance, pairs, init="random", player_order="shuffled", seed=9
+        )
+        assert first.final_score == pytest.approx(second.final_score)
+        assert first.assignment.to_pairs() == second.assignment.to_pairs()
+
+    def test_unknown_order_rejected(self):
+        instance = make_dense_instance(10, 2, seed=23)
+        with pytest.raises(ValueError):
+            solve_game_theoretic(instance, player_order="roundrobin")

@@ -1,0 +1,103 @@
+"""Tests for the k-d tree, including three-way index agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+
+
+def random_points(rng, count):
+    xy = rng.uniform(0, 1, size=(count, 2))
+    return [(i, Point(float(x), float(y))) for i, (x, y) in enumerate(xy)]
+
+
+class TestBuild:
+    def test_empty(self):
+        tree = KDTree.build([])
+        assert len(tree) == 0
+        assert tree.query_circle(Point(0, 0), 1.0) == []
+        assert tree.nearest(Point(0, 0), 3) == []
+
+    def test_single(self):
+        tree = KDTree.build([("only", Point(0.5, 0.5))])
+        assert tree.query_circle(Point(0.5, 0.5), 0.0) == ["only"]
+        assert tree.nearest(Point(0, 0))[0][0] == "only"
+
+    def test_iteration_preserves_items(self):
+        rng = np.random.default_rng(0)
+        points = random_points(rng, 37)
+        tree = KDTree.build(points)
+        assert sorted(item for item, _ in tree) == list(range(37))
+
+    def test_duplicate_locations(self):
+        tree = KDTree.build(
+            [("a", Point(0.3, 0.3)), ("b", Point(0.3, 0.3)), ("c", Point(0.8, 0.8))]
+        )
+        assert sorted(tree.query_circle(Point(0.3, 0.3), 0.0)) == ["a", "b"]
+
+
+class TestQueries:
+    @pytest.mark.parametrize("count", [3, 25, 200])
+    def test_circle_matches_brute_force(self, count):
+        rng = np.random.default_rng(count)
+        points = random_points(rng, count)
+        tree = KDTree.build(points)
+        for _ in range(30):
+            center = Point(*rng.uniform(0, 1, size=2))
+            radius = float(rng.uniform(0, 0.6))
+            expected = sorted(
+                item for item, p in points if p.distance_to(center) <= radius
+            )
+            assert sorted(tree.query_circle(center, radius)) == expected
+
+    def test_negative_radius(self):
+        tree = KDTree.build([(0, Point(0, 0))])
+        with pytest.raises(ValueError):
+            tree.query_circle(Point(0, 0), -1)
+
+    def test_box_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        points = random_points(rng, 150)
+        tree = KDTree.build(points)
+        for _ in range(25):
+            x1, x2 = sorted(rng.uniform(0, 1, size=2))
+            y1, y2 = sorted(rng.uniform(0, 1, size=2))
+            box = BoundingBox(x1, y1, x2, y2)
+            expected = sorted(i for i, p in points if box.contains_point(p))
+            assert sorted(tree.query_box(box)) == expected
+
+    def test_nearest_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        points = random_points(rng, 90)
+        tree = KDTree.build(points)
+        for _ in range(25):
+            center = Point(*rng.uniform(0, 1, size=2))
+            k = int(rng.integers(1, 8))
+            result = tree.nearest(center, k)
+            expected = sorted(p.distance_to(center) for _, p in points)[:k]
+            assert [d for _, d in result] == pytest.approx(expected)
+
+    def test_nearest_k_larger_than_size(self):
+        tree = KDTree.build([(i, Point(i / 10, 0)) for i in range(4)])
+        assert len(tree.nearest(Point(0, 0), 100)) == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 120), st.integers(0, 2**31))
+def test_three_indexes_agree(count, seed):
+    rng = np.random.default_rng(seed)
+    points = random_points(rng, count)
+    kdtree = KDTree.build(points)
+    rtree = RTree.bulk_load(points)
+    grid = GridIndex.build(points, cell_size=0.15)
+    for _ in range(4):
+        center = Point(float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+        radius = float(rng.uniform(0, 0.7))
+        expected = sorted(rtree.query_circle(center, radius))
+        assert sorted(kdtree.query_circle(center, radius)) == expected
+        assert sorted(grid.query_circle(center, radius)) == expected

@@ -1,0 +1,98 @@
+"""Tests for the swap-based local-search polish."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import solve_exact
+from repro.core.game import solve_game_theoretic
+from repro.core.local_search import solve_local_search
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self):
+        for seed in range(4):
+            instance = make_dense_instance(30, 6, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            result = solve_local_search(instance, pairs)
+            assert result.final_score >= result.initial_score - 1e-9
+            assert result.improvement >= -1e-9
+
+    def test_feasible(self):
+        instance = make_dense_instance(30, 6, seed=5)
+        pairs = compute_valid_pairs(instance)
+        result = solve_local_search(instance, pairs)
+        result.assignment.check_feasible()
+
+    def test_start_assignment_untouched(self):
+        instance = make_dense_instance(25, 5, seed=6)
+        pairs = compute_valid_pairs(instance)
+        start = solve_game_theoretic(instance, pairs).assignment
+        pairs_before = start.to_pairs()
+        solve_local_search(instance, pairs, start=start)
+        assert start.to_pairs() == pairs_before
+
+    def test_swap_escapes_a_nash_trap(self):
+        """A crafted instance where the Nash assignment is swap-improvable:
+        two full tasks each hold one worker who belongs in the other."""
+        import numpy as np
+
+        from repro.core.assignment import Assignment
+        from repro.core.model import Instance, Task, Worker
+        from repro.core.quality import CooperationMatrix
+        from repro.spatial.geometry import Point
+
+        # Communities {0,1} and {2,3}; B=2, capacity 2 per task.
+        q = np.zeros((4, 4))
+        for (i, k), value in {(0, 1): 0.9, (2, 3): 0.9, (0, 2): 0.2, (1, 3): 0.2}.items():
+            q[i, k] = q[k, i] = value
+        origin = Point(0.5, 0.5)
+        workers = [
+            Worker(worker_id=i, location=origin, speed=1.0, radius=1.0)
+            for i in range(4)
+        ]
+        tasks = [
+            Task(task_id=j, location=origin, capacity=2, deadline=5.0)
+            for j in range(2)
+        ]
+        instance = Instance(
+            workers=workers, tasks=tasks, quality=CooperationMatrix(q),
+            min_group_size=2,
+        )
+        pairs = compute_valid_pairs(instance)
+
+        # Mismatched full assignment: {0,2} and {1,3} — a local trap for
+        # unilateral moves (both tasks full, leaving gives 0).
+        trapped = Assignment(instance, pairs)
+        for worker, task in [(0, 0), (2, 0), (1, 1), (3, 1)]:
+            trapped.assign(worker, task)
+        assert trapped.total_score() == pytest.approx(0.8)
+
+        result = solve_local_search(instance, pairs, start=trapped)
+        assert result.swaps >= 1
+        assert result.final_score == pytest.approx(3.6)
+
+    def test_max_passes_respected(self):
+        instance = make_dense_instance(20, 4, seed=7)
+        result = solve_local_search(instance, max_passes=1)
+        assert result.passes == 1
+
+    def test_empty_instance(self):
+        instance = generate_instance(0, 0, seed=0)
+        result = solve_local_search(instance)
+        assert result.final_score == 0.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_bounded_by_exact_optimum(self, seed):
+        instance = make_dense_instance(
+            8, 2, capacity=3, min_group_size=2, seed=seed
+        )
+        pairs = compute_valid_pairs(instance)
+        polished = solve_local_search(instance, pairs)
+        optimum = solve_exact(instance, pairs).total_score()
+        assert polished.final_score <= optimum + 1e-9

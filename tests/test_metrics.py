@@ -1,0 +1,71 @@
+"""Tests for simulation metrics aggregation and export."""
+
+import csv
+
+import pytest
+
+from repro.core.tpg import solve_tpg
+from repro.simulation.batch import BatchConfig, BatchSimulator, SimulationReport
+from repro.simulation.metrics import aggregate, read_jsonl, write_csv, write_jsonl
+from repro.simulation.population import Population
+
+
+@pytest.fixture(scope="module")
+def report() -> SimulationReport:
+    population = Population.synthetic(120, 40, seed=0)
+    config = BatchConfig(
+        rounds=3,
+        workers_per_round=50,
+        tasks_per_round=12,
+        speed_range=(0.05, 0.2),
+        radius_range=(0.2, 0.4),
+    )
+    return BatchSimulator(population, config, solve_tpg, seed=1).run()
+
+
+class TestAggregate:
+    def test_totals_match_report(self, report):
+        stats = aggregate(report)
+        assert stats.rounds == 3
+        assert stats.total_score == pytest.approx(report.total_score)
+        assert stats.total_completed_tasks == report.total_completed_tasks
+        assert stats.mean_batch_seconds == pytest.approx(report.mean_batch_seconds)
+
+    def test_rates_in_unit_interval(self, report):
+        stats = aggregate(report)
+        assert 0.0 <= stats.assignment_rate <= 1.0
+        assert 0.0 <= stats.completion_rate <= 1.0
+        assert stats.max_batch_seconds >= stats.mean_batch_seconds / 3
+
+    def test_empty_report(self):
+        stats = aggregate(SimulationReport())
+        assert stats.rounds == 0
+        assert stats.total_score == 0.0
+        assert stats.assignment_rate == 0.0
+        assert stats.score_per_completed_task == 0.0
+
+
+class TestExport:
+    def test_csv_round_trip(self, report, tmp_path):
+        path = tmp_path / "rounds.csv"
+        write_csv(report, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report.rounds)
+        assert float(rows[0]["score"]) == pytest.approx(report.rounds[0].score)
+
+    def test_jsonl_round_trip(self, report, tmp_path):
+        path = tmp_path / "rounds.jsonl"
+        write_jsonl(report, path)
+        restored = read_jsonl(path)
+        assert len(restored.rounds) == len(report.rounds)
+        assert restored.total_score == pytest.approx(report.total_score)
+        assert restored.rounds[1] == report.rounds[1]
+
+    def test_jsonl_skips_blank_lines(self, report, tmp_path):
+        path = tmp_path / "rounds.jsonl"
+        write_jsonl(report, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        restored = read_jsonl(path)
+        assert len(restored.rounds) == len(report.rounds)

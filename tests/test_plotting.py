@@ -1,0 +1,81 @@
+"""Tests for the terminal visualizations."""
+
+import pytest
+
+from repro.core.tpg import solve_tpg
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.plotting import render_curves, render_figure_charts, render_map
+
+from tests.conftest import make_dense_instance
+
+
+@pytest.fixture(scope="module")
+def figure_result():
+    from repro.experiments.figures import fig2_capacity
+    from repro.experiments.config import ExperimentSettings
+
+    quick = ExperimentSettings(
+        rounds=2,
+        workers_per_round=50,
+        tasks_per_round=10,
+        speed_range=(0.05, 0.2),
+        radius_range=(0.2, 0.4),
+        dataset="unif",
+    )
+    return fig2_capacity(
+        base=quick, values=(3, 4), approaches=("RAND", "TPG"), seed=0
+    )
+
+
+class TestRenderMap:
+    def test_grid_dimensions(self):
+        instance = make_dense_instance(20, 3, seed=1)
+        art = render_map(instance, width=40, height=12)
+        lines = art.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        assert len(lines) == 12 + 3  # borders + legend
+        assert all(len(line) == 42 for line in lines[:-1])
+
+    def test_contains_tasks_and_workers(self):
+        instance = make_dense_instance(20, 3, seed=2)
+        art = render_map(instance)
+        assert any(ch.isdigit() for ch in art)
+        assert "." in art
+
+    def test_assigned_workers_lettered(self):
+        instance = make_dense_instance(20, 3, seed=3)
+        pairs = compute_valid_pairs(instance)
+        assignment = solve_tpg(instance, pairs)
+        art = render_map(instance, assignment)
+        assert any(ch in "abc" for ch in art)
+
+    def test_bad_dimensions(self):
+        instance = make_dense_instance(5, 2, min_group_size=2, capacity=2, seed=0)
+        with pytest.raises(ValueError):
+            render_map(instance, width=1)
+
+
+class TestRenderCurves:
+    def test_contains_all_series(self, figure_result):
+        chart = render_curves(
+            figure_result, lambda p, a: p.score(a), "scores"
+        )
+        assert "RAND" in chart and "TPG" in chart
+        assert "x: 3 4" in chart
+
+    def test_shared_scale_in_header(self, figure_result):
+        chart = render_curves(
+            figure_result, lambda p, a: p.score(a), "scores"
+        )
+        assert "shared scale" in chart
+
+    def test_both_panels(self, figure_result):
+        charts = render_figure_charts(figure_result)
+        assert "(a) Total Cooperation Score" in charts
+        assert "(b) Batch Running Time" in charts
+
+    def test_empty_result(self):
+        from repro.experiments.figures import FigureResult
+
+        empty = FigureResult(figure="Figure X", parameter="p", approaches=("TPG",))
+        assert "(no data)" in render_curves(empty, lambda p, a: 0.0, "scores")

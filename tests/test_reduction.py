@@ -1,0 +1,159 @@
+"""Tests for the executable Theorem II.1 reduction (k-set packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import solve_exact
+from repro.core.reduction import (
+    KSetPackingInstance,
+    reduce_k_set_packing,
+    solve_k_set_packing,
+)
+from repro.utils.errors import InvalidInstanceError
+
+
+def make_random_ksp(rng, universe=9, subset_size=3, subset_count=5):
+    """Random pair-disjoint exact-size k-SP instance."""
+    used_pairs: set[tuple[int, int]] = set()
+    subsets: list[frozenset[int]] = []
+    attempts = 0
+    while len(subsets) < subset_count and attempts < 200:
+        attempts += 1
+        candidate = frozenset(
+            rng.choice(universe, size=subset_size, replace=False).tolist()
+        )
+        pairs = {
+            tuple(sorted(p))
+            for p in __import__("itertools").combinations(candidate, 2)
+        }
+        if pairs & used_pairs or candidate in subsets:
+            continue
+        used_pairs |= pairs
+        subsets.append(candidate)
+    weights = tuple(float(rng.uniform(0.5, 3.0)) for _ in subsets)
+    return KSetPackingInstance(
+        universe=universe, subsets=tuple(subsets), weights=weights, k=subset_size
+    )
+
+
+class TestKSPModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KSetPackingInstance(2, (frozenset(),), (1.0,), k=2)
+        with pytest.raises(ValueError):
+            KSetPackingInstance(2, (frozenset({0, 1}),), (1.0,), k=1)
+        with pytest.raises(ValueError):
+            KSetPackingInstance(2, (frozenset({0, 5}),), (1.0,), k=2)
+        with pytest.raises(ValueError):
+            KSetPackingInstance(2, (frozenset({0, 1}),), (-1.0,), k=2)
+        with pytest.raises(ValueError):
+            KSetPackingInstance(2, (frozenset({0, 1}),), (1.0, 2.0), k=2)
+
+    def test_pair_disjoint_detection(self):
+        overlapping = KSetPackingInstance(
+            4,
+            (frozenset({0, 1, 2}), frozenset({0, 1, 3})),
+            (1.0, 1.0),
+            k=3,
+        )
+        assert not overlapping.is_pair_disjoint()
+        disjoint = KSetPackingInstance(
+            5,
+            (frozenset({0, 1, 2}), frozenset({0, 3, 4})),
+            (1.0, 1.0),
+            k=3,
+        )
+        assert disjoint.is_pair_disjoint()
+
+
+class TestKSPSolver:
+    def test_simple(self):
+        ksp = KSetPackingInstance(
+            4,
+            (frozenset({0, 1}), frozenset({2, 3}), frozenset({1, 2})),
+            (1.0, 1.0, 1.5),
+            k=2,
+        )
+        chosen, value = solve_k_set_packing(ksp)
+        assert value == pytest.approx(2.0)
+        assert chosen == [0, 1]
+
+    def test_single_heavy_wins(self):
+        ksp = KSetPackingInstance(
+            4,
+            (frozenset({0, 1}), frozenset({2, 3}), frozenset({1, 2})),
+            (1.0, 1.0, 5.0),
+            k=2,
+        )
+        chosen, value = solve_k_set_packing(ksp)
+        assert value == pytest.approx(5.0)
+        assert chosen == [2]
+
+
+class TestReduction:
+    def test_rejects_shared_pairs(self):
+        ksp = KSetPackingInstance(
+            4,
+            (frozenset({0, 1, 2}), frozenset({0, 1, 3})),
+            (1.0, 1.0),
+            k=3,
+        )
+        with pytest.raises(InvalidInstanceError):
+            reduce_k_set_packing(ksp)
+
+    def test_rejects_mixed_sizes(self):
+        ksp = KSetPackingInstance(
+            5,
+            (frozenset({0, 1, 2}), frozenset({3, 4})),
+            (1.0, 1.0),
+            k=3,
+        )
+        with pytest.raises(InvalidInstanceError):
+            reduce_k_set_packing(ksp)
+
+    def test_full_subset_revenue_equals_weight(self):
+        from repro.core.revenue import group_revenue
+
+        ksp = KSetPackingInstance(
+            6,
+            (frozenset({0, 1, 2}), frozenset({3, 4, 5})),
+            (2.0, 1.0),
+            k=3,
+        )
+        instance, valid, scale = reduce_k_set_packing(ksp)
+        for j, subset in enumerate(ksp.subsets):
+            revenue = group_revenue(
+                instance.quality,
+                sorted(subset),
+                instance.tasks[j].capacity,
+                instance.min_group_size,
+            )
+            assert revenue == pytest.approx(scale * ksp.weights[j])
+
+    def test_validity_mirrors_membership(self):
+        ksp = KSetPackingInstance(
+            5,
+            (frozenset({0, 1, 2}), frozenset({0, 3, 4})),
+            (1.0, 1.0),
+            k=3,
+        )
+        _, valid, _ = reduce_k_set_packing(ksp)
+        assert valid.tasks_for_worker[0] == (0, 1)
+        assert valid.tasks_for_worker[1] == (0,)
+        assert valid.tasks_for_worker[3] == (1,)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_casc_optimum_equals_packing_optimum(self, seed):
+        """The heart of Theorem II.1: solving the reduced CA-SC instance
+        exactly yields the k-SP optimum (scaled)."""
+        rng = np.random.default_rng(seed)
+        ksp = make_random_ksp(rng, universe=8, subset_size=3, subset_count=4)
+        if not ksp.subsets:
+            return
+        instance, valid, scale = reduce_k_set_packing(ksp)
+        _, packing_value = solve_k_set_packing(ksp)
+        casc_value = solve_exact(instance, valid).total_score()
+        assert casc_value == pytest.approx(scale * packing_value, abs=1e-9)

@@ -1,0 +1,56 @@
+"""White-box tests for table/chart formatting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import _LEVELS, _sparkline
+from repro.experiments.reporting import _format_value, _render
+
+
+class TestFormatValue:
+    def test_float_compact(self):
+        assert _format_value(0.05) == "0.05"
+        assert _format_value(3.0) == "3"
+
+    def test_tuple_bracketed(self):
+        assert _format_value((1, 5)) == "[1,5]"
+        assert _format_value([10, 15]) == "[10,15]"
+
+    def test_int_and_string(self):
+        assert _format_value(42) == "42"
+        assert _format_value("meetup") == "meetup"
+
+
+class TestRender:
+    def test_plain_alignment(self):
+        text = _render(["a", "bbb"], [["1", "2"], ["333", "4"]], markdown=False)
+        lines = text.splitlines()
+        assert lines[1].startswith("-")
+        # All rows padded to the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_markdown_structure(self):
+        text = _render(["x", "y"], [["1", "2"]], markdown=True)
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_empty_rows(self):
+        text = _render(["only"], [], markdown=False)
+        assert "only" in text
+
+
+class TestSparkline:
+    def test_constant_series_renders_full_blocks(self):
+        assert _sparkline([5.0, 5.0, 5.0], 5.0, 5.0) == _LEVELS[-1] * 3
+
+    def test_monotone_series_monotone_levels(self):
+        line = _sparkline([0.0, 0.5, 1.0], 0.0, 1.0)
+        indices = [_LEVELS.index(ch) for ch in line]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert indices[-1] == len(_LEVELS) - 1
+
+    def test_values_clamped_into_levels(self):
+        line = _sparkline([-1.0, 2.0], 0.0, 1.0)
+        assert all(ch in _LEVELS for ch in line)

@@ -1,0 +1,198 @@
+"""Tests for Equation 2's revenue function and its marginal forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quality import CooperationMatrix
+from repro.core.revenue import (
+    best_counted_subset,
+    group_revenue,
+    marginal_gain,
+    removal_delta,
+    worker_average_quality,
+)
+
+
+def uniform_matrix(size, value):
+    q = np.full((size, size), value)
+    return CooperationMatrix(q)
+
+
+class TestGroupRevenue:
+    def test_below_minimum_is_zero(self):
+        q = CooperationMatrix.random_uniform(5, seed=0)
+        assert group_revenue(q, [0, 1], capacity=4, min_group_size=3) == 0.0
+        assert group_revenue(q, [], capacity=4, min_group_size=3) == 0.0
+
+    def test_equation_two_denominator(self):
+        # Uniform quality c: group of size s scores s*(s-1)*c / (s-1) = s*c.
+        q = uniform_matrix(6, 0.5)
+        for size in (3, 4, 5):
+            members = list(range(size))
+            assert group_revenue(
+                q, members, capacity=6, min_group_size=3
+            ) == pytest.approx(size * 0.5)
+
+    def test_paper_example_values(self):
+        # Example 1: pairs (w1,w4)=0.9 and (w2,w3)=0.9 give 1.8 total;
+        # (w1,w2)=0.1 and (w3,w4)=0.1 give 0.2. The paper counts each
+        # unordered pair once while Equation 2 sums ordered pairs, so the
+        # example's pair quality v is stored as v/2 per direction.
+        q = np.zeros((4, 4))
+        for (i, k), v in {(0, 1): 0.1, (0, 3): 0.9, (1, 2): 0.9, (2, 3): 0.1}.items():
+            q[i, k] = q[k, i] = v / 2.0
+        matrix = CooperationMatrix(q)
+        good = group_revenue(matrix, [0, 3], 2, 2) + group_revenue(matrix, [1, 2], 2, 2)
+        bad = group_revenue(matrix, [0, 1], 2, 2) + group_revenue(matrix, [2, 3], 2, 2)
+        assert good == pytest.approx(1.8)
+        assert bad == pytest.approx(0.2)
+
+    def test_overflow_uses_best_subset(self):
+        # Workers 0-2 cooperate perfectly; worker 3 poorly with everyone.
+        q = np.full((4, 4), 1.0)
+        q[3, :] = q[:, 3] = 0.05
+        matrix = CooperationMatrix(q)
+        full = group_revenue(matrix, [0, 1, 2, 3], capacity=3, min_group_size=2)
+        best = group_revenue(matrix, [0, 1, 2], capacity=3, min_group_size=2)
+        assert full == pytest.approx(best)
+
+    def test_asymmetric_quality(self):
+        q = np.array([[0, 0.2, 0], [0.8, 0, 0], [0, 0, 0]])
+        matrix = CooperationMatrix(q)
+        assert group_revenue(matrix, [0, 1], 2, 2) == pytest.approx(1.0)
+
+
+class TestBestCountedSubset:
+    def test_keeps_everything_when_size_sufficient(self):
+        q = CooperationMatrix.random_uniform(5, seed=1)
+        assert best_counted_subset(q, [2, 0, 4], 3) == [0, 2, 4]
+        assert best_counted_subset(q, [2, 0], 5) == [0, 2]
+
+    def test_negative_size_rejected(self):
+        q = CooperationMatrix.random_uniform(3, seed=1)
+        with pytest.raises(ValueError):
+            best_counted_subset(q, [0, 1], -1)
+
+    def test_duplicates_rejected(self):
+        q = CooperationMatrix.random_uniform(3, seed=1)
+        with pytest.raises(ValueError):
+            best_counted_subset(q, [0, 0, 1], 2)
+
+    def test_drops_weakest(self):
+        q = np.full((4, 4), 0.9)
+        q[3, :] = q[:, 3] = 0.01
+        matrix = CooperationMatrix(q)
+        assert best_counted_subset(matrix, [0, 1, 2, 3], 3) == [0, 1, 2]
+
+    def test_deterministic_on_ties(self):
+        matrix = uniform_matrix(5, 0.5)
+        first = best_counted_subset(matrix, [4, 2, 0, 1, 3], 3)
+        second = best_counted_subset(matrix, [0, 1, 2, 3, 4], 3)
+        assert first == second
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_greedy_close_to_exhaustive(self, seed):
+        """Greedy peeling finds a subset within 25% of the true optimum
+        on small random groups (it is exact surprisingly often)."""
+        import itertools
+
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(4, 7))
+        matrix = CooperationMatrix.random_uniform(size, seed=seed)
+        members = list(range(size))
+        keep = size - 1
+        greedy = best_counted_subset(matrix, members, keep)
+        greedy_value = matrix.ordered_pair_sum(greedy)
+        best_value = max(
+            matrix.ordered_pair_sum(list(combo))
+            for combo in itertools.combinations(members, keep)
+        )
+        assert greedy_value >= 0.75 * best_value - 1e-12
+
+
+class TestMarginals:
+    def test_marginal_matches_difference(self):
+        q = CooperationMatrix.random_uniform(8, seed=3)
+        members = [0, 2, 5]
+        gain = marginal_gain(q, members, 6, capacity=5, min_group_size=3)
+        expected = group_revenue(q, members + [6], 5, 3) - group_revenue(
+            q, members, 5, 3
+        )
+        assert gain == pytest.approx(expected)
+
+    def test_marginal_rejects_member(self):
+        q = CooperationMatrix.random_uniform(4, seed=0)
+        with pytest.raises(ValueError):
+            marginal_gain(q, [0, 1], 1, 4, 2)
+
+    def test_removal_delta_matches_difference(self):
+        q = CooperationMatrix.random_uniform(8, seed=4)
+        members = [1, 3, 4, 6]
+        delta = removal_delta(q, members, 3, capacity=5, min_group_size=3)
+        expected = group_revenue(q, members, 5, 3) - group_revenue(
+            q, [1, 4, 6], 5, 3
+        )
+        assert delta == pytest.approx(expected)
+
+    def test_removal_rejects_non_member(self):
+        q = CooperationMatrix.random_uniform(4, seed=0)
+        with pytest.raises(ValueError):
+            removal_delta(q, [0, 1], 3, 4, 2)
+
+    def test_crossing_b_boundary(self):
+        """Adding the B-th worker jumps revenue from 0 to the full score."""
+        q = uniform_matrix(4, 0.6)
+        gain = marginal_gain(q, [0, 1], 2, capacity=4, min_group_size=3)
+        assert gain == pytest.approx(3 * 0.6)
+
+    def test_negative_gain_possible(self):
+        q = np.full((4, 4), 0.9)
+        q[3, :] = q[:, 3] = 0.0
+        matrix = CooperationMatrix(q)
+        gain = marginal_gain(matrix, [0, 1, 2], 3, capacity=4, min_group_size=3)
+        assert gain < 0
+
+    def test_worker_average_quality(self):
+        q = uniform_matrix(5, 0.4)
+        avg = worker_average_quality(q, 0, [0, 1, 2, 3], capacity=4)
+        assert avg == pytest.approx(0.4)
+        assert worker_average_quality(q, 0, [0], capacity=4) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 10), st.integers(2, 6), st.integers(0, 10**6))
+def test_property_revenue_invariants(group_size, min_group_size, seed):
+    """Revenue is non-negative, zero below B, permutation invariant, and
+    bounded by size * max_quality."""
+    rng = np.random.default_rng(seed)
+    matrix = CooperationMatrix.random_uniform(group_size + 2, seed=seed)
+    members = rng.permutation(group_size + 2)[:group_size].tolist()
+    capacity = max(group_size, min_group_size)
+    value = group_revenue(matrix, members, capacity, min_group_size)
+    assert value >= 0.0
+    if group_size < min_group_size:
+        assert value == 0.0
+    else:
+        shuffled = rng.permutation(members).tolist()
+        assert group_revenue(matrix, shuffled, capacity, min_group_size) == (
+            pytest.approx(value)
+        )
+        assert value <= group_size * 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(3, 8), st.integers(0, 10**6))
+def test_property_revenue_sum_of_averages(size, seed):
+    """Q(W) equals the sum of the members' average qualities q_i(W_j) —
+    the identity Section II uses to interpret Equation 2."""
+    matrix = CooperationMatrix.random_uniform(size, seed=seed)
+    members = list(range(size))
+    total = group_revenue(matrix, members, capacity=size, min_group_size=2)
+    summed = sum(
+        worker_average_quality(matrix, worker, members, capacity=size)
+        for worker in members
+    )
+    assert total == pytest.approx(summed)

@@ -1,0 +1,164 @@
+"""Tests for the road-network travel substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validity import compute_valid_pairs
+from repro.spatial.geometry import Point
+from repro.spatial.roadnet import (
+    EuclideanTravel,
+    RoadNetwork,
+    RoadNetworkTravel,
+    grid_network,
+    random_geometric_network,
+)
+
+from tests.conftest import make_dense_instance
+
+
+class TestRoadNetwork:
+    def test_add_edge_validation(self):
+        network = RoadNetwork()
+        a = network.add_node(Point(0, 0))
+        b = network.add_node(Point(1, 0))
+        with pytest.raises(ValueError):
+            network.add_edge(a, 9)
+        with pytest.raises(ValueError):
+            network.add_edge(a, a)
+        with pytest.raises(ValueError):
+            network.add_edge(a, b, weight=-1.0)
+
+    def test_default_weight_is_length(self):
+        network = RoadNetwork()
+        a = network.add_node(Point(0, 0))
+        b = network.add_node(Point(0.3, 0.4))
+        network.add_edge(a, b)
+        assert network.shortest_distances(a)[b] == pytest.approx(0.5)
+
+    def test_grid_network_shape(self):
+        network = grid_network(4, 5)
+        assert network.node_count == 20
+        assert network.edge_count == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_grid_network_validation(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+    def test_random_geometric(self):
+        network = random_geometric_network(40, connect_radius=0.3, seed=0)
+        assert network.node_count == 40
+        assert network.edge_count > 0
+
+    def test_nearest_node(self):
+        network = grid_network(3, 3)
+        corner = network.nearest_node(Point(0.02, 0.03))
+        assert network.node_points[corner] == Point(0.0, 0.0)
+
+    def test_dijkstra_matches_networkx(self):
+        rng = np.random.default_rng(3)
+        network = random_geometric_network(30, connect_radius=0.35, seed=3)
+        graph = nx.Graph()
+        for node in range(network.node_count):
+            graph.add_node(node)
+        for node in range(network.node_count):
+            for neighbour, weight in network.adjacency[node]:
+                graph.add_edge(node, neighbour, weight=weight)
+        source = int(rng.integers(network.node_count))
+        expected = nx.single_source_dijkstra_path_length(graph, source)
+        distances = network.shortest_distances(source)
+        for node in range(network.node_count):
+            if node in expected:
+                assert distances[node] == pytest.approx(expected[node])
+            else:
+                assert np.isinf(distances[node])
+
+    def test_shortest_distances_validation(self):
+        network = grid_network(2, 2)
+        with pytest.raises(ValueError):
+            network.shortest_distances(99)
+
+
+class TestTravelModels:
+    def test_euclidean_model(self):
+        model = EuclideanTravel()
+        assert model.distance(Point(0, 0), Point(3, 4)) == 5.0
+        batch = model.distances_from(Point(0, 0), [Point(1, 0), Point(0, 2)])
+        assert batch.tolist() == [1.0, 2.0]
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetworkTravel(RoadNetwork())
+
+    def test_road_distance_dominates_euclidean(self):
+        network = grid_network(5, 5, seed=0)
+        model = RoadNetworkTravel(network)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = Point(*rng.uniform(0, 1, size=2))
+            b = Point(*rng.uniform(0, 1, size=2))
+            assert model.distance(a, b) >= a.distance_to(b) - 1e-9
+
+    def test_manhattan_like_detour(self):
+        """On a street grid, the corner-to-corner trip is ~L1, not L2."""
+        network = grid_network(11, 11)
+        model = RoadNetworkTravel(network)
+        distance = model.distance(Point(0, 0), Point(1, 1))
+        assert distance == pytest.approx(2.0, abs=0.05)
+
+    def test_disconnected_fallback(self):
+        network = RoadNetwork()
+        network.add_node(Point(0.1, 0.1))
+        network.add_node(Point(0.9, 0.9))
+        # No edges: components are disconnected; direct walking applies.
+        model = RoadNetworkTravel(network)
+        assert model.distance(Point(0.1, 0.1), Point(0.9, 0.9)) == pytest.approx(
+            Point(0.1, 0.1).distance_to(Point(0.9, 0.9))
+        )
+
+
+class TestValidityIntegration:
+    def test_road_validity_subset_of_euclidean(self):
+        instance = make_dense_instance(40, 8, seed=2)
+        euclidean = compute_valid_pairs(instance)
+        road = compute_valid_pairs(
+            instance,
+            travel_model=RoadNetworkTravel(grid_network(6, 6)),
+        )
+        for worker in range(instance.worker_count):
+            assert set(road.tasks_for_worker[worker]) <= set(
+                euclidean.tasks_for_worker[worker]
+            )
+
+    def test_euclidean_travel_model_matches_default(self):
+        instance = make_dense_instance(30, 6, seed=3)
+        default = compute_valid_pairs(instance)
+        modelled = compute_valid_pairs(instance, travel_model=EuclideanTravel())
+        assert default == modelled
+
+    def test_solvers_run_on_road_validity(self):
+        from repro.core.tpg import solve_tpg
+
+        instance = make_dense_instance(30, 6, seed=4)
+        road = compute_valid_pairs(
+            instance, travel_model=RoadNetworkTravel(grid_network(5, 5))
+        )
+        assignment = solve_tpg(instance, road)
+        assignment.check_feasible()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_subset_holds(self, seed):
+        from repro.datasets.synthetic import generate_instance
+
+        instance = generate_instance(
+            25, 6, speed_range=(0.1, 0.4), radius_range=(0.2, 0.5), seed=seed
+        )
+        euclidean = compute_valid_pairs(instance)
+        road = compute_valid_pairs(
+            instance,
+            travel_model=RoadNetworkTravel(grid_network(4, 4, seed=seed)),
+        )
+        assert road.pair_count <= euclidean.pair_count

@@ -1,0 +1,193 @@
+"""Tests for the from-scratch R-tree: correctness vs brute force,
+structural invariants, bulk loading, deletion, and kNN."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.rtree import RTree
+
+
+def brute_circle(points, center, radius):
+    return sorted(
+        item for item, p in points if p.distance_to(center) <= radius
+    )
+
+
+def brute_box(points, box):
+    return sorted(item for item, p in points if box.contains_point(p))
+
+
+def random_points(rng, count):
+    xy = rng.uniform(0, 1, size=(count, 2))
+    return [(i, Point(float(x), float(y))) for i, (x, y) in enumerate(xy)]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.query_circle(Point(0, 0), 10) == []
+        assert tree.query_box(BoundingBox(0, 0, 1, 1)) == []
+        assert tree.nearest(Point(0, 0), 3) == []
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_insert_and_len(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert(i, Point(i * 0.05, i * 0.05))
+        assert len(tree) == 20
+        tree.check_invariants()
+
+    def test_duplicates_allowed(self):
+        tree = RTree()
+        tree.insert("a", Point(0.5, 0.5))
+        tree.insert("b", Point(0.5, 0.5))
+        assert sorted(tree.query_circle(Point(0.5, 0.5), 0.0)) == ["a", "b"]
+
+    def test_bulk_load_sizes(self):
+        rng = np.random.default_rng(1)
+        for count in (0, 1, 7, 8, 9, 64, 200):
+            points = random_points(rng, count)
+            tree = RTree.bulk_load(points, max_entries=8)
+            assert len(tree) == count
+            tree.check_invariants()
+            assert sorted(item for item, _ in tree) == list(range(count))
+
+    def test_bulk_load_is_shallower_than_insertion(self):
+        rng = np.random.default_rng(2)
+        points = random_points(rng, 500)
+        bulk = RTree.bulk_load(points, max_entries=8)
+        grown = RTree(max_entries=8)
+        for item, point in points:
+            grown.insert(item, point)
+        assert bulk.height <= grown.height
+
+
+class TestQueries:
+    @pytest.mark.parametrize("count", [5, 40, 300])
+    @pytest.mark.parametrize("loader", ["insert", "bulk"])
+    def test_circle_query_matches_brute_force(self, count, loader):
+        rng = np.random.default_rng(count)
+        points = random_points(rng, count)
+        if loader == "bulk":
+            tree = RTree.bulk_load(points, max_entries=6)
+        else:
+            tree = RTree(max_entries=6)
+            for item, point in points:
+                tree.insert(item, point)
+        for _ in range(25):
+            center = Point(*rng.uniform(0, 1, size=2))
+            radius = float(rng.uniform(0, 0.5))
+            assert sorted(tree.query_circle(center, radius)) == brute_circle(
+                points, center, radius
+            )
+
+    def test_box_query_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        points = random_points(rng, 200)
+        tree = RTree.bulk_load(points)
+        for _ in range(25):
+            x1, x2 = sorted(rng.uniform(0, 1, size=2))
+            y1, y2 = sorted(rng.uniform(0, 1, size=2))
+            box = BoundingBox(x1, y1, x2, y2)
+            assert sorted(tree.query_box(box)) == brute_box(points, box)
+
+    def test_negative_radius_rejected(self):
+        tree = RTree()
+        with pytest.raises(ValueError):
+            tree.query_circle(Point(0, 0), -0.1)
+
+    def test_nearest_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        points = random_points(rng, 120)
+        tree = RTree.bulk_load(points)
+        for _ in range(20):
+            center = Point(*rng.uniform(0, 1, size=2))
+            k = int(rng.integers(1, 10))
+            result = tree.nearest(center, k)
+            assert len(result) == k
+            expected = sorted(p.distance_to(center) for _, p in points)[:k]
+            assert [d for _, d in result] == pytest.approx(expected)
+
+    def test_nearest_k_zero(self):
+        tree = RTree.bulk_load([(0, Point(0, 0))])
+        assert tree.nearest(Point(0, 0), 0) == []
+
+    def test_nearest_k_exceeds_size(self):
+        tree = RTree.bulk_load([(i, Point(i, 0)) for i in range(3)])
+        assert len(tree.nearest(Point(0, 0), 10)) == 3
+
+
+class TestDeletion:
+    def test_delete_missing_returns_false(self):
+        tree = RTree.bulk_load([(0, Point(0.1, 0.1))])
+        assert not tree.delete(0, Point(0.9, 0.9))
+        assert not tree.delete(1, Point(0.1, 0.1))
+        assert len(tree) == 1
+
+    def test_delete_then_query(self):
+        rng = np.random.default_rng(5)
+        points = random_points(rng, 100)
+        tree = RTree.bulk_load(points, max_entries=5)
+        removed = set()
+        for item, point in points[::3]:
+            assert tree.delete(item, point)
+            removed.add(item)
+            tree.check_invariants()
+        assert len(tree) == 100 - len(removed)
+        remaining = [(i, p) for i, p in points if i not in removed]
+        center = Point(0.5, 0.5)
+        assert sorted(tree.query_circle(center, 0.4)) == brute_circle(
+            remaining, center, 0.4
+        )
+
+    def test_delete_everything(self):
+        rng = np.random.default_rng(6)
+        points = random_points(rng, 60)
+        tree = RTree(max_entries=4)
+        for item, point in points:
+            tree.insert(item, point)
+        for item, point in points:
+            assert tree.delete(item, point)
+        assert len(tree) == 0
+        assert tree.query_circle(Point(0.5, 0.5), 1.0) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)
+        ),
+        min_size=0,
+        max_size=80,
+    ),
+    st.integers(0, 2**31),
+)
+def test_property_mixed_workload(point_list, seed):
+    """Random insert/query/delete workload agrees with brute force."""
+    rng = np.random.default_rng(seed)
+    tree = RTree(max_entries=4)
+    alive: list[tuple[int, Point]] = []
+    for i, (x, y) in enumerate(point_list):
+        tree.insert(i, Point(x, y))
+        alive.append((i, Point(x, y)))
+        if rng.random() < 0.2 and alive:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            assert tree.delete(*victim)
+    tree.check_invariants()
+    center = Point(float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+    radius = float(rng.uniform(0, math.sqrt(2)))
+    assert sorted(tree.query_circle(center, radius)) == brute_circle(
+        alive, center, radius
+    )

@@ -1,0 +1,260 @@
+"""Tests for the batch-based framework (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tpg import solve_tpg
+from repro.simulation.batch import BatchConfig, BatchSimulator
+from repro.simulation.population import Population
+
+
+def tpg_solver(instance, valid_pairs):
+    return solve_tpg(instance, valid_pairs)
+
+
+@pytest.fixture(scope="module")
+def population() -> Population:
+    return Population.synthetic(150, 60, seed=5)
+
+
+def quick_config(**overrides) -> BatchConfig:
+    defaults = dict(
+        rounds=4,
+        workers_per_round=60,
+        tasks_per_round=15,
+        capacity=4,
+        min_group_size=3,
+        remaining_time=3.0,
+        speed_range=(0.05, 0.2),
+        radius_range=(0.2, 0.4),
+    )
+    defaults.update(overrides)
+    return BatchConfig(**defaults)
+
+
+class TestPopulation:
+    def test_synthetic_shapes(self, population):
+        assert population.worker_pool_size == 150
+        assert population.task_pool_size == 60
+
+    def test_validation(self):
+        from repro.core.quality import CooperationMatrix
+
+        with pytest.raises(ValueError):
+            Population(
+                worker_locations=np.zeros((5, 3)),
+                task_locations=np.zeros((2, 2)),
+                quality=CooperationMatrix.random_uniform(5, seed=0),
+            )
+        with pytest.raises(ValueError):
+            Population(
+                worker_locations=np.zeros((5, 2)),
+                task_locations=np.zeros((2, 2)),
+                quality=CooperationMatrix.random_uniform(4, seed=0),
+            )
+
+    def test_from_meetup(self):
+        from repro.datasets.meetup import generate_meetup_dataset
+
+        dataset = generate_meetup_dataset(
+            user_count=40, event_count=15, group_count=8, seed=1
+        )
+        population = Population.from_meetup(dataset)
+        assert population.worker_pool_size == 40
+        assert population.task_pool_size == 15
+
+    def test_sample_workers_distinct_and_excluding(self, population):
+        rng = np.random.default_rng(0)
+        exclude = {0, 1, 2}
+        sample = population.sample_workers(30, rng, exclude=exclude)
+        assert len(sample) == 30
+        assert len(set(sample.tolist())) == 30
+        assert not (set(sample.tolist()) & exclude)
+
+    def test_sample_workers_exhausted_pool(self, population):
+        rng = np.random.default_rng(0)
+        sample = population.sample_workers(
+            1000, rng, exclude=set(range(100))
+        )
+        assert len(sample) == 50
+
+    def test_sample_task_sites_with_replacement(self, population):
+        rng = np.random.default_rng(0)
+        sites = population.sample_task_sites(200, rng)
+        assert len(sites) == 200
+        assert sites.min() >= 0
+        assert sites.max() < 60
+
+    def test_quality_kinds(self):
+        uniform = Population.synthetic(30, 10, quality_kind="uniform", seed=0)
+        assert uniform.quality.size == 30
+        with pytest.raises(ValueError):
+            Population.synthetic(30, 10, quality_kind="zipf", seed=0)
+
+
+class TestBatchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quick_config(rounds=0)
+        with pytest.raises(ValueError):
+            quick_config(capacity=2, min_group_size=3)
+        with pytest.raises(ValueError):
+            quick_config(remaining_time=0.0)
+
+
+class TestBatchSimulator:
+    def test_runs_all_rounds(self, population):
+        simulator = BatchSimulator(population, quick_config(), tpg_solver, seed=0)
+        report = simulator.run()
+        assert len(report.rounds) == 4
+        assert report.total_score >= 0.0
+        assert report.mean_batch_seconds > 0.0
+
+    def test_round_metrics_consistent(self, population):
+        simulator = BatchSimulator(population, quick_config(), tpg_solver, seed=1)
+        report = simulator.run()
+        for metrics in report.rounds:
+            assert metrics.worker_count <= 60
+            assert metrics.task_count <= 15
+            assert metrics.assigned_workers <= metrics.worker_count
+            assert metrics.completed_tasks <= metrics.task_count
+            assert metrics.score >= 0.0
+
+    def test_same_seed_same_stream(self, population):
+        """Two simulators with identical seeds see identical batches."""
+        captured: list[list[tuple[int, int]]] = [[], []]
+
+        def make_hook(slot):
+            def hook(instance, valid_pairs):
+                captured[slot].append(
+                    (instance.worker_count, instance.task_count, valid_pairs.pair_count)
+                )
+
+            return hook
+
+        for slot in (0, 1):
+            BatchSimulator(
+                population,
+                quick_config(rounds=2),
+                tpg_solver,
+                seed=42,
+                instance_hook=make_hook(slot),
+            ).run()
+        assert captured[0] == captured[1]
+
+    def test_busy_workers_not_resampled(self, population):
+        """A worker serving a long task cannot appear in the next batch."""
+        seen: list[set[int]] = []
+        served: list[set[int]] = []
+
+        def hook(instance, valid_pairs):
+            seen.append({w.worker_id for w in instance.workers})
+
+        config = quick_config(
+            rounds=2, task_duration=5.0, workers_per_round=140
+        )
+        simulator = BatchSimulator(
+            population, config, tpg_solver, seed=3, instance_hook=hook
+        )
+
+        original_solver = simulator.solver
+
+        def capturing_solver(instance, valid_pairs):
+            assignment = original_solver(instance, valid_pairs)
+            busy = {
+                instance.workers[w].worker_id
+                for w, _ in assignment.to_pairs()
+                if assignment.assigned_count(assignment.task_of(w))
+                >= config.min_group_size
+            }
+            served.append(busy)
+            return assignment
+
+        simulator.solver = capturing_solver
+        simulator.run()
+        assert len(seen) == 2
+        # Workers serving groups in round 0 must be absent from round 1.
+        assert not (served[0] & seen[1])
+
+    def test_carryover_keeps_unserved_tasks(self, population):
+        """With carryover, unserved tasks reappear until expiry."""
+        task_ids: list[set[int]] = []
+
+        def hook(instance, valid_pairs):
+            task_ids.append({t.task_id for t in instance.tasks})
+
+        config = quick_config(rounds=3, workers_per_round=10, tasks_per_round=12)
+        BatchSimulator(
+            population, config, tpg_solver, seed=4, instance_hook=hook
+        ).run()
+        # With only 10 workers most tasks go unserved and must carry over.
+        assert task_ids[0] & task_ids[1]
+
+    def test_no_carryover(self, population):
+        task_ids: list[set[int]] = []
+
+        def hook(instance, valid_pairs):
+            task_ids.append({t.task_id for t in instance.tasks})
+
+        config = quick_config(
+            rounds=2, workers_per_round=10, carryover=False
+        )
+        BatchSimulator(
+            population, config, tpg_solver, seed=5, instance_hook=hook
+        ).run()
+        assert not (task_ids[0] & task_ids[1])
+
+    def test_expired_tasks_dropped(self, population):
+        """Tasks older than their deadline never reappear."""
+        rounds_seen: dict[int, list[int]] = {}
+
+        def hook(instance, valid_pairs):
+            index = len(set(rounds_seen.get(-1, [])))
+            for task in instance.tasks:
+                rounds_seen.setdefault(task.task_id, []).append(instance.now)
+
+        config = quick_config(
+            rounds=5, workers_per_round=5, remaining_time=2.0
+        )
+        BatchSimulator(
+            population, config, tpg_solver, seed=6, instance_hook=hook
+        ).run()
+        for task_id, timestamps in rounds_seen.items():
+            if task_id < 0:
+                continue
+            assert max(timestamps) - min(timestamps) <= 2.0 + 1e-9
+
+    def test_random_solver_works_in_framework(self, population):
+        from repro.core.baselines.random_assign import solve_random
+
+        rng = np.random.default_rng(0)
+
+        def solver(instance, valid_pairs):
+            return solve_random(instance, valid_pairs, seed=rng)
+
+        report = BatchSimulator(
+            population, quick_config(), solver, seed=7
+        ).run()
+        assert len(report.rounds) == 4
+
+
+class TestWorkerParticipation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quick_config(worker_participation=0.0)
+        with pytest.raises(ValueError):
+            quick_config(worker_participation=1.5)
+
+    def test_partial_participation_shrinks_batches(self, population):
+        full = BatchSimulator(
+            population, quick_config(), tpg_solver, seed=11
+        ).run()
+        partial = BatchSimulator(
+            population,
+            quick_config(worker_participation=0.5),
+            tpg_solver,
+            seed=11,
+        ).run()
+        assert sum(r.worker_count for r in partial.rounds) < sum(
+            r.worker_count for r in full.rounds
+        )

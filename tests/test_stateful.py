@@ -1,0 +1,139 @@
+"""Stateful (model-based) property tests with hypothesis.
+
+Two rule-based state machines drive long random operation sequences:
+
+* the R-tree against a brute-force list model (insert/delete/query must
+  always agree, invariants must always hold);
+* the Assignment against a from-scratch Equation 2/3 evaluation
+  (incremental pair sums and revenues must never drift).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.revenue import group_revenue
+from repro.spatial.geometry import Point
+from repro.spatial.rtree import RTree
+
+from tests.conftest import make_dense_instance
+
+coordinates = st.tuples(
+    st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)
+)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """The R-tree must behave exactly like a list of (id, point)."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(max_entries=4)
+        self.model: list[tuple[int, Point]] = []
+        self.next_id = 0
+
+    @rule(xy=coordinates)
+    def insert(self, xy):
+        point = Point(*xy)
+        self.tree.insert(self.next_id, point)
+        self.model.append((self.next_id, point))
+        self.next_id += 1
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model)
+    def delete_existing(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        item, point = self.model.pop(index)
+        assert self.tree.delete(item, point)
+
+    @rule(xy=coordinates)
+    def delete_missing(self, xy):
+        assert not self.tree.delete(-1, Point(*xy))
+
+    @rule(xy=coordinates, radius=st.floats(0, 1.5))
+    def query_circle(self, xy, radius):
+        center = Point(*xy)
+        expected = sorted(
+            item for item, p in self.model if p.distance_to(center) <= radius
+        )
+        assert sorted(self.tree.query_circle(center, radius)) == expected
+
+    @rule(xy=coordinates, k=st.integers(1, 5))
+    def nearest(self, xy, k):
+        center = Point(*xy)
+        result = self.tree.nearest(center, k)
+        expected = sorted(p.distance_to(center) for _, p in self.model)[:k]
+        assert [round(d, 12) for _, d in result] == [round(d, 12) for d in expected]
+
+    @invariant()
+    def structure_is_sound(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+class AssignmentMachine(RuleBasedStateMachine):
+    """Incremental revenue caches must match from-scratch evaluation."""
+
+    def __init__(self):
+        super().__init__()
+        self.instance = make_dense_instance(14, 4, capacity=4, seed=99)
+        self.assignment = Assignment(self.instance, allow_overflow=True)
+        self.model_task_of = [UNASSIGNED] * self.instance.worker_count
+
+    @initialize()
+    def setup(self):
+        pass
+
+    @rule(worker=st.integers(0, 13), task=st.integers(0, 3))
+    def assign_or_move(self, worker, task):
+        if self.model_task_of[worker] == task:
+            return
+        self.assignment.move(worker, task)
+        self.model_task_of[worker] = task
+
+    @rule(worker=st.integers(0, 13))
+    def unassign(self, worker):
+        if self.model_task_of[worker] == UNASSIGNED:
+            return
+        self.assignment.unassign(worker)
+        self.model_task_of[worker] = UNASSIGNED
+
+    @invariant()
+    def revenues_match_scratch(self):
+        for task in range(self.instance.task_count):
+            members = [
+                worker
+                for worker, assigned in enumerate(self.model_task_of)
+                if assigned == task
+            ]
+            assert sorted(self.assignment.members(task)) == members
+            expected = group_revenue(
+                self.instance.quality,
+                members,
+                self.instance.tasks[task].capacity,
+                self.instance.min_group_size,
+            )
+            assert abs(self.assignment.revenue_of(task) - expected) < 1e-8
+        assert (
+            abs(self.assignment.total_score() - self.assignment.recompute_total())
+            < 1e-8
+        )
+
+
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+TestAssignmentStateful = AssignmentMachine.TestCase
+TestAssignmentStateful.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)

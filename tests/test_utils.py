@@ -1,0 +1,96 @@
+"""Tests for utility helpers (rng, stopwatch, errors)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import (
+    CapacityError,
+    InvalidInstanceError,
+    ReproError,
+    ValidityError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Stopwatch
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error in (InvalidInstanceError, ValidityError, CapacityError):
+            assert issubclass(error, ReproError)
+        assert issubclass(ReproError, Exception)
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(7)
+        b = ensure_rng(7)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_streams(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+        draws = [rng.integers(10**9) for rng in children]
+        assert len(set(draws)) > 1
+
+    def test_spawn_rngs_reproducible(self):
+        first = [rng.integers(10**9) for rng in spawn_rngs(5, 3)]
+        second = [rng.integers(10**9) for rng in spawn_rngs(5, 3)]
+        assert first == second
+
+    def test_spawn_rngs_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_rngs_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.02
+        assert len(watch.laps) == 2
+        assert watch.mean_lap == pytest.approx(watch.elapsed / 2)
+
+    def test_manual_start_stop(self):
+        watch = Stopwatch()
+        watch.start()
+        lap = watch.stop()
+        assert lap >= 0.0
+        assert watch.elapsed == lap
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert watch.laps == []
+        assert watch.mean_lap == 0.0

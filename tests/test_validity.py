@@ -1,0 +1,104 @@
+"""Tests for the Definition 3 valid-pair computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validity import ValidPairs, compute_valid_pairs
+from repro.datasets.synthetic import generate_instance
+
+from tests.conftest import make_dense_instance
+
+
+class TestValidPairsStructure:
+    def test_from_worker_lists_transposes(self):
+        pairs = ValidPairs.from_worker_lists([[0, 1], [1], []], task_count=2)
+        assert pairs.tasks_for_worker == ((0, 1), (1,), ())
+        assert pairs.workers_for_task == ((0,), (0, 1))
+        assert pairs.pair_count == 3
+
+    def test_duplicates_deduplicated(self):
+        pairs = ValidPairs.from_worker_lists([[1, 1, 0]], task_count=2)
+        assert pairs.tasks_for_worker == ((0, 1),)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ValidPairs.from_worker_lists([[5]], task_count=2)
+
+    def test_is_valid_and_iter(self):
+        pairs = ValidPairs.from_worker_lists([[0], [1]], task_count=2)
+        assert pairs.is_valid(0, 0)
+        assert not pairs.is_valid(0, 1)
+        assert sorted(pairs.iter_pairs()) == [(0, 0), (1, 1)]
+
+
+class TestComputeValidPairs:
+    def test_unknown_strategy(self):
+        instance = make_dense_instance(10, 3)
+        with pytest.raises(ValueError):
+            compute_valid_pairs(instance, strategy="quadtree")
+
+    def test_matches_definition(self):
+        instance = make_dense_instance(25, 5, seed=3)
+        pairs = compute_valid_pairs(instance)
+        for worker in range(instance.worker_count):
+            for task in range(instance.task_count):
+                assert pairs.is_valid(worker, task) == instance.is_pair_valid(
+                    worker, task
+                )
+
+    @pytest.mark.parametrize("strategy", ["rtree", "grid", "kdtree", "matrix"])
+    def test_strategies_agree(self, strategy):
+        instance = generate_instance(60, 15, seed=5)
+        reference = compute_valid_pairs(instance, strategy="matrix")
+        result = compute_valid_pairs(instance, strategy=strategy)
+        assert result == reference
+
+    def test_empty_instances(self):
+        instance = make_dense_instance(4, 2)
+        empty_workers = generate_instance(0, 3, seed=0)
+        assert compute_valid_pairs(empty_workers).pair_count == 0
+        empty_tasks = generate_instance(5, 0, seed=0)
+        assert compute_valid_pairs(empty_tasks).pair_count == 0
+        assert compute_valid_pairs(instance).pair_count >= 0
+
+    def test_deadline_excludes_pairs(self):
+        # Tiny remaining time: only on-the-spot workers qualify.
+        tight = generate_instance(
+            50, 10, remaining_time=1e-6, radius_range=(0.5, 0.9), seed=2
+        )
+        loose = generate_instance(
+            50, 10, remaining_time=10.0, radius_range=(0.5, 0.9), seed=2
+        )
+        tight_pairs = compute_valid_pairs(tight).pair_count
+        loose_pairs = compute_valid_pairs(loose).pair_count
+        assert tight_pairs < loose_pairs
+
+    def test_radius_monotone(self):
+        small = generate_instance(50, 10, radius_range=(0.02, 0.05), seed=4)
+        large = generate_instance(50, 10, radius_range=(0.4, 0.8), seed=4)
+        assert (
+            compute_valid_pairs(small).pair_count
+            <= compute_valid_pairs(large).pair_count
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 40),
+    st.integers(0, 10),
+    st.integers(0, 10**6),
+)
+def test_property_strategies_always_agree(worker_count, task_count, seed):
+    instance = generate_instance(
+        worker_count,
+        task_count,
+        speed_range=(0.05, 0.4),
+        radius_range=(0.05, 0.6),
+        seed=seed,
+    )
+    matrix = compute_valid_pairs(instance, strategy="matrix")
+    grid = compute_valid_pairs(instance, strategy="grid")
+    rtree = compute_valid_pairs(instance, strategy="rtree")
+    kdtree = compute_valid_pairs(instance, strategy="kdtree")
+    assert matrix == grid == rtree == kdtree
