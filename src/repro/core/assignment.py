@@ -2,8 +2,9 @@
 
 An :class:`Assignment` is the object every solver builds and returns: a
 mapping worker -> task (at most one task per worker — Definition 4's
-assignment is a set of disjoint worker groups) together with cached
-per-task pair sums and revenues, so the greedy and game-theoretic solvers
+assignment is a set of disjoint worker groups) layered over a
+:class:`~repro.core.revenue.RevenueCache`, which maintains per-task pair
+sums and revenues incrementally, so the greedy and game-theoretic solvers
 can evaluate millions of marginal gains without recomputing Equation 2
 from scratch.
 
@@ -20,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.model import Instance
-from repro.core.revenue import best_counted_subset, group_revenue
+from repro.core.revenue import RevenueCache
 from repro.core.validity import ValidPairs
 from repro.utils.errors import CapacityError, ValidityError
 
@@ -52,17 +53,19 @@ class Assignment:
         self.instance = instance
         self.valid_pairs = valid_pairs
         self.allow_overflow = allow_overflow
-        self._members: list[list[int]] = [[] for _ in range(instance.task_count)]
+        self.revenue_cache = RevenueCache(
+            instance.quality,
+            [task.capacity for task in instance.tasks],
+            instance.min_group_size,
+        )
         self._task_of = np.full(instance.worker_count, UNASSIGNED, dtype=int)
-        self._pair_sums = np.zeros(instance.task_count)
-        self._revenues = np.zeros(instance.task_count)
 
     # ------------------------------------------------------------------
     # read access
     # ------------------------------------------------------------------
     def members(self, task: int) -> tuple[int, ...]:
         """Workers currently attached to ``task`` (insertion order)."""
-        return tuple(self._members[task])
+        return self.revenue_cache.members(task)
 
     def task_of(self, worker: int) -> int:
         """The worker's task index, or :data:`UNASSIGNED`."""
@@ -72,28 +75,27 @@ class Assignment:
         return self._task_of[worker] != UNASSIGNED
 
     def assigned_count(self, task: int) -> int:
-        return len(self._members[task])
+        return int(self.revenue_cache.counts[task])
 
     def revenue_of(self, task: int) -> float:
         """Cached ``Q(W_j)`` for the task."""
-        return float(self._revenues[task])
+        return self.revenue_cache.revenue(task)
 
     def total_score(self) -> float:
         """Equation 3: the summed revenue over all tasks."""
-        return float(self._revenues.sum())
+        return self.revenue_cache.total()
 
     def recompute_total(self) -> float:
         """Recompute the score from scratch (drift check / debugging)."""
-        quality = self.instance.quality
-        return sum(
-            group_revenue(
-                quality,
-                members,
-                self.instance.tasks[task].capacity,
-                self.instance.min_group_size,
-            )
-            for task, members in enumerate(self._members)
-        )
+        return self.revenue_cache.recompute_total()
+
+    def counted_members(self, task: int) -> tuple[int, ...]:
+        """The members Equation 2 counts for the task, sorted ascending.
+
+        Over-capacity tasks reuse the cached best-subset from the last
+        revenue refresh instead of re-peeling.
+        """
+        return self.revenue_cache.counted_subset(task)
 
     def to_pairs(self) -> list[tuple[int, int]]:
         """All assigned ``(worker_index, task_index)`` pairs, sorted."""
@@ -109,7 +111,7 @@ class Assignment:
     def completed_task_count(self) -> int:
         """Tasks holding at least ``B`` workers (i.e. that will run)."""
         minimum = self.instance.min_group_size
-        return sum(1 for members in self._members if len(members) >= minimum)
+        return int((self.revenue_cache.counts >= minimum).sum())
 
     # ------------------------------------------------------------------
     # mutation
@@ -131,18 +133,15 @@ class Assignment:
             )
         if self.valid_pairs is not None and not self.valid_pairs.is_valid(worker, task):
             raise ValidityError(f"pair <{worker}, {task}> violates Definition 3")
-        members = self._members[task]
         if (
             not self.allow_overflow
-            and len(members) >= self.instance.tasks[task].capacity
+            and self.assigned_count(task) >= self.instance.tasks[task].capacity
         ):
             raise CapacityError(
                 f"task {task} is at capacity {self.instance.tasks[task].capacity}"
             )
-        self._pair_sums[task] += self.instance.quality.cross_sum(worker, members)
-        members.append(worker)
+        self.revenue_cache.join(worker, task)
         self._task_of[worker] = task
-        self._refresh_revenue(task)
 
     def unassign(self, worker: int) -> int:
         """Detach a worker; returns the task it was on.
@@ -152,11 +151,8 @@ class Assignment:
         task = int(self._task_of[worker])
         if task == UNASSIGNED:
             raise ValidityError(f"worker {worker} is not assigned")
-        members = self._members[task]
-        members.remove(worker)
-        self._pair_sums[task] -= self.instance.quality.cross_sum(worker, members)
+        self.revenue_cache.leave(worker, task)
         self._task_of[worker] = UNASSIGNED
-        self._refresh_revenue(task)
         return task
 
     def move(self, worker: int, task: int) -> None:
@@ -164,22 +160,6 @@ class Assignment:
         if self._task_of[worker] != UNASSIGNED:
             self.unassign(worker)
         self.assign(worker, task)
-
-    def _refresh_revenue(self, task: int) -> None:
-        members = self._members[task]
-        count = len(members)
-        capacity = self.instance.tasks[task].capacity
-        if count < self.instance.min_group_size:
-            self._revenues[task] = 0.0
-        elif count <= capacity:
-            self._revenues[task] = self._pair_sums[task] / (count - 1)
-        else:
-            self._revenues[task] = group_revenue(
-                self.instance.quality,
-                members,
-                capacity,
-                self.instance.min_group_size,
-            )
 
     # ------------------------------------------------------------------
     # marginal evaluations (the solvers' hot path)
@@ -191,22 +171,7 @@ class Assignment:
         ``(S + cross) / (k_new - 1)`` with the cached pair sum ``S``; only
         overflow joins fall back to the peeling evaluation.
         """
-        members = self._members[task]
-        new_count = len(members) + 1
-        capacity = self.instance.tasks[task].capacity
-        if new_count <= capacity:
-            if new_count < self.instance.min_group_size:
-                return 0.0 - self._revenues[task]
-            cross = self.instance.quality.cross_sum(worker, members)
-            new_revenue = (self._pair_sums[task] + cross) / (new_count - 1)
-        else:
-            new_revenue = group_revenue(
-                self.instance.quality,
-                [*members, worker],
-                capacity,
-                self.instance.min_group_size,
-            )
-        return new_revenue - float(self._revenues[task])
+        return self.revenue_cache.join_gain(worker, task)
 
     def leave_delta(self, worker: int) -> float:
         """``Q(W_j) - Q(W_j - {w_i})`` at the worker's current task.
@@ -217,25 +182,7 @@ class Assignment:
         task = int(self._task_of[worker])
         if task == UNASSIGNED:
             return 0.0
-        members = self._members[task]
-        count = len(members)
-        capacity = self.instance.tasks[task].capacity
-        current = float(self._revenues[task])
-        if count - 1 < self.instance.min_group_size:
-            return current
-        if count <= capacity:
-            cross = self.instance.quality.cross_sum(
-                worker, [m for m in members if m != worker]
-            )
-            without = (self._pair_sums[task] - cross) / (count - 2)
-        else:
-            without = group_revenue(
-                self.instance.quality,
-                [m for m in members if m != worker],
-                capacity,
-                self.instance.min_group_size,
-            )
-        return current - without
+        return self.revenue_cache.leave_delta(worker, task)
 
     # ------------------------------------------------------------------
     # feasibility
@@ -246,7 +193,8 @@ class Assignment:
         Checks capacity, validity (when a :class:`ValidPairs` is attached)
         and the worker-disjointness implied by the internal representation.
         """
-        for task_index, members in enumerate(self._members):
+        for task_index in range(self.instance.task_count):
+            members = self.revenue_cache.member_list(task_index)
             capacity = self.instance.tasks[task_index].capacity
             if len(members) > capacity:
                 raise CapacityError(
@@ -272,16 +220,16 @@ class Assignment:
         """Idle crowded-out workers so every task respects ``a_j``.
 
         For each over-capacity task the best ``a_j``-subset (the workers
-        Equation 2 actually counts) is kept. Returns the dropped workers.
+        Equation 2 actually counts, reused from the revenue cache) is
+        kept. Returns the dropped workers.
         """
         dropped: list[int] = []
-        for task_index, members in enumerate(self._members):
+        for task_index in range(self.instance.task_count):
+            members = self.revenue_cache.member_list(task_index)
             capacity = self.instance.tasks[task_index].capacity
             if len(members) <= capacity:
                 continue
-            kept = set(
-                best_counted_subset(self.instance.quality, members, capacity)
-            )
+            kept = set(self.revenue_cache.counted_subset(task_index))
             for worker in [m for m in members if m not in kept]:
                 self.unassign(worker)
                 dropped.append(worker)
@@ -296,7 +244,8 @@ class Assignment:
         """
         dropped: list[int] = []
         minimum = self.instance.min_group_size
-        for members in [list(m) for m in self._members]:
+        for task_index in range(self.instance.task_count):
+            members = list(self.revenue_cache.member_list(task_index))
             if 0 < len(members) < minimum:
                 for worker in members:
                     self.unassign(worker)
@@ -306,10 +255,16 @@ class Assignment:
     def copy(self) -> "Assignment":
         """Deep copy sharing the (immutable) instance and validity."""
         clone = Assignment(self.instance, self.valid_pairs, self.allow_overflow)
-        clone._members = [list(members) for members in self._members]
+        source = self.revenue_cache
+        target = clone.revenue_cache
+        target._members = [list(members) for members in source._members]
+        target._member_arrays = list(source._member_arrays)
+        target._counted = list(source._counted)
+        target.pair_sums = source.pair_sums.copy()
+        target.revenues = source.revenues.copy()
+        target.counts = source.counts.copy()
+        target.versions = list(source.versions)
         clone._task_of = self._task_of.copy()
-        clone._pair_sums = self._pair_sums.copy()
-        clone._revenues = self._revenues.copy()
         return clone
 
     def __repr__(self) -> str:

@@ -27,17 +27,32 @@ Optimizations
   members-to-be; an exchange ``w_x`` in / ``w_y`` out only matters to a
   worker ``w_i`` with ``q_i(w_y) > q_i(w_x)`` (current best) or
   ``q_i(w_y) < q_i(w_x)`` (other tasks).
+* **Vectorized scans**: a full best-response scan scores all of a
+  worker's within-capacity candidate tasks in one batched numpy pass —
+  a single gather of ``q[worker, members]`` (and its transpose) per task
+  via ``np.add.reduceat`` over the concatenated member arrays — instead
+  of one ``join_gain`` call per task. The batched arithmetic is
+  bit-identical to the scalar path for the group sizes the experiments
+  use (pairwise summation in numpy only reorders sums of eight or more
+  elements; larger groups fall back to the scalar evaluation), which
+  preserves the exact potential function and hence the reached
+  equilibria.
+
+Every solve is instrumented: the returned :class:`GameResult` carries a
+:class:`~repro.core.stats.SolverStats` with revenue-evaluation counters,
+LUB cache hits/misses/invalidations, and per-round wall-clock timings.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.assignment import UNASSIGNED, Assignment
 from repro.core.model import Instance
-from repro.core.revenue import best_counted_subset
+from repro.core.stats import RoundStats, SolverStats
 from repro.core.tpg import solve_tpg_with_stats
 from repro.core.validity import ValidPairs, compute_valid_pairs
 from repro.utils.rng import ensure_rng
@@ -46,6 +61,11 @@ __all__ = ["GameResult", "solve_game_theoretic", "verify_nash_equilibrium"]
 
 DEFAULT_TOLERANCE = 1e-9
 DEFAULT_MAX_ROUNDS = 500
+
+#: Candidate groups of fewer than this many members are scored by the
+#: vectorized batch path; larger ones use the scalar ``join_gain`` whose
+#: pairwise numpy summation the batch path cannot reproduce bit-for-bit.
+_VECTOR_GROUP_LIMIT = 8
 
 
 @dataclass
@@ -66,12 +86,17 @@ class GameResult:
         stopped the dynamics early.
     initial_score / final_score:
         Potential value before and after the dynamics (monotone
-        non-decreasing by Theorem V.1).
+        non-decreasing by Theorem V.1). ``final_score`` is exactly
+        ``score_history[-1]`` — both are read from the same incremental
+        total, so they cannot drift apart.
     score_history:
         Total score after each round.
     seeded_tasks:
         ``N_init`` of the TPG initialization (0 for random init); feeds
         the Theorem V.2 price-of-anarchy bound.
+    stats:
+        :class:`~repro.core.stats.SolverStats` instrumentation of the
+        run (evaluation counters, LUB cache behavior, per-round timings).
     """
 
     assignment: Assignment
@@ -92,6 +117,7 @@ class GameResult:
     member's hypothetical-removal utility can differ once the crowded-out
     backfill worker is gone — verify equilibria against this field.
     """
+    stats: SolverStats | None = None
 
 
 def solve_game_theoretic(
@@ -142,12 +168,17 @@ def solve_game_theoretic(
     if valid_pairs is None:
         valid_pairs = compute_valid_pairs(instance)
 
+    stats = SolverStats(solver="GT")
+    solve_started = time.perf_counter()
+
     rng = ensure_rng(seed)
+    init_started = time.perf_counter()
     assignment, seeded_tasks = _initial_assignment(instance, valid_pairs, init, rng)
+    stats.phase_seconds["init"] = time.perf_counter() - init_started
     initial_score = assignment.total_score()
 
     dynamics = _BestResponseDynamics(
-        instance, valid_pairs, assignment, tolerance, lazy_update
+        instance, valid_pairs, assignment, tolerance, lazy_update, stats
     )
     if player_order == "shuffled":
         dynamics.order_rng = rng
@@ -155,14 +186,29 @@ def solve_game_theoretic(
     rounds = 0
     total_moves = 0
     converged = False
-    current_score = initial_score
 
     while rounds < max_rounds:
+        round_started = time.perf_counter()
+        evaluations_before = stats.gain_evaluations
         moves, round_gain = dynamics.run_round()
+        round_seconds = time.perf_counter() - round_started
         rounds += 1
         total_moves += moves
-        current_score += round_gain
-        score_history.append(assignment.total_score())
+        # One source of truth for the potential: the incrementally
+        # maintained total. The TSI threshold, the history and the
+        # reported final score all read this value, so they cannot drift
+        # apart the way a separately accumulated gain counter did.
+        current_score = assignment.total_score()
+        score_history.append(current_score)
+        stats.rounds.append(
+            RoundStats(
+                index=rounds - 1,
+                seconds=round_seconds,
+                moves=moves,
+                gain=round_gain,
+                evaluations=stats.gain_evaluations - evaluations_before,
+            )
+        )
         if moves == 0:
             converged = True
             break
@@ -171,16 +217,24 @@ def solve_game_theoretic(
 
     equilibrium = assignment.copy()
     assignment.clamp_to_capacity()
+
+    cache = assignment.revenue_cache
+    stats.revenue_evaluations = cache.full_evaluations
+    stats.incremental_updates = cache.incremental_updates
+    stats.phase_seconds["rounds"] = sum(r.seconds for r in stats.rounds)
+    stats.total_seconds = time.perf_counter() - solve_started
+
     return GameResult(
         assignment=assignment,
         rounds=rounds,
         moves=total_moves,
         converged=converged,
         initial_score=initial_score,
-        final_score=assignment.total_score(),
+        final_score=score_history[-1] if score_history else initial_score,
         score_history=score_history,
         seeded_tasks=seeded_tasks,
         equilibrium=equilibrium,
+        stats=stats,
     )
 
 
@@ -215,6 +269,7 @@ class _BestResponseDynamics:
         assignment: Assignment,
         tolerance: float,
         lazy_update: bool,
+        stats: SolverStats | None = None,
     ) -> None:
         self.instance = instance
         self.valid_pairs = valid_pairs
@@ -222,13 +277,38 @@ class _BestResponseDynamics:
         self.tolerance = tolerance
         self.lazy_update = lazy_update
         self.quality = instance.quality
+        self.stats = stats if stats is not None else SolverStats(solver="GT")
         self.order_rng = None  # set for player_order="shuffled"
+        self.cache = assignment.revenue_cache
+        # Candidate tasks per worker as plain lists (fast iteration) —
+        # the vectorized scan indexes cache arrays with them directly.
+        self._tasks_lists: list[list[int]] = [
+            list(tasks) for tasks in valid_pairs.tasks_for_worker
+        ]
+        self._capacities: list[int] = [
+            task.capacity for task in instance.tasks
+        ]
+        self._minimum = instance.min_group_size
+        # Overflow join gains are pure functions of (worker, task
+        # membership); the revenue cache's per-task version stamp makes
+        # them memoizable. Once memberships stabilize, repeated scans of
+        # full tasks return the exact cached float instead of re-peeling.
+        self._overflow_memo: dict[tuple[int, int], tuple[int, float]] = {}
+        # Exact whole-scan memo: a worker's best alternative is a pure
+        # function of its candidate tasks' memberships (stamped by the
+        # sum of their versions — versions only grow, so the sum moves
+        # iff some candidate changed), the current task and the current
+        # utility. A hit replays the identical result, so later rounds —
+        # where most workers' neighbourhoods are stable — skip the scan
+        # entirely without changing a single float.
+        self._scan_memo: dict[int, tuple[int, int, float, int, float]] = {}
+        self._leave_memo: dict[int, tuple[int, int, float]] = {}
         # LUB state: cached best alternative task per worker, and the
         # dirty set of workers whose cache may be stale.
         self._cached_best = np.full(instance.worker_count, UNASSIGNED, dtype=int)
         self._dirty = np.ones(instance.worker_count, dtype=bool)
         self._counted: list[tuple[int, ...]] = [
-            self._counted_subset(task) for task in range(instance.task_count)
+            assignment.counted_members(task) for task in range(instance.task_count)
         ]
 
     # ------------------------------------------------------------------
@@ -255,9 +335,25 @@ class _BestResponseDynamics:
         """Move ``worker`` to its best response; returns the utility gain."""
         assignment = self.assignment
         current_task = assignment.task_of(worker)
-        current_utility = assignment.leave_delta(worker)
+        if current_task == UNASSIGNED:
+            current_utility = 0.0
+        else:
+            # leave_delta is pure in the current task's membership.
+            version = self.cache.versions[current_task]
+            entry = self._leave_memo.get(worker)
+            if (
+                entry is not None
+                and entry[0] == current_task
+                and entry[1] == version
+            ):
+                current_utility = entry[2]
+            else:
+                current_utility = assignment.leave_delta(worker)
+                self._leave_memo[worker] = (current_task, version, current_utility)
 
-        best_task, best_utility = self._best_alternative(worker, current_task)
+        best_task, best_utility = self._best_alternative(
+            worker, current_task, current_utility
+        )
 
         # The idle strategy has utility 0.
         if best_utility <= self.tolerance:
@@ -276,31 +372,143 @@ class _BestResponseDynamics:
         self._dirty[worker] = False
         return best_utility - current_utility
 
-    def _best_alternative(self, worker: int, current_task: int) -> tuple[int, float]:
+    def _best_alternative(
+        self, worker: int, current_task: int, current_utility: float
+    ) -> tuple[int, float]:
         """The worker's best task *other than* staying put.
 
         With LUB enabled and a clean cache, only the cached candidate is
-        re-evaluated; otherwise all valid tasks are scanned.
+        re-evaluated; otherwise all valid tasks are scored in one
+        vectorized pass. ``current_utility`` is the already-computed
+        ``leave_delta`` of the worker's current task.
         """
         assignment = self.assignment
+        stats = self.stats
         if self.lazy_update and not self._dirty[worker]:
+            stats.cache_hits += 1
+            stats.gain_evaluations += 1
             cached = int(self._cached_best[worker])
             if cached == UNASSIGNED:
                 return UNASSIGNED, 0.0
             if cached == current_task:
-                return cached, assignment.leave_delta(worker)
+                return cached, current_utility
             return cached, assignment.join_gain(worker, cached)
 
-        best_task, best_utility = UNASSIGNED, -np.inf
-        for task in self.valid_pairs.tasks_for_worker[worker]:
+        tasks = self._tasks_lists[worker]
+        if not tasks:
+            self._cached_best[worker] = UNASSIGNED
+            self._dirty[worker] = False
+            return UNASSIGNED, 0.0
+
+        cache = self.cache
+        versions = cache.versions
+        stamp = 0
+        for task in tasks:
+            stamp += versions[task]
+        memo_entry = self._scan_memo.get(worker)
+        if (
+            memo_entry is not None
+            and memo_entry[0] == stamp
+            and memo_entry[1] == current_task
+            and memo_entry[2] == current_utility
+        ):
+            stats.cache_hits += 1
+            best_task, best_utility = memo_entry[3], memo_entry[4]
+            self._cached_best[worker] = best_task
+            self._dirty[worker] = False
+            return best_task, best_utility
+
+        stats.cache_misses += 1
+        stats.gain_evaluations += len(tasks)
+        member_list = cache.member_list
+        member_array = cache.member_array
+        pair_sums = cache.pair_sums
+        revenues = cache.revenues
+        capacities = self._capacities
+        minimum = self._minimum
+        memo = self._overflow_memo
+        q = self.quality.values
+        q_row = q[worker]
+        q_col = q[:, worker]
+
+        utilities = np.empty(len(tasks))
+        batch_arrays: list[np.ndarray] = []
+        batch_positions: list[int] = []
+        batch_tasks: list[int] = []
+        batch_lengths: list[int] = []
+        offsets: list[int] = []
+        offset = 0
+        for position, task in enumerate(tasks):
             if task == current_task:
-                utility = assignment.leave_delta(worker)
+                utilities[position] = current_utility
+                continue
+            members = len(member_list(task))
+            if members + 1 > capacities[task] or members >= _VECTOR_GROUP_LIMIT:
+                # Overflow joins need the best-subset peel; oversized
+                # groups need the scalar path's exact summation order.
+                # Both are pure in the task's membership, so the memo
+                # returns the identical float until the version moves.
+                key = (worker, task)
+                version = versions[task]
+                entry = memo.get(key)
+                if entry is not None and entry[0] == version:
+                    utilities[position] = entry[1]
+                else:
+                    gain = cache.join_gain(worker, task)
+                    memo[key] = (version, gain)
+                    utilities[position] = gain
+            elif members == 0 or members + 1 < minimum:
+                # Empty task (a singleton group has no pairs) or a group
+                # that stays below B even with the newcomer: revenue 0.
+                utilities[position] = 0.0 - revenues[task]
+            else:
+                batch_arrays.append(member_array(task))
+                batch_positions.append(position)
+                batch_tasks.append(task)
+                batch_lengths.append(members)
+                offsets.append(offset)
+                offset += members
+
+        if batch_arrays:
+            # One gather of q[worker, members] (and the transpose column)
+            # per task, summed segment-wise in a single reduceat pass.
+            concatenated = np.concatenate(batch_arrays)
+            starts = np.asarray(offsets, dtype=np.intp)
+            cross = np.add.reduceat(q_row[concatenated], starts) + np.add.reduceat(
+                q_col[concatenated], starts
+            )
+            task_index = np.asarray(batch_tasks, dtype=np.intp)
+            current_revenues = revenues[task_index]
+            # Denominator (new_count - 1) equals the current member count.
+            new_revenues = (pair_sums[task_index] + cross) / np.asarray(
+                batch_lengths, dtype=np.int64
+            )
+            utilities[batch_positions] = new_revenues - current_revenues
+
+        best_position = int(np.argmax(utilities))
+        best_task = tasks[best_position]
+        best_utility = float(utilities[best_position])
+        self._scan_memo[worker] = (
+            stamp, current_task, current_utility, best_task, best_utility
+        )
+        self._cached_best[worker] = best_task
+        self._dirty[worker] = False
+        return best_task, best_utility
+
+    def _best_alternative_reference(
+        self, worker: int, current_task: int, current_utility: float
+    ) -> tuple[int, float]:
+        """Scalar reference scan — the oracle the vectorized path must
+        match exactly (kept for the test suite and for debugging)."""
+        assignment = self.assignment
+        best_task, best_utility = UNASSIGNED, -np.inf
+        for task in self._tasks_lists[worker]:
+            if task == current_task:
+                utility = current_utility
             else:
                 utility = assignment.join_gain(worker, task)
             if utility > best_utility:
                 best_task, best_utility = task, utility
-        self._cached_best[worker] = best_task
-        self._dirty[worker] = False
         if best_task == UNASSIGNED:
             return UNASSIGNED, 0.0
         return best_task, best_utility
@@ -309,17 +517,20 @@ class _BestResponseDynamics:
     # LUB invalidation (Theorems V.3 / V.4)
     # ------------------------------------------------------------------
     def _counted_subset(self, task: int) -> tuple[int, ...]:
-        members = self.assignment.members(task)
-        capacity = self.instance.tasks[task].capacity
-        if len(members) <= capacity:
-            return tuple(sorted(members))
-        return tuple(best_counted_subset(self.quality, members, capacity))
+        """The members Equation 2 currently counts for the task (the
+        revenue cache's subset — no re-peel)."""
+        return self.assignment.counted_members(task)
+
+    def _mark_dirty(self, worker: int) -> None:
+        if not self._dirty[worker]:
+            self._dirty[worker] = True
+            self.stats.lub_invalidations += 1
 
     def _after_membership_change(self, task: int) -> None:
         if not self.lazy_update:
             return
         before = set(self._counted[task])
-        after_tuple = self._counted_subset(task)
+        after_tuple = self.assignment.counted_members(task)
         self._counted[task] = after_tuple
         after = set(after_tuple)
         added = after - before
@@ -332,7 +543,7 @@ class _BestResponseDynamics:
             # must rescan because joining here just became different.
             for other in watchers:
                 if self._cached_best[other] != task:
-                    self._dirty[other] = True
+                    self._mark_dirty(other)
             return
         if len(added) == 1 and len(removed) == 1:
             # Exchange x in / y out: apply the quality comparisons of
@@ -342,18 +553,18 @@ class _BestResponseDynamics:
             q = self.quality.values
             for other in watchers:
                 if other in (entering, leaving):
-                    self._dirty[other] = True
+                    self._mark_dirty(other)
                     continue
                 if self._cached_best[other] == task:
                     if q[other, leaving] > q[other, entering]:
-                        self._dirty[other] = True
+                        self._mark_dirty(other)
                 else:
                     if q[other, leaving] < q[other, entering]:
-                        self._dirty[other] = True
+                        self._mark_dirty(other)
             return
         # Shrink or multi-element change: no theorem applies — rescan all.
         for other in watchers:
-            self._dirty[other] = True
+            self._mark_dirty(other)
 
 
 def verify_nash_equilibrium(

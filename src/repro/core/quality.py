@@ -223,10 +223,20 @@ class CooperationMatrix:
         (diagonal is zero so the full submatrix sum equals the ordered
         off-diagonal sum).
         """
-        index = np.asarray(members, dtype=int)
+        index = np.asarray(members, dtype=np.intp)
         if index.size != len(set(index.tolist())):
             raise ValueError(f"duplicate members: {sorted(members)}")
-        return float(self._q[np.ix_(index, index)].sum())
+        return float(self._q[index[:, None], index].sum())
+
+    def submatrix_sum(self, index: np.ndarray) -> float:
+        """:meth:`ordered_pair_sum` without the duplicate check.
+
+        The revenue hot paths call this with index arrays already known
+        to be duplicate-free (validated by ``best_counted_subset``); the
+        gathered submatrix and its sum are identical to
+        :meth:`ordered_pair_sum`, only the per-call overhead differs.
+        """
+        return float(self._q[index[:, None], index].sum())
 
     def cross_sum(self, worker: int, members: Sequence[int]) -> float:
         """Ordered-pair contribution of adding ``worker`` to ``members``.

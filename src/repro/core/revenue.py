@@ -8,21 +8,39 @@ is the NP-hard maximum-weight k-induced-subgraph problem, so
 :func:`best_counted_subset` uses deterministic greedy peeling — groups are
 tiny (``a_j <= 6`` in all experiments), and determinism is what keeps the
 CA-SC game an *exact* potential game (see ``repro.core.game``).
+
+:class:`RevenueCache` is the incremental engine behind every solver hot
+path: it maintains per-task pair sums, revenues and (for overflowing
+tasks) the counted best-``a_j``-subset across join/leave/exchange moves,
+so Equation 4's delta form replaces from-scratch Equation 2 re-sums. It
+also counts how often each path runs, feeding
+:class:`~repro.core.stats.SolverStats`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.quality import CooperationMatrix
 
 __all__ = [
+    "RevenueCache",
     "group_revenue",
     "best_counted_subset",
     "marginal_gain",
     "removal_delta",
     "worker_average_quality",
 ]
+
+#: Group sizes up to this bound use the vectorized peeling kernel. Above
+#: it the scalar reference loop runs instead: numpy sums arrays of eight
+#: or more elements with pairwise (block-unrolled) accumulation, so the
+#: submatrix row sums would stop being bit-identical to the per-member
+#: ``cross_sum`` calls — and bit-identical contributions are what keeps
+#: the peel order (hence the potential function) unchanged.
+_VECTOR_PEEL_LIMIT = 7
 
 
 def best_counted_subset(
@@ -31,9 +49,11 @@ def best_counted_subset(
     """The (approximately) best ``size``-subset of ``members``.
 
     Greedy peeling: repeatedly remove the member with the smallest
-    ordered-pair contribution to the rest, until ``size`` remain. Ties are
-    broken by the lower worker index so the result — and therefore the
-    revenue function — is deterministic.
+    ordered-pair contribution to the rest. Ties are broken by peeling the
+    *highest* worker index, so the lower-indexed worker survives — the
+    result, and therefore the revenue function, is deterministic. (This
+    tie-break is part of the potential function's definition; changing it
+    would change which equilibria the game reaches.)
 
     Returns the members themselves when ``size >= len(members)``.
     """
@@ -42,12 +62,24 @@ def best_counted_subset(
     kept = sorted(members)
     if len(kept) != len(set(kept)):
         raise ValueError(f"duplicate members: {sorted(members)}")
+    q = quality.values
     while len(kept) > size:
-        contributions = [
-            (quality.cross_sum(worker, [k for k in kept if k != worker]), -worker)
-            for worker in kept
-        ]
-        weakest = min(range(len(kept)), key=lambda idx: contributions[idx])
+        if len(kept) <= _VECTOR_PEEL_LIMIT:
+            index = np.asarray(kept, dtype=np.intp)
+            sub = q[index[:, None], index]
+            # The diagonal is exactly 0.0, so including it keeps every
+            # partial sum bit-identical to cross_sum over the others.
+            contributions = sub.sum(axis=1) + sub.sum(axis=0)
+            minimum = contributions.min()
+            # Ties peel the highest index; kept is sorted ascending, so
+            # that is the last position attaining the minimum.
+            weakest = int(np.flatnonzero(contributions == minimum)[-1])
+        else:
+            scored = [
+                (quality.cross_sum(worker, [k for k in kept if k != worker]), -worker)
+                for worker in kept
+            ]
+            weakest = min(range(len(kept)), key=lambda idx: scored[idx])
         kept.pop(weakest)
     return kept
 
@@ -61,6 +93,8 @@ def group_revenue(
     """``Q(W_j)`` of Equation 2.
 
     * ``0`` when fewer than ``min_group_size`` (``B``) members;
+    * ``0`` for a singleton group (one member has no cooperation pairs,
+      so Equation 2's numerator is empty — reachable when ``B <= 1``);
     * ordered pair sum divided by ``|W_j| - 1`` when within capacity;
     * revenue of the best ``capacity``-subset when over capacity.
 
@@ -74,6 +108,8 @@ def group_revenue(
     if count > capacity:
         members = best_counted_subset(quality, members, capacity)
         count = capacity
+    if count < 2:
+        return 0.0
     return quality.ordered_pair_sum(members) / (count - 1)
 
 
@@ -132,3 +168,272 @@ def worker_average_quality(
         return 0.0
     total = sum(quality.pair(worker, other) for other in others)
     return total / denominator
+
+
+class RevenueCache:
+    """Incremental Equation-2 state for every task group of one batch.
+
+    The cache owns, per task: the member list, the ordered pair sum
+    (Equation 2's numerator), the resulting revenue, and — for tasks over
+    capacity — the counted best-``a_j``-subset. A join or leave updates
+    the pair sum with one ``cross_sum`` (Equation 4's delta form) instead
+    of re-summing the group; only overflowing tasks fall back to the
+    peeling evaluation, and their counted subset is cached for reuse by
+    the LUB invalidation rules and the final capacity clamp.
+
+    Determinism contract: every arithmetic step matches the from-scratch
+    evaluation bit-for-bit for the group sizes the experiments use
+    (``a_j <= 6``), because identical floats are what keep best-response
+    dynamics an exact potential game (Theorem V.1). The hypothesis state
+    machine in ``tests/test_stateful.py`` drives random join/leave/
+    exchange sequences — including overflow states — asserting the cache
+    never drifts from :func:`group_revenue`.
+
+    Observability: ``full_evaluations`` counts from-scratch Equation 2
+    evaluations (the expensive path), ``incremental_updates`` the O(k)
+    delta updates; :class:`~repro.core.stats.SolverStats` snapshots both.
+    """
+
+    __slots__ = (
+        "quality",
+        "min_group_size",
+        "capacities",
+        "pair_sums",
+        "revenues",
+        "counts",
+        "versions",
+        "_members",
+        "_member_arrays",
+        "_counted",
+        "full_evaluations",
+        "incremental_updates",
+    )
+
+    def __init__(
+        self,
+        quality: CooperationMatrix,
+        capacities: Sequence[int],
+        min_group_size: int,
+    ) -> None:
+        task_count = len(capacities)
+        self.quality = quality
+        self.min_group_size = min_group_size
+        self.capacities = np.asarray(capacities, dtype=np.int64)
+        self.pair_sums = np.zeros(task_count)
+        self.revenues = np.zeros(task_count)
+        self.counts = np.zeros(task_count, dtype=np.int64)
+        #: Per-task membership version, bumped on every join/leave/clear.
+        #: Lets callers memoize pure functions of a task's membership
+        #: (e.g. overflow join gains) and invalidate by integer compare.
+        self.versions: list[int] = [0] * task_count
+        self._members: list[list[int]] = [[] for _ in range(task_count)]
+        self._member_arrays: list[np.ndarray | None] = [None] * task_count
+        self._counted: list[tuple[int, ...] | None] = [None] * task_count
+        self.full_evaluations = 0
+        self.incremental_updates = 0
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        return len(self._members)
+
+    def members(self, task: int) -> tuple[int, ...]:
+        """Workers currently in the task's group (insertion order)."""
+        return tuple(self._members[task])
+
+    def member_list(self, task: int) -> list[int]:
+        """Borrowed view of the member list — callers must not mutate."""
+        return self._members[task]
+
+    def member_array(self, task: int) -> np.ndarray:
+        """The members as a cached numpy index array (insertion order).
+
+        This is the gather index the vectorized best-response scorer
+        uses; it is rebuilt lazily after membership changes.
+        """
+        array = self._member_arrays[task]
+        if array is None:
+            array = np.asarray(self._members[task], dtype=np.intp)
+            self._member_arrays[task] = array
+        return array
+
+    def revenue(self, task: int) -> float:
+        """Cached ``Q(W_j)``."""
+        return float(self.revenues[task])
+
+    def pair_sum(self, task: int) -> float:
+        """Cached Equation-2 numerator for the full member set."""
+        return float(self.pair_sums[task])
+
+    def total(self) -> float:
+        """Equation 3: the summed revenue over all tasks."""
+        return float(self.revenues.sum())
+
+    def counted_subset(self, task: int) -> tuple[int, ...]:
+        """The members Equation 2 counts, sorted ascending.
+
+        Within capacity that is every member; over capacity it is the
+        cached best-``a_j``-subset from the last refresh (no re-peel).
+        """
+        cached = self._counted[task]
+        if cached is not None:
+            return cached
+        return tuple(sorted(self._members[task]))
+
+    def revenue_from_scratch(self, task: int) -> float:
+        """Uncached Equation 2 — the oracle the cache is tested against."""
+        return group_revenue(
+            self.quality,
+            self._members[task],
+            int(self.capacities[task]),
+            self.min_group_size,
+        )
+
+    def recompute_total(self) -> float:
+        """From-scratch Equation 3 (drift check / debugging).
+
+        Every per-task revenue is recomputed by the uncached
+        :func:`group_revenue`, then reduced with the same numpy pairwise
+        summation :meth:`total` uses — so the result is bit-identical to
+        the incremental total exactly when no per-task value drifted
+        (a Python ``sum`` here would reorder the reduction and differ by
+        ~1e-12 on hundreds of tasks even with perfect per-task values).
+        """
+        values = np.array(
+            [self.revenue_from_scratch(task) for task in range(self.task_count)]
+        )
+        return float(values.sum())
+
+    # ------------------------------------------------------------------
+    # mutation — Equation 4's delta form
+    # ------------------------------------------------------------------
+    def join(self, worker: int, task: int) -> None:
+        """Add ``worker`` to the task, updating the pair sum by one
+        ``cross_sum`` instead of re-summing the group."""
+        members = self._members[task]
+        self.pair_sums[task] += self.quality.cross_sum(worker, members)
+        members.append(worker)
+        self.counts[task] += 1
+        self.versions[task] += 1
+        self._member_arrays[task] = None
+        self.incremental_updates += 1
+        self._refresh(task)
+
+    def leave(self, worker: int, task: int) -> None:
+        """Remove ``worker`` from the task (incremental pair-sum delta)."""
+        members = self._members[task]
+        members.remove(worker)
+        self.pair_sums[task] -= self.quality.cross_sum(worker, members)
+        self.counts[task] -= 1
+        self.versions[task] += 1
+        self._member_arrays[task] = None
+        self.incremental_updates += 1
+        self._refresh(task)
+
+    def exchange(self, task: int, leaving: int, entering: int) -> None:
+        """Swap one member for another — a leave and a join in one move
+        (the crowd-out exchange of Theorems V.3/V.4)."""
+        self.leave(leaving, task)
+        self.join(entering, task)
+
+    def clear(self, task: int) -> None:
+        """Empty a task's group and reset its cached state."""
+        self._members[task] = []
+        self.pair_sums[task] = 0.0
+        self.revenues[task] = 0.0
+        self.counts[task] = 0
+        self.versions[task] += 1
+        self._member_arrays[task] = None
+        self._counted[task] = None
+
+    def _refresh(self, task: int) -> None:
+        """Recompute the task's revenue from the cached pair sum.
+
+        Only the over-capacity branch evaluates Equation 2 from scratch
+        (best-subset peel); its counted subset is cached for reuse.
+        """
+        members = self._members[task]
+        count = len(members)
+        capacity = int(self.capacities[task])
+        self._counted[task] = None
+        if count < self.min_group_size or count < 2:
+            # Below B — or a singleton group, which has no pairs and
+            # would otherwise divide by ``count - 1 == 0`` when B <= 1.
+            self.revenues[task] = 0.0
+        elif count <= capacity:
+            self.revenues[task] = self.pair_sums[task] / (count - 1)
+        else:
+            kept = best_counted_subset(self.quality, members, capacity)
+            self._counted[task] = tuple(kept)
+            self.full_evaluations += 1
+            if capacity < 2:
+                self.revenues[task] = 0.0
+            else:
+                # ``kept`` is validated by the peel, so the unchecked
+                # submatrix sum (bit-identical gather) suffices.
+                self.revenues[task] = self.quality.submatrix_sum(
+                    np.asarray(kept, dtype=np.intp)
+                ) / (capacity - 1)
+
+    # ------------------------------------------------------------------
+    # marginal evaluations (the solvers' hot path)
+    # ------------------------------------------------------------------
+    def join_gain(self, worker: int, task: int) -> float:
+        """``DeltaQ(w_i, t_j)`` if the (idle) worker joined ``task``.
+
+        Fast path: within capacity the new revenue is
+        ``(S + cross) / (k_new - 1)`` with the cached pair sum ``S``; only
+        overflow joins fall back to the peeling evaluation.
+        """
+        members = self._members[task]
+        new_count = len(members) + 1
+        capacity = int(self.capacities[task])
+        if new_count <= capacity:
+            if new_count < self.min_group_size or new_count < 2:
+                return 0.0 - self.revenues[task]
+            cross = self.quality.cross_sum(worker, members)
+            new_revenue = (self.pair_sums[task] + cross) / (new_count - 1)
+        else:
+            # Inlined ``group_revenue`` for the over-capacity join: peel
+            # the hypothetical group, then take the unchecked submatrix
+            # sum (``kept`` is validated by the peel). Arithmetic matches
+            # the public function bit-for-bit; only the per-call overhead
+            # (list re-validation, duplicate check) is skipped.
+            if new_count < self.min_group_size or capacity < 2:
+                new_revenue = 0.0
+            else:
+                kept = best_counted_subset(
+                    self.quality, [*members, worker], capacity
+                )
+                new_revenue = self.quality.submatrix_sum(
+                    np.asarray(kept, dtype=np.intp)
+                ) / (capacity - 1)
+            self.full_evaluations += 1
+        return new_revenue - float(self.revenues[task])
+
+    def leave_delta(self, worker: int, task: int) -> float:
+        """``Q(W_j) - Q(W_j - {w_i})`` for a current member of ``task``."""
+        members = self._members[task]
+        count = len(members)
+        capacity = int(self.capacities[task])
+        current = float(self.revenues[task])
+        if count - 1 < self.min_group_size or count - 1 < 2:
+            # The survivors fall below B — or a lone survivor remains,
+            # whose pairless group scores 0 (the B = 1 edge case).
+            return current
+        if count <= capacity:
+            cross = self.quality.cross_sum(
+                worker, [m for m in members if m != worker]
+            )
+            without = (self.pair_sums[task] - cross) / (count - 2)
+        else:
+            without = group_revenue(
+                self.quality,
+                [m for m in members if m != worker],
+                capacity,
+                self.min_group_size,
+            )
+            self.full_evaluations += 1
+        return current - without

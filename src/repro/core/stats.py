@@ -1,0 +1,171 @@
+"""Solver observability — counters and timings for the hot paths.
+
+The ROADMAP's north star demands hot paths run "as fast as the hardware
+allows" *with observability to prove it*. :class:`SolverStats` is the
+instrument: every revenue evaluation, incremental cache update, LUB
+cache hit/miss and invalidation is counted, and each best-response round
+(or TPG stage) is timed with ``perf_counter``. The GT and TPG solvers
+attach one to their result objects; the experiment runner and the CLI
+aggregate and print them, and ``benchmarks/bench_guard.py`` persists
+them as the repo's perf-trajectory record.
+
+Counting is cheap (integer adds on the :class:`~repro.core.revenue.
+RevenueCache` and the dynamics object); there is deliberately no off
+switch, so the numbers are always available after a solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["RoundStats", "SolverStats"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """One best-response round (or one named solver phase).
+
+    ``gain`` is the potential increase of the round; ``evaluations`` the
+    number of candidate ``(worker, task)`` utilities scored in it.
+    """
+
+    index: int
+    seconds: float
+    moves: int = 0
+    gain: float = 0.0
+    evaluations: int = 0
+
+
+@dataclass
+class SolverStats:
+    """Aggregated instrumentation of one (or several merged) solver runs.
+
+    Attributes
+    ----------
+    solver:
+        Approach label (``"GT"``, ``"TPG"``, ...).
+    revenue_evaluations:
+        Full Equation-2 evaluations — the expensive from-scratch path
+        (overflow peeling via ``best_counted_subset`` plus the final
+        subset pair sum). The incremental engine exists to keep this low.
+    incremental_updates:
+        O(k) per-task pair-sum delta updates (joins/leaves) served by the
+        :class:`~repro.core.revenue.RevenueCache` instead of a re-sum.
+    gain_evaluations:
+        Candidate ``(worker, task)`` utilities scored by the solvers'
+        marginal-gain machinery.
+    cache_hits / cache_misses:
+        LUB best-response cache: a *hit* re-evaluates only the cached
+        candidate task, a *miss* rescans the worker's whole valid set.
+        Without LUB every scan counts as a miss, so the hit ratio is the
+        direct measure of what LUB saves.
+    lub_invalidations:
+        Workers marked dirty by the Theorem V.3/V.4 invalidation rules.
+    total_seconds:
+        Wall-clock of the instrumented section(s).
+    phase_seconds:
+        Named sub-phase timings (e.g. TPG ``stage1``/``stage2``, GT
+        ``init``/``rounds``).
+    rounds:
+        Per-round timings of the best-response dynamics.
+    runs:
+        Number of solver invocations merged into this object.
+    """
+
+    solver: str = ""
+    revenue_evaluations: int = 0
+    incremental_updates: int = 0
+    gain_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    lub_invalidations: int = 0
+    total_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    rounds: list[RoundStats] = field(default_factory=list)
+    runs: int = 1
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Accumulate another run's counters into this object (in place).
+
+        Per-round details are concatenated; phase timings are summed by
+        name. Returns ``self`` for chaining.
+        """
+        if not self.solver:
+            self.solver = other.solver
+        self.revenue_evaluations += other.revenue_evaluations
+        self.incremental_updates += other.incremental_updates
+        self.gain_evaluations += other.gain_evaluations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.lub_invalidations += other.lub_invalidations
+        self.total_seconds += other.total_seconds
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.rounds.extend(other.rounds)
+        self.runs += other.runs - 1 if other.runs > 1 else 0
+        if other is not self:
+            self.runs += 1 if other.runs == 1 else 0
+        return self
+
+    @classmethod
+    def merged(cls, runs: Iterable["SolverStats"]) -> "SolverStats | None":
+        """Sum a sequence of per-run stats; ``None`` for an empty one."""
+        total: SolverStats | None = None
+        for stats in runs:
+            if total is None:
+                total = SolverStats(solver=stats.solver, runs=0)
+            total.merge(stats)
+        if total is not None and total.runs == 0:
+            total.runs = 1
+        return total
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """LUB hits over all best-response scans (0 when none ran)."""
+        scans = self.cache_hits + self.cache_misses
+        return self.cache_hits / scans if scans else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by ``bench_guard``)."""
+        return {
+            "solver": self.solver,
+            "revenue_evaluations": self.revenue_evaluations,
+            "incremental_updates": self.incremental_updates,
+            "gain_evaluations": self.gain_evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "lub_invalidations": self.lub_invalidations,
+            "total_seconds": self.total_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "rounds": [
+                {
+                    "index": r.index,
+                    "seconds": r.seconds,
+                    "moves": r.moves,
+                    "gain": r.gain,
+                    "evaluations": r.evaluations,
+                }
+                for r in self.rounds
+            ],
+            "runs": self.runs,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line for CLI/benchmark output."""
+        parts = [
+            f"evals={self.gain_evaluations}",
+            f"full_Q={self.revenue_evaluations}",
+            f"incr={self.incremental_updates}",
+        ]
+        if self.cache_hits or self.cache_misses:
+            parts.append(
+                f"lub_hit={self.cache_hit_ratio:.0%}"
+                f" inval={self.lub_invalidations}"
+            )
+        if self.rounds:
+            parts.append(f"rounds={len(self.rounds)}")
+        for name, seconds in self.phase_seconds.items():
+            parts.append(f"{name}={seconds * 1e3:.1f}ms")
+        parts.append(f"total={self.total_seconds * 1e3:.1f}ms")
+        return " ".join(parts)

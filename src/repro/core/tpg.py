@@ -22,12 +22,14 @@ each commit re-scores only the pairs of the task whose membership changed.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.assignment import Assignment
 from repro.core.model import Instance
+from repro.core.stats import SolverStats
 from repro.core.validity import ValidPairs, compute_valid_pairs
 
 __all__ = ["solve_tpg", "greedy_best_group", "TPGResult"]
@@ -39,11 +41,46 @@ class TPGResult:
 
     ``seeded_tasks`` is the number of tasks that received a full
     ``B``-worker set in stage 1 (the paper's ``N_init``, used by the
-    price-of-anarchy bound of Theorem V.2).
+    price-of-anarchy bound of Theorem V.2). ``stats`` carries the
+    :class:`~repro.core.stats.SolverStats` instrumentation: stage-1/
+    stage-2 wall-clock, marginal-gain evaluation counts and the revenue
+    cache's incremental-vs-full evaluation split.
     """
 
     assignment: Assignment
     seeded_tasks: int
+    stats: SolverStats | None = None
+
+
+#: Memoized combination tables for :func:`exact_best_group`, keyed by
+#: ``(candidate_count, size)``: the combination matrix plus one pair of
+#: column index arrays per unordered position pair. Stage 1 calls the
+#: exact seeder hundreds of times per batch with the same tiny shapes,
+#: so the itertools enumeration is paid once per shape.
+_COMBO_TABLES: dict[
+    tuple[int, int], tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]
+] = {}
+
+
+def _combo_table(
+    count: int, size: int
+) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    import itertools
+
+    key = (count, size)
+    table = _COMBO_TABLES.get(key)
+    if table is None:
+        combos = np.asarray(
+            list(itertools.combinations(range(count), size)), dtype=np.intp
+        )
+        pair_columns = [
+            (combos[:, i], combos[:, j])
+            for i in range(size)
+            for j in range(i + 1, size)
+        ]
+        table = (combos, pair_columns)
+        _COMBO_TABLES[key] = table
+    return table
 
 
 def exact_best_group(
@@ -53,32 +90,29 @@ def exact_best_group(
 
     Used by :func:`greedy_best_group` below a candidate-count threshold,
     and by tests as the oracle for the greedy's approximation quality.
-    """
-    import itertools
 
+    The enumeration is vectorized: each combination's pair sum is the
+    sequential left-to-right accumulation over its position pairs in
+    lexicographic order — the same float additions, in the same order,
+    as the scalar loop it replaced — and ``argmax`` keeps the first
+    maximum exactly like a strict ``>`` scan.
+    """
     count = len(candidates)
     if count < size or size < 2:
         return [], 0.0
-    # Pull the candidate submatrix into plain Python lists once; the
-    # per-combination sums are then cheap scalar lookups (calling numpy
-    # per combination costs ~20x more than the whole enumeration).
     ordered = sorted(candidates)
-    index = np.asarray(ordered, dtype=int)
-    sub = quality.values[np.ix_(index, index)]
-    symmetric = (sub + sub.T).tolist()
+    index = np.asarray(ordered, dtype=np.intp)
+    sub = quality.values[index[:, None], index]
+    symmetric = sub + sub.T
 
-    best_combo: tuple[int, ...] = ()
-    best_sum = -np.inf
-    for combo in itertools.combinations(range(count), size):
-        pair_sum = 0.0
-        for position, i in enumerate(combo):
-            row = symmetric[i]
-            for j in combo[position + 1 :]:
-                pair_sum += row[j]
-        if pair_sum > best_sum:
-            best_combo, best_sum = combo, pair_sum
-    best_group = [ordered[i] for i in best_combo]
-    return best_group, best_sum / (size - 1)
+    combos, pair_columns = _combo_table(count, size)
+    rows, cols = pair_columns[0]
+    pair_sums = symmetric[rows, cols]
+    for rows, cols in pair_columns[1:]:
+        pair_sums = pair_sums + symmetric[rows, cols]
+    best = int(np.argmax(pair_sums))
+    best_group = [ordered[i] for i in combos[best]]
+    return best_group, float(pair_sums[best]) / (size - 1)
 
 
 #: Candidate-count threshold below which stage 1 solves the B-group
@@ -104,8 +138,8 @@ def greedy_best_group(
         return [], 0.0
     if count <= EXACT_SEED_THRESHOLD:
         return exact_best_group(quality, candidates, size)
-    index = np.asarray(candidates, dtype=int)
-    sub = quality.values[np.ix_(index, index)]
+    index = np.asarray(candidates, dtype=np.intp)
+    sub = quality.values[index[:, None], index]
     symmetric = sub + sub.T
     np.fill_diagonal(symmetric, -np.inf)
     flat_best = int(np.argmax(symmetric))
@@ -178,10 +212,24 @@ def _solve_tpg_full(
         valid_pairs = compute_valid_pairs(instance)
     assignment = Assignment(instance, valid_pairs)
     available = np.ones(instance.worker_count, dtype=bool)
+    stats = SolverStats(solver="TPG")
 
+    started = time.perf_counter()
     seeded = _stage_one(instance, valid_pairs, assignment, available)
-    _stage_two(instance, valid_pairs, assignment, available, seeded, allow_negative_gain)
-    return TPGResult(assignment=assignment, seeded_tasks=len(seeded))
+    stage_one_done = time.perf_counter()
+    _stage_two(
+        instance, valid_pairs, assignment, available, seeded,
+        allow_negative_gain, stats,
+    )
+    finished = time.perf_counter()
+
+    cache = assignment.revenue_cache
+    stats.revenue_evaluations = cache.full_evaluations
+    stats.incremental_updates = cache.incremental_updates
+    stats.phase_seconds["stage1"] = stage_one_done - started
+    stats.phase_seconds["stage2"] = finished - stage_one_done
+    stats.total_seconds = finished - started
+    return TPGResult(assignment=assignment, seeded_tasks=len(seeded), stats=stats)
 
 
 def _stage_one(
@@ -235,7 +283,10 @@ def _stage_one(
         cache.pop(best_task, None)
         seeded.add(best_task)
         taken = set(best_group)
-        for task in [t for t, (group, _) in cache.items() if taken & set(group)]:
+        stale = [
+            t for t, (group, _) in cache.items() if not taken.isdisjoint(group)
+        ]
+        for task in stale:
             del cache[task]
     return seeded
 
@@ -253,6 +304,7 @@ def _stage_two(
     available: np.ndarray,
     seeded: set[int],
     allow_negative_gain: bool,
+    stats: SolverStats | None = None,
 ) -> None:
     """Fill seeded tasks up to capacity by max marginal gain."""
     open_tasks = {
@@ -267,10 +319,14 @@ def _stage_two(
     heap: list[tuple[float, int, int, int]] = []  # (-gain, version, worker, task)
 
     def push_pairs_for_task(task: int) -> None:
+        pushed = 0
         for worker in valid_pairs.workers_for_task[task]:
             if available[worker]:
                 gain = assignment.join_gain(worker, task)
                 heapq.heappush(heap, (-gain, versions[task], worker, task))
+                pushed += 1
+        if stats is not None:
+            stats.gain_evaluations += pushed
 
     for task in open_tasks:
         push_pairs_for_task(task)

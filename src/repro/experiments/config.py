@@ -20,7 +20,7 @@ from repro.core.baselines.wflow import solve_wflow
 from repro.core.online import solve_online_greedy
 from repro.core.game import solve_game_theoretic
 from repro.core.model import Instance
-from repro.core.tpg import solve_tpg
+from repro.core.tpg import solve_tpg_with_stats
 from repro.core.validity import ValidPairs
 from repro.simulation.batch import BatchConfig
 from repro.utils.rng import ensure_rng
@@ -115,6 +115,11 @@ def make_solver(name: str, epsilon: float = DEFAULT_EPSILON, seed=None) -> Solve
     """Instantiate an approach by its paper name.
 
     ``epsilon`` only affects the TSI variants; ``seed`` only affects RAND.
+
+    Instrumented approaches (TPG and the GT variants) expose a
+    ``stats_log`` attribute on the returned callable: one
+    :class:`~repro.core.stats.SolverStats` per solve, appended in call
+    order. The experiment runner and the CLI merge and report them.
     """
     if name not in APPROACHES:
         raise ValueError(f"unknown approach {name!r}; known: {sorted(APPROACHES)}")
@@ -139,12 +144,16 @@ def _mflow_factory(epsilon: float, seed) -> SolverFn:
 
 def _tpg_factory(epsilon: float, seed) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
-        return solve_tpg(instance, valid_pairs)
+        result = solve_tpg_with_stats(instance, valid_pairs)
+        if result.stats is not None:
+            solver.stats_log.append(result.stats)
+        return result.assignment
 
+    solver.stats_log = []
     return solver
 
 
-def _gt_factory(use_epsilon: bool, lazy_update: bool):
+def _gt_factory(use_epsilon: bool, lazy_update: bool, label: str):
     def factory(epsilon: float, seed) -> SolverFn:
         effective_epsilon = epsilon if use_epsilon else 0.0
 
@@ -155,8 +164,12 @@ def _gt_factory(use_epsilon: bool, lazy_update: bool):
                 epsilon=effective_epsilon,
                 lazy_update=lazy_update,
             )
+            if result.stats is not None:
+                result.stats.solver = label
+                solver.stats_log.append(result.stats)
             return result.assignment
 
+        solver.stats_log = []
         return solver
 
     return factory
@@ -196,10 +209,10 @@ APPROACHES: dict[str, Callable[[float, object], SolverFn]] = {
     "RAND": _rand_factory,
     "MFLOW": _mflow_factory,
     "TPG": _tpg_factory,
-    "GT": _gt_factory(use_epsilon=False, lazy_update=False),
-    "GT+LUB": _gt_factory(use_epsilon=False, lazy_update=True),
-    "GT+TSI": _gt_factory(use_epsilon=True, lazy_update=False),
-    "GT+ALL": _gt_factory(use_epsilon=True, lazy_update=True),
+    "GT": _gt_factory(use_epsilon=False, lazy_update=False, label="GT"),
+    "GT+LUB": _gt_factory(use_epsilon=False, lazy_update=True, label="GT+LUB"),
+    "GT+TSI": _gt_factory(use_epsilon=True, lazy_update=False, label="GT+TSI"),
+    "GT+ALL": _gt_factory(use_epsilon=True, lazy_update=True, label="GT+ALL"),
     "WFLOW": _wflow_factory,
     "PGREEDY": _pair_greedy_factory,
     "ONLINE": _online_factory,

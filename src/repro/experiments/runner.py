@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.bounds import upper_bound
+from repro.core.stats import SolverStats
 from repro.experiments.config import (
     DEFAULT_APPROACH_ORDER,
     ExperimentSettings,
@@ -27,7 +28,12 @@ _UPPER_REFERENCE_APPROACH = "GT"
 
 @dataclass(frozen=True)
 class ApproachOutcome:
-    """One approach's aggregate result at one parameter setting."""
+    """One approach's aggregate result at one parameter setting.
+
+    ``stats`` merges the per-batch :class:`~repro.core.stats.SolverStats`
+    of instrumented approaches (TPG and the GT variants); ``None`` for
+    the uninstrumented baselines.
+    """
 
     name: str
     total_score: float
@@ -35,6 +41,7 @@ class ApproachOutcome:
     completed_tasks: int
     assigned_workers: int
     report: SimulationReport
+    stats: SolverStats | None = None
 
 
 @dataclass
@@ -111,6 +118,7 @@ def run_approaches(
             population, config, solver, seed=seed, instance_hook=hook
         )
         report = simulator.run()
+        stats_log = getattr(solver, "stats_log", None)
         point.outcomes[name] = ApproachOutcome(
             name=name,
             total_score=report.total_score,
@@ -118,6 +126,7 @@ def run_approaches(
             completed_tasks=report.total_completed_tasks,
             assigned_workers=report.total_assigned_workers,
             report=report,
+            stats=SolverStats.merged(stats_log) if stats_log else None,
         )
         if hook is not None:
             point.upper = upper_accumulator[0]

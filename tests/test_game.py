@@ -237,3 +237,87 @@ class TestPlayerOrder:
         instance = make_dense_instance(10, 2, seed=23)
         with pytest.raises(ValueError):
             solve_game_theoretic(instance, player_order="roundrobin")
+
+
+class TestScoreAccounting:
+    def test_final_score_is_exactly_last_history_entry(self):
+        # Regression: an accumulated gain counter used to drift from the
+        # per-round history by float rounding; both now read the same
+        # incrementally maintained total, so equality is exact.
+        for seed in (3, 11, 29):
+            instance = make_dense_instance(40, 8, seed=seed)
+            pairs = compute_valid_pairs(instance)
+            result = solve_game_theoretic(instance, pairs)
+            assert result.score_history
+            assert result.final_score == result.score_history[-1]
+
+    def test_final_score_matches_assignment_total(self):
+        instance = make_dense_instance(35, 7, seed=4)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(instance, pairs)
+        # The clamp drops only uncounted members, preserving the score.
+        assert result.assignment.total_score() == pytest.approx(
+            result.final_score
+        )
+
+    def test_history_exact_under_tsi_and_lub(self):
+        instance = make_dense_instance(40, 8, seed=13)
+        pairs = compute_valid_pairs(instance)
+        result = solve_game_theoretic(
+            instance, pairs, epsilon=0.05, lazy_update=True
+        )
+        assert result.final_score == result.score_history[-1]
+
+
+class TestVectorizedScan:
+    def test_vectorized_best_alternative_matches_reference(self):
+        # The batched numpy scan must agree with the scalar reference
+        # loop bit-for-bit: same best task, same utility float.
+        from repro.core.game import _BestResponseDynamics
+        from repro.core.tpg import solve_tpg
+
+        instance = make_dense_instance(40, 8, capacity=4, seed=31)
+        pairs = compute_valid_pairs(instance)
+        assignment = Assignment(instance, pairs, allow_overflow=True)
+        for worker, task in solve_tpg(instance, pairs).to_pairs():
+            assignment.assign(worker, task)
+        dynamics = _BestResponseDynamics(
+            instance, pairs, assignment, tolerance=1e-9, lazy_update=False
+        )
+        for worker in range(instance.worker_count):
+            current_task = assignment.task_of(worker)
+            current_utility = assignment.leave_delta(worker)
+            vector = dynamics._best_alternative(
+                worker, current_task, current_utility
+            )
+            reference = dynamics._best_alternative_reference(
+                worker, current_task, current_utility
+            )
+            assert vector == reference
+
+    def test_scan_memo_replays_identical_results(self):
+        from repro.core.game import _BestResponseDynamics
+
+        instance = make_dense_instance(30, 6, capacity=4, seed=37)
+        pairs = compute_valid_pairs(instance)
+        assignment = Assignment(instance, pairs, allow_overflow=True)
+        dynamics = _BestResponseDynamics(
+            instance, pairs, assignment, tolerance=1e-9, lazy_update=False
+        )
+        worker = 0
+        first = dynamics._best_alternative(worker, UNASSIGNED, 0.0)
+        hits_before = dynamics.stats.cache_hits
+        second = dynamics._best_alternative(worker, UNASSIGNED, 0.0)
+        assert second == first
+        assert dynamics.stats.cache_hits == hits_before + 1
+        # A membership change in a candidate task must invalidate the memo.
+        task = pairs.tasks_for_worker[worker][0]
+        joiner = next(
+            w
+            for w in pairs.workers_for_task[task]
+            if w != worker and assignment.task_of(w) == UNASSIGNED
+        )
+        assignment.assign(joiner, task)
+        misses_before = dynamics.stats.cache_misses
+        dynamics._best_alternative(worker, UNASSIGNED, 0.0)
+        assert dynamics.stats.cache_misses == misses_before + 1

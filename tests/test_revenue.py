@@ -196,3 +196,133 @@ def test_property_revenue_sum_of_averages(size, seed):
         for worker in members
     )
     assert total == pytest.approx(summed)
+
+
+class TestEquationTwoEdgeCases:
+    """Regression tests for the B <= 1 edge cases (former crashes)."""
+
+    def test_singleton_group_with_b1_scores_zero(self):
+        # A singleton group has no cooperation pairs, so Equation 2's
+        # numerator is empty and the revenue is 0 — this used to divide
+        # by ``count - 1 == 0`` when min_group_size=1.
+        q = CooperationMatrix.random_uniform(5, seed=0)
+        assert group_revenue(q, [2], capacity=4, min_group_size=1) == 0.0
+        assert group_revenue(q, [0], capacity=1, min_group_size=0) == 0.0
+
+    def test_singleton_capacity_one_overflow(self):
+        # Two members clamped to a capacity-1 best subset: the counted
+        # group is a singleton, which must score 0, not crash.
+        q = CooperationMatrix.random_uniform(5, seed=1)
+        assert group_revenue(q, [0, 3], capacity=1, min_group_size=1) == 0.0
+
+    def test_pair_group_with_b1_uses_normal_denominator(self):
+        q = uniform_matrix(4, 0.3)
+        assert group_revenue(q, [0, 1], capacity=4, min_group_size=1) == (
+            pytest.approx(0.6)
+        )
+
+    def test_cache_join_gain_b1_singleton(self):
+        from repro.core.revenue import RevenueCache
+
+        q = CooperationMatrix.random_uniform(4, seed=2)
+        cache = RevenueCache(q, capacities=[3], min_group_size=1)
+        # Joining an empty task forms a singleton: gain must be 0.
+        assert cache.join_gain(0, 0) == 0.0
+        cache.join(0, 0)
+        assert cache.revenue(0) == 0.0
+        # Leaving the singleton symmetrically yields delta 0.
+        assert cache.leave_delta(0, 0) == 0.0
+
+
+class TestTieBreakPin:
+    """The documented tie-break: ties peel the *highest* worker index."""
+
+    def test_uniform_ties_keep_lowest_indices(self):
+        # Every contribution ties on a uniform matrix, so the peel must
+        # repeatedly drop the highest index: 4, then 3.
+        matrix = uniform_matrix(5, 0.5)
+        assert best_counted_subset(matrix, [0, 1, 2, 3, 4], 3) == [0, 1, 2]
+        # Membership order must not matter.
+        assert best_counted_subset(matrix, [3, 1, 4, 0, 2], 3) == [0, 1, 2]
+
+    def test_partial_tie_between_two_members(self):
+        # Workers 1 and 3 contribute identically (symmetric roles); the
+        # higher index, 3, must be the one peeled.
+        q = np.full((4, 4), 0.5)
+        q[0, 2] = q[2, 0] = 0.9
+        matrix = CooperationMatrix(q)
+        assert best_counted_subset(matrix, [0, 1, 2, 3], 3) == [0, 1, 2]
+
+    def test_tie_break_consistent_above_vector_limit(self):
+        # Groups larger than the vectorized-peel limit use the scalar
+        # reference loop; the tie-break must be the same there.
+        matrix = uniform_matrix(10, 0.5)
+        assert best_counted_subset(matrix, list(range(10)), 4) == [0, 1, 2, 3]
+
+
+class TestRevenueCacheIncremental:
+    def make_cache(self, seed=7, capacities=(3, 4), minimum=2):
+        from repro.core.revenue import RevenueCache
+
+        q = CooperationMatrix.random_uniform(10, seed=seed)
+        return q, RevenueCache(q, list(capacities), minimum)
+
+    def test_join_leave_matches_scratch(self):
+        q, cache = self.make_cache()
+        for worker in (0, 4, 2):
+            cache.join(worker, 0)
+            assert cache.revenue(0) == pytest.approx(cache.revenue_from_scratch(0))
+        cache.leave(4, 0)
+        assert cache.revenue(0) == pytest.approx(cache.revenue_from_scratch(0))
+
+    def test_overflow_revenue_exactly_matches_scratch(self):
+        # Over capacity the refresh re-peels from scratch, so the cached
+        # revenue is exactly the oracle value (not just approximately).
+        q, cache = self.make_cache(capacities=(2, 4))
+        for worker in (0, 1, 2, 3):
+            cache.join(worker, 0)
+        assert cache.revenue(0) == cache.revenue_from_scratch(0)
+        assert cache.counted_subset(0) == tuple(
+            best_counted_subset(q, [0, 1, 2, 3], 2)
+        )
+
+    def test_exchange_is_leave_plus_join(self):
+        q, cache = self.make_cache()
+        cache.join(0, 1)
+        cache.join(5, 1)
+        cache.exchange(1, leaving=5, entering=8)
+        assert cache.members(1) == (0, 8)
+        assert cache.revenue(1) == pytest.approx(cache.revenue_from_scratch(1))
+
+    def test_version_stamps_move_on_every_mutation(self):
+        q, cache = self.make_cache()
+        v0 = cache.versions[0]
+        cache.join(3, 0)
+        assert cache.versions[0] == v0 + 1
+        cache.leave(3, 0)
+        assert cache.versions[0] == v0 + 2
+        cache.clear(0)
+        assert cache.versions[0] == v0 + 3
+        assert cache.versions[1] == 0
+
+    def test_evaluation_counters(self):
+        q, cache = self.make_cache(capacities=(2, 4))
+        cache.join(0, 0)
+        cache.join(1, 0)
+        assert cache.incremental_updates == 2
+        assert cache.full_evaluations == 0
+        cache.join(2, 0)  # overflow: triggers a from-scratch peel
+        assert cache.full_evaluations == 1
+        cache.join_gain(3, 0)  # overflow probe counts as full evaluation
+        assert cache.full_evaluations == 2
+
+    def test_join_gain_matches_mutation(self):
+        q, cache = self.make_cache()
+        cache.join(0, 0)
+        cache.join(1, 0)
+        for worker in (2, 9):
+            predicted = cache.join_gain(worker, 0)
+            before = cache.revenue(0)
+            cache.join(worker, 0)
+            assert cache.revenue(0) - before == pytest.approx(predicted)
+            cache.leave(worker, 0)

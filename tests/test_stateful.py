@@ -1,11 +1,14 @@
 """Stateful (model-based) property tests with hypothesis.
 
-Two rule-based state machines drive long random operation sequences:
+Three rule-based state machines drive long random operation sequences:
 
 * the R-tree against a brute-force list model (insert/delete/query must
   always agree, invariants must always hold);
 * the Assignment against a from-scratch Equation 2/3 evaluation
-  (incremental pair sums and revenues must never drift).
+  (incremental pair sums and revenues must never drift);
+* the RevenueCache directly, with random join/leave/exchange moves
+  including deep overflow states, against :func:`group_revenue` — the
+  incremental engine's determinism contract.
 """
 
 import numpy as np
@@ -20,7 +23,8 @@ from hypothesis.stateful import (
 )
 
 from repro.core.assignment import UNASSIGNED, Assignment
-from repro.core.revenue import group_revenue
+from repro.core.quality import CooperationMatrix
+from repro.core.revenue import RevenueCache, best_counted_subset, group_revenue
 from repro.spatial.geometry import Point
 from repro.spatial.rtree import RTree
 
@@ -127,6 +131,96 @@ class AssignmentMachine(RuleBasedStateMachine):
             < 1e-8
         )
 
+
+class RevenueCacheMachine(RuleBasedStateMachine):
+    """The incremental revenue engine against from-scratch Equation 2.
+
+    Drives join/leave/exchange directly on a :class:`RevenueCache` whose
+    tasks have mixed capacities and are allowed to overflow well past
+    ``a_j``, so both the delta path and the peeling path are exercised.
+    After every step each task's cached revenue, counted subset and the
+    total must agree with the uncached oracle.
+    """
+
+    WORKERS = 12
+
+    def __init__(self):
+        super().__init__()
+        self.quality = CooperationMatrix.random_uniform(self.WORKERS, seed=17)
+        self.capacities = [2, 3, 4]
+        self.minimum = 3
+        self.cache = RevenueCache(self.quality, self.capacities, self.minimum)
+        self.model: list[set[int]] = [set() for _ in self.capacities]
+
+    def _task_of(self, worker):
+        for task, members in enumerate(self.model):
+            if worker in members:
+                return task
+        return None
+
+    @rule(worker=st.integers(0, WORKERS - 1), task=st.integers(0, 2))
+    def join(self, worker, task):
+        if self._task_of(worker) is not None:
+            return
+        self.cache.join(worker, task)
+        self.model[task].add(worker)
+
+    @rule(worker=st.integers(0, WORKERS - 1))
+    def leave(self, worker):
+        task = self._task_of(worker)
+        if task is None:
+            return
+        self.cache.leave(worker, task)
+        self.model[task].discard(worker)
+
+    @rule(
+        task=st.integers(0, 2),
+        entering=st.integers(0, WORKERS - 1),
+        data=st.data(),
+    )
+    def exchange(self, task, entering, data):
+        if not self.model[task] or self._task_of(entering) is not None:
+            return
+        leaving = data.draw(
+            st.sampled_from(sorted(self.model[task])), label="leaving"
+        )
+        self.cache.exchange(task, leaving=leaving, entering=entering)
+        self.model[task].discard(leaving)
+        self.model[task].add(entering)
+
+    @rule(task=st.integers(0, 2))
+    def clear(self, task):
+        self.cache.clear(task)
+        self.model[task].clear()
+
+    @invariant()
+    def cache_matches_oracle(self):
+        for task, members in enumerate(self.model):
+            assert sorted(self.cache.members(task)) == sorted(members)
+            expected = group_revenue(
+                self.quality,
+                sorted(members),
+                self.capacities[task],
+                self.minimum,
+            )
+            assert abs(self.cache.revenue(task) - expected) < 1e-9
+            if len(members) > self.capacities[task]:
+                # Over capacity the refresh peels from scratch, so the
+                # counted subset (and the revenue) are exactly the
+                # oracle's, not merely within tolerance.
+                assert self.cache.counted_subset(task) == tuple(
+                    best_counted_subset(
+                        self.quality, sorted(members), self.capacities[task]
+                    )
+                )
+                assert self.cache.revenue(task) == expected
+        assert abs(self.cache.total() - self.cache.recompute_total()) < 1e-9
+
+
+TestRevenueCacheStateful = RevenueCacheMachine.TestCase
+TestRevenueCacheStateful.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
 
 TestRTreeStateful = RTreeMachine.TestCase
 TestRTreeStateful.settings = settings(
