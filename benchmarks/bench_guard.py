@@ -1,21 +1,33 @@
 """Performance guard — the repo's perf-trajectory record.
 
-Runs the instrumented solvers (TPG, GT, GT+ALL) on seeded Table II
-default-scale batches (m = 1000 workers, n = 500 tasks), checks that
-every incremental score matches the from-scratch Equation 2/3 oracle
-bit-for-bit, and writes ``BENCH_pr1.json`` next to this file: per-seed
-per-batch solve times, scores, and the merged
-:class:`~repro.core.stats.SolverStats` counters.
+Two sections, both written to ``BENCH_pr2.json`` next to the repo root:
+
+* **solver_guard** — runs the instrumented solvers (TPG, GT, GT+ALL) on
+  seeded Table II default-scale batches (m = 1000 workers, n = 500
+  tasks), checks that every incremental score matches the from-scratch
+  Equation 2/3 oracle bit-for-bit, and records per-seed solve times,
+  scores, and the merged :class:`~repro.core.stats.SolverStats`.
+* **parallel_sweep** — runs the Figure 7 worker sweep serially and with
+  ``--jobs N`` through :class:`~repro.experiments.parallel.
+  SweepExecutor`, records both wall-clocks plus the executor telemetry,
+  and checks that every parallel score / upper bound / completed-task
+  count is **bit-identical** to the serial run. The measured speedup is
+  hardware-dependent (it needs free cores — ``cpu_count`` is recorded
+  alongside so the number is interpretable); the telemetry's
+  ``speedup_vs_serial_estimate`` additionally reports
+  sum-of-cell-time / wall, the core-independent view.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_guard.py            # 3 seeds
+    PYTHONPATH=src python benchmarks/bench_guard.py              # everything
     PYTHONPATH=src python benchmarks/bench_guard.py --repeats 4
+    PYTHONPATH=src python benchmarks/bench_guard.py --jobs 8 --sweep-scale 0.5
+    PYTHONPATH=src python benchmarks/bench_guard.py --skip-sweep
 
 Exit status is non-zero when an incremental score deviates from the
-oracle — the cache drifting from Equation 2 is a correctness bug, never
-a tolerance issue, because every cache path is bit-identical by
-construction.
+oracle or a parallel sweep result deviates from serial — both are
+correctness bugs, never tolerance issues, because both paths are
+bit-identical by construction.
 
 The ``baseline_reference`` block records the pre-incremental-engine
 timings measured on the same machine when this guard was introduced, so
@@ -28,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -43,7 +56,9 @@ from repro.datasets.synthetic import generate_instance  # noqa: E402
 DEFAULT_WORKERS = 1000
 DEFAULT_TASKS = 500
 DEFAULT_SEEDS = (0, 1, 2)
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+DEFAULT_SWEEP_SCALE = 0.3
+DEFAULT_JOBS = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 
 #: Mean per-batch wall-clock of the pre-incremental-engine code at the
 #: same scale and seeds, measured as min-of-4 repeats on the machine
@@ -155,32 +170,142 @@ def run_guard(
     return record, failures
 
 
+def _sweep_fingerprint(result) -> dict:
+    """Everything a sweep computes that must be bit-identical across
+    executors: scores, upper bounds and completed-task counts, keyed by
+    parameter value and approach. Uses ``repr`` so comparison is exact
+    down to the last float bit."""
+    table: dict = {}
+    for point in result.points:
+        table[str(point.value)] = {
+            "upper": repr(point.upper),
+            "scores": {
+                name: repr(outcome.total_score)
+                for name, outcome in point.outcomes.items()
+            },
+            "completed": {
+                name: outcome.completed_tasks
+                for name, outcome in point.outcomes.items()
+            },
+        }
+    return table
+
+
+def run_sweep_benchmark(
+    scale: float = DEFAULT_SWEEP_SCALE,
+    jobs: int = DEFAULT_JOBS,
+    seed: int = 0,
+) -> tuple[dict, list[str]]:
+    """Serial vs parallel Figure 7 sweep: wall-clocks + parity check."""
+    from repro.experiments.figures import fig7_workers
+
+    failures: list[str] = []
+
+    started = time.perf_counter()
+    serial = fig7_workers(scale=scale, seed=seed, n_jobs=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = fig7_workers(scale=scale, seed=seed, n_jobs=jobs)
+    parallel_seconds = time.perf_counter() - started
+
+    serial_table = _sweep_fingerprint(serial)
+    parallel_table = _sweep_fingerprint(parallel)
+    if serial_table != parallel_table:
+        failures.append(
+            f"fig7 sweep at --jobs {jobs} is not bit-identical to serial"
+        )
+    for failure in parallel.failures:
+        failures.append(
+            f"fig7 parallel sweep cell failed: {failure.approach} at "
+            f"{failure.parameter}={failure.value}: {failure.error}"
+        )
+
+    record = {
+        "figure": "fig7_workers",
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "measured_speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "bit_identical": serial_table == parallel_table,
+        "serial_telemetry": serial.telemetry.to_dict(),
+        "parallel_telemetry": parallel.telemetry.to_dict(),
+        "scores": serial_table,
+    }
+    return record, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
     parser.add_argument("--tasks", type=int, default=DEFAULT_TASKS)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--sweep-scale",
+        type=float,
+        default=DEFAULT_SWEEP_SCALE,
+        help="workload scale of the serial-vs-parallel fig7 sweep",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=DEFAULT_JOBS,
+        help="worker processes for the parallel sweep leg",
+    )
+    parser.add_argument(
+        "--sweep-seed", type=int, default=0, help="seed of the fig7 sweep"
+    )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="only run the solver oracle guard",
+    )
+    parser.add_argument(
         "--out", type=Path, default=OUTPUT, help="output JSON path"
     )
     args = parser.parse_args(argv)
 
-    record, failures = run_guard(
+    guard_record, failures = run_guard(
         workers=args.workers, tasks=args.tasks, repeats=args.repeats
     )
+    record: dict = {"solver_guard": guard_record}
+    if not args.skip_sweep:
+        sweep_record, sweep_failures = run_sweep_benchmark(
+            scale=args.sweep_scale, jobs=args.jobs, seed=args.sweep_seed
+        )
+        record["parallel_sweep"] = sweep_record
+        failures += sweep_failures
+
     args.out.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")
     for solver in ("tpg", "gt", "gtall"):
-        summary = record["summary"][solver]
+        summary = guard_record["summary"][solver]
         print(
             f"{solver}: mean {summary['mean_seconds'] * 1e3:.1f} ms/batch "
             f"({summary['speedup_vs_baseline']:.2f}x vs pre-incremental baseline)"
+        )
+    if not args.skip_sweep:
+        sweep = record["parallel_sweep"]
+        print(
+            f"fig7 sweep (scale {sweep['scale']:g}, {sweep['cpu_count']} "
+            f"core(s)): serial {sweep['serial_seconds']:.1f}s, "
+            f"--jobs {sweep['jobs']} {sweep['parallel_seconds']:.1f}s "
+            f"({sweep['measured_speedup']:.2f}x measured, "
+            f"{sweep['parallel_telemetry']['speedup_vs_serial_estimate']:.2f}x "
+            f"vs cell-time estimate), bit-identical: "
+            f"{sweep['bit_identical']}"
         )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("all incremental scores match the from-scratch oracle")
+    print("all incremental scores match the from-scratch oracle"
+          + ("" if args.skip_sweep else "; parallel sweep bit-identical"))
     return 0
 
 

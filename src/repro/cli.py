@@ -1,20 +1,23 @@
 """Command-line interface for the CA-SC toolkit.
 
-Four subcommands cover the generate -> solve -> evaluate loop a
+Five subcommands cover the generate -> solve -> evaluate loop a
 downstream user needs without writing Python, plus a multi-round
-simulation driver::
+simulation driver and a figure-sweep runner::
 
     python -m repro.cli generate --workers 200 --tasks 40 --out batch.json
     python -m repro.cli solve batch.json --approach GT+ALL --out assignment.json
     python -m repro.cli evaluate batch.json assignment.json
     python -m repro.cli simulate --approach GT+ALL --rounds 10 --csv rounds.csv
+    python -m repro.cli sweep --figure fig7 --scale 0.2 --jobs 4
 
 ``generate`` writes an instance as JSON (see ``repro.datasets.io``);
 ``solve`` runs any registered approach and prints score, upper bound and
 timing; ``evaluate`` re-checks a saved assignment's feasibility and score
 (e.g. one produced by an external solver); ``simulate`` runs Algorithm
 1's batch framework over a synthetic or Meetup-like population and can
-export per-round metrics as CSV/JSONL.
+export per-round metrics as CSV/JSONL; ``sweep`` regenerates one paper
+figure, optionally fanned out over ``--jobs`` worker processes with
+bit-identical results (see docs/PERFORMANCE.md, "Parallel execution").
 """
 
 from __future__ import annotations
@@ -163,6 +166,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.reporting import (
+        figure_to_markdown,
+        format_failures,
+        format_figure,
+        format_telemetry,
+    )
+
+    started = time.perf_counter()
+    result = ALL_FIGURES[args.figure](
+        scale=args.scale, seed=args.seed, n_jobs=args.jobs
+    )
+    elapsed = time.perf_counter() - started
+    print(format_figure(result))
+    if args.jobs > 1:
+        print(format_telemetry(result.telemetry))
+    print(f"[{args.figure} regenerated in {elapsed:.1f}s]")
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(
+                f"### {result.figure}\n\n" + figure_to_markdown(result) + "\n"
+            )
+        print(f"wrote markdown tables to {args.out}")
+    if result.failures:
+        print(format_failures(result.failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -224,6 +257,33 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = commands.add_parser(
+        "sweep", help="regenerate one paper-figure sweep, optionally parallel"
+    )
+    from repro.experiments.figures import ALL_FIGURES
+
+    sweep.add_argument(
+        "--figure", choices=sorted(ALL_FIGURES), default="fig7"
+    )
+    sweep.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale in (0, 1]; 1.0 reproduces Table II sizes",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are bit-identical "
+        "either way)",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--out", default=None, help="markdown output file (appended)"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

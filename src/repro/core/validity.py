@@ -53,7 +53,21 @@ class ValidPairs:
         return sum(len(tasks) for tasks in self.tasks_for_worker)
 
     def is_valid(self, worker: int, task: int) -> bool:
-        return task in self.tasks_for_worker[worker]
+        """O(1) membership via a lazily-built frozenset side-index.
+
+        Called inside ``Assignment.assign`` and the local-search inner
+        loops, where the previous O(k) tuple scan was a measurable cost
+        for high-degree workers.
+        """
+        return task in self._task_sets[worker]
+
+    @property
+    def _task_sets(self) -> tuple[frozenset, ...]:
+        cached = self.__dict__.get("_task_sets_cache")
+        if cached is None:
+            cached = tuple(frozenset(tasks) for tasks in self.tasks_for_worker)
+            object.__setattr__(self, "_task_sets_cache", cached)
+        return cached
 
     def iter_pairs(self):
         """Yield all valid ``(worker, task)`` pairs."""

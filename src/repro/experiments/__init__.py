@@ -6,8 +6,12 @@
   batch streams and collects scores, times and the UPPER bound.
 * :mod:`repro.experiments.figures` — one sweep function per paper figure
   (Figures 2-8).
+* :mod:`repro.experiments.parallel` — deterministic process-pool
+  fan-out of sweep cells (``SweepExecutor``; every sweep takes
+  ``n_jobs=``/``executor=``).
 * :mod:`repro.experiments.reporting` — plain-text / markdown tables.
-* ``python -m repro.experiments.run_all`` — regenerate every experiment.
+* ``python -m repro.experiments.run_all`` — regenerate every experiment
+  (``--jobs N`` parallelizes with bit-identical results).
 """
 
 from repro.experiments.config import (
@@ -17,6 +21,12 @@ from repro.experiments.config import (
     make_solver,
 )
 from repro.experiments.runner import ApproachOutcome, SweepPoint, run_approaches
+from repro.experiments.parallel import (
+    CellFailure,
+    CellSpec,
+    ExecutorTelemetry,
+    SweepExecutor,
+)
 from repro.experiments.reporting import format_figure, format_sweep_table
 from repro.experiments.convergence import ConvergenceTrace, trace_convergence
 from repro.experiments.equilibria import EquilibriumStudy, study_equilibria
@@ -32,6 +42,10 @@ __all__ = [
     "ApproachOutcome",
     "SweepPoint",
     "run_approaches",
+    "CellFailure",
+    "CellSpec",
+    "ExecutorTelemetry",
+    "SweepExecutor",
     "format_figure",
     "format_sweep_table",
     "ConvergenceTrace",

@@ -17,7 +17,14 @@ from repro.experiments.config import (
     TABLE_II,
     ExperimentSettings,
 )
-from repro.experiments.runner import SweepPoint, build_population, run_approaches
+from repro.experiments.parallel import (
+    CellFailure,
+    ExecutorTelemetry,
+    SweepExecutor,
+    assemble_points,
+    build_cell_specs,
+)
+from repro.experiments.runner import SweepPoint
 
 __all__ = [
     "FigureResult",
@@ -36,12 +43,21 @@ __all__ = [
 
 @dataclass
 class FigureResult:
-    """A full sweep for one figure."""
+    """A full sweep for one figure.
+
+    ``telemetry`` and ``failures`` come from the
+    :class:`~repro.experiments.parallel.SweepExecutor` that ran the
+    sweep: executor wall/cell timings, and structured records of any
+    cells that kept raising or timing out (their approach column renders
+    as ``n/a``).
+    """
 
     figure: str
     parameter: str
     approaches: tuple[str, ...]
     points: list[SweepPoint] = field(default_factory=list)
+    telemetry: ExecutorTelemetry | None = None
+    failures: list[CellFailure] = field(default_factory=list)
 
     def values(self) -> list[object]:
         return [point.value for point in self.points]
@@ -55,25 +71,31 @@ def _sweep(
     base: ExperimentSettings,
     approaches: tuple[str, ...],
     seed: int,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
-    result = FigureResult(figure=figure, parameter=parameter, approaches=approaches)
-    population = build_population(base, seed=seed)
-    rebuild_population = parameter in ("workers_per_round", "tasks_per_round")
-    for value in values:
-        settings = settings_for_value(base, value)
-        if rebuild_population and settings.dataset != "meetup":
-            population = build_population(settings, seed=seed)
-        result.points.append(
-            run_approaches(
-                population,
-                settings,
-                approaches=approaches,
-                parameter=parameter,
-                value=value,
-                seed=seed,
-            )
-        )
-    return result
+    """Expand the sweep into (value x approach) cells and execute them.
+
+    ``n_jobs=1`` runs the cells inline in grid order — the historical
+    serial path; larger values fan out over a process pool with
+    bit-identical results (see :mod:`repro.experiments.parallel`).
+    """
+    if executor is None:
+        executor = SweepExecutor(n_jobs=n_jobs)
+    values = list(values)
+    specs = build_cell_specs(
+        figure, parameter, values, settings_for_value, base, approaches, seed
+    )
+    results, telemetry = executor.run(specs)
+    points, failures = assemble_points(results, parameter, values, approaches)
+    return FigureResult(
+        figure=figure,
+        parameter=parameter,
+        approaches=approaches,
+        points=points,
+        telemetry=telemetry,
+        failures=failures,
+    )
 
 
 def fig2_capacity(
@@ -82,6 +104,8 @@ def fig2_capacity(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -93,6 +117,8 @@ def fig2_capacity(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -102,6 +128,8 @@ def fig3_speed(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
 
@@ -119,6 +147,8 @@ def fig3_speed(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -128,6 +158,8 @@ def fig4_radius(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -141,6 +173,8 @@ def fig4_radius(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -150,6 +184,8 @@ def fig5_deadline(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -161,6 +197,8 @@ def fig5_deadline(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -170,6 +208,8 @@ def fig6_epsilon(
     approaches: tuple[str, ...] = ("GT+TSI",),
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
 
@@ -185,6 +225,8 @@ def fig6_epsilon(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -194,6 +236,8 @@ def fig7_workers(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -207,6 +251,8 @@ def fig7_workers(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -216,6 +262,8 @@ def fig8_tasks(
     approaches: tuple[str, ...] = DEFAULT_APPROACH_ORDER,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -229,6 +277,8 @@ def fig8_tasks(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 
@@ -241,6 +291,8 @@ def fig9_extensions(
     approaches: tuple[str, ...] = EXTENSION_LINEUP,
     scale: float = 1.0,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
+    n_jobs: int = 1,
 ) -> FigureResult:
     """Extension figure (not in the paper): the baseline ladder.
 
@@ -261,6 +313,8 @@ def fig9_extensions(
         base,
         approaches,
         seed,
+        executor=executor,
+        n_jobs=n_jobs,
     )
 
 

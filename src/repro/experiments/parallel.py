@@ -1,0 +1,496 @@
+"""Deterministic process-pool fan-out for experiment sweeps.
+
+The paper's evaluation is a grid of independent cells — one simulation
+per ``(figure, parameter value, approach, seed)`` — so a sweep
+parallelizes embarrassingly. :class:`SweepExecutor` fans those cells out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+results **bit-identical** to the serial path:
+
+* Work travels as :class:`CellSpec` — settings + approach name + seed,
+  all plain picklable values. Workers rebuild the
+  :class:`~repro.simulation.population.Population` and solver locally;
+  simulators and numpy generators are never pickled.
+* Every cell derives its randomness exactly as the serial loop does
+  (``BatchSimulator(seed=seed)`` / ``make_solver(seed=seed + 1)``), and
+  populations are rebuilt from ``(settings, seed)`` alone, so scores,
+  upper bounds and completed-task counts do not depend on worker count
+  or completion order.
+* A cell that raises (or exceeds ``timeout`` seconds of wall-clock) is
+  retried once and then recorded as a :class:`CellFailure`; the rest of
+  the sweep always completes.
+* :class:`ExecutorTelemetry` captures per-cell wall time, queue latency,
+  worker utilization and the speedup over the serial estimate; the
+  reporting layer and ``benchmarks/bench_guard.py`` surface it.
+
+``n_jobs=1`` (the default everywhere) executes the same cells inline in
+submission order — no subprocess, no pickling — preserving the
+historical serial behavior.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import (
+    ApproachOutcome,
+    SweepPoint,
+    build_population,
+    run_single_approach,
+    synthetic_pool_sizes,
+    upper_reference,
+)
+from repro.simulation.population import Population
+
+__all__ = [
+    "CellSpec",
+    "CellFailure",
+    "CellResult",
+    "ExecutorTelemetry",
+    "SweepExecutor",
+    "build_cell_specs",
+    "assemble_points",
+    "cached_population",
+    "population_cache_key",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One spawn-safe unit of sweep work.
+
+    Carries only picklable configuration — the worker process rebuilds
+    the population and solver from it. ``compute_upper`` marks the one
+    approach per value whose batches feed the Equation 9 UPPER bound
+    (GT, or the first approach when GT is absent — the serial rule).
+    """
+
+    figure: str
+    parameter: str
+    value_index: int
+    value: object
+    settings: ExperimentSettings
+    approach: str
+    seed: int
+    compute_upper: bool = False
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of a cell that kept failing after its retry."""
+
+    figure: str
+    parameter: str
+    value: object
+    approach: str
+    error: str
+    attempts: int
+    timed_out: bool = False
+
+
+@dataclass
+class CellResult:
+    """Outcome (or failure) of one executed cell, plus its timings."""
+
+    spec: CellSpec
+    outcome: ApproachOutcome | None = None
+    upper: float | None = None
+    wall_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    attempts: int = 1
+    worker_pid: int = 0
+    failure: CellFailure | None = None
+
+
+@dataclass
+class ExecutorTelemetry:
+    """Aggregate instrumentation of one :meth:`SweepExecutor.run` call.
+
+    ``cell_seconds`` sums every successful cell's in-worker wall time —
+    the serial-execution estimate — so ``speedup_vs_serial_estimate =
+    cell_seconds / wall_seconds`` and ``worker_utilization =
+    cell_seconds / (wall_seconds * n_jobs)``.
+    """
+
+    n_jobs: int
+    cells: int = 0
+    failed_cells: int = 0
+    retried_cells: int = 0
+    wall_seconds: float = 0.0
+    cell_seconds: float = 0.0
+    mean_queue_seconds: float = 0.0
+    worker_utilization: float = 0.0
+    speedup_vs_serial_estimate: float = 0.0
+    distinct_workers: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by ``bench_guard``)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "cells": self.cells,
+            "failed_cells": self.failed_cells,
+            "retried_cells": self.retried_cells,
+            "wall_seconds": self.wall_seconds,
+            "cell_seconds": self.cell_seconds,
+            "mean_queue_seconds": self.mean_queue_seconds,
+            "worker_utilization": self.worker_utilization,
+            "speedup_vs_serial_estimate": self.speedup_vs_serial_estimate,
+            "distinct_workers": self.distinct_workers,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line for CLI output."""
+        parts = [
+            f"{self.cells} cells over {self.n_jobs} worker(s) "
+            f"in {self.wall_seconds:.1f}s",
+            f"cell-time {self.cell_seconds:.1f}s",
+            f"speedup {self.speedup_vs_serial_estimate:.2f}x",
+            f"utilization {self.worker_utilization:.0%}",
+        ]
+        if self.n_jobs > 1:
+            parts.append(f"queue {self.mean_queue_seconds * 1e3:.0f}ms")
+        if self.retried_cells:
+            parts.append(f"retried {self.retried_cells}")
+        if self.failed_cells:
+            parts.append(f"FAILED {self.failed_cells}")
+        return ", ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Population cache — satellite: build_population is deterministic given
+# (settings, seed), so one sweep point's approaches (and one worker's
+# successive cells) share a single dataset build instead of regenerating
+# the Meetup surrogate crawl per cell.
+
+_POPULATION_CACHE: dict[tuple, Population] = {}
+_POPULATION_CACHE_LIMIT = 4
+
+
+def population_cache_key(settings: ExperimentSettings, seed) -> tuple:
+    """The inputs that actually determine a population's contents.
+
+    Meetup ignores the settings entirely; synthetic pools depend only on
+    the derived pool sizes and the distribution. Everything else
+    (capacity, epsilon, speed/radius ranges, ...) is applied per batch,
+    so sweeping it must NOT invalidate the cache.
+    """
+    if settings.dataset == "meetup":
+        return ("meetup", seed)
+    worker_pool, task_pool = synthetic_pool_sizes(settings)
+    return (settings.dataset, worker_pool, task_pool, seed)
+
+
+def cached_population(settings: ExperimentSettings, seed) -> Population:
+    """A process-local memoized :func:`build_population`."""
+    key = population_cache_key(settings, seed)
+    population = _POPULATION_CACHE.get(key)
+    if population is None:
+        population = build_population(settings, seed=seed)
+        while len(_POPULATION_CACHE) >= _POPULATION_CACHE_LIMIT:
+            _POPULATION_CACHE.pop(next(iter(_POPULATION_CACHE)))
+        _POPULATION_CACHE[key] = population
+    return population
+
+
+def _execute_cell(spec: CellSpec, submitted_at: float) -> dict:
+    """Run one cell (in a pool worker or inline) and return a payload.
+
+    Module-level so spawn-start pools can pickle it by reference.
+    ``submitted_at``/``started_at`` use ``time.time`` — comparable across
+    processes — to measure queue latency.
+    """
+    started_at = time.time()
+    started = time.perf_counter()
+    population = cached_population(spec.settings, spec.seed)
+    outcome, upper = run_single_approach(
+        population,
+        spec.settings,
+        spec.approach,
+        seed=spec.seed,
+        compute_upper=spec.compute_upper,
+    )
+    return {
+        "outcome": outcome,
+        "upper": upper,
+        "wall_seconds": time.perf_counter() - started,
+        "queue_seconds": max(0.0, started_at - submitted_at),
+        "worker_pid": os.getpid(),
+    }
+
+
+class _Attempt:
+    """Parent-side bookkeeping for one in-flight cell attempt."""
+
+    __slots__ = ("index", "spec", "attempt", "submitted_at", "running_since")
+
+    def __init__(self, index: int, spec: CellSpec, attempt: int) -> None:
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.submitted_at = time.time()
+        self.running_since: float | None = None
+
+
+class SweepExecutor:
+    """Fans sweep cells out over a process pool, deterministically.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes. ``1`` (default) runs every cell inline —
+        byte-for-byte the historical serial path.
+    timeout:
+        Per-cell wall-clock budget in seconds, measured from when the
+        cell is observed running (so queue time never counts). ``None``
+        disables it. Only enforced when ``n_jobs > 1``: a timed-out
+        cell's future is abandoned (the OS process keeps the slot until
+        its current cell ends — a truly non-terminating solver should be
+        fixed, not timed out).
+    retries:
+        Extra attempts after a raise/timeout before a
+        :class:`CellFailure` is recorded (default 1 → two attempts).
+    mp_context:
+        ``multiprocessing`` start method. ``"spawn"`` (default) is the
+        portable, thread-safe choice and what determinism is tested
+        under; ``"fork"`` is available for tests that must inherit
+        monkeypatched registries.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 1,
+        mp_context: str = "spawn",
+        poll_seconds: float = 0.05,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.n_jobs = n_jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.mp_context = mp_context
+        self.poll_seconds = poll_seconds
+
+    def run(
+        self, specs: list[CellSpec]
+    ) -> tuple[list[CellResult], ExecutorTelemetry]:
+        """Execute every cell; returns per-cell results (in spec order)
+        plus the run's :class:`ExecutorTelemetry`."""
+        started = time.perf_counter()
+        if self.n_jobs == 1 or len(specs) <= 1:
+            results = [self._run_inline(spec) for spec in specs]
+        else:
+            results = self._run_pool(specs)
+        return results, self._telemetry(results, time.perf_counter() - started)
+
+    # -- serial path -------------------------------------------------------
+
+    def _run_inline(self, spec: CellSpec) -> CellResult:
+        last_error: Exception | None = None
+        for attempt in range(1, self.retries + 2):
+            submitted_at = time.time()
+            try:
+                payload = _execute_cell(spec, submitted_at)
+            except Exception as error:  # noqa: BLE001 — converted to a record
+                last_error = error
+                continue
+            return CellResult(spec=spec, attempts=attempt, **payload)
+        return CellResult(
+            spec=spec,
+            attempts=self.retries + 1,
+            failure=self._failure(spec, last_error, self.retries + 1, False),
+        )
+
+    # -- pool path ---------------------------------------------------------
+
+    def _run_pool(self, specs: list[CellSpec]) -> list[CellResult]:
+        context = multiprocessing.get_context(self.mp_context)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.n_jobs, len(specs)), mp_context=context
+        )
+        results: dict[int, CellResult] = {}
+        pending: dict = {}
+        abandoned = False
+
+        def submit(index: int, spec: CellSpec, attempt: int) -> None:
+            info = _Attempt(index, spec, attempt)
+            try:
+                future = pool.submit(_execute_cell, spec, info.submitted_at)
+            except (BrokenProcessPool, RuntimeError) as error:
+                results[index] = CellResult(
+                    spec=spec,
+                    attempts=attempt,
+                    failure=self._failure(spec, error, attempt, False),
+                )
+            else:
+                pending[future] = info
+
+        def handle_failure(info: _Attempt, error, timed_out: bool) -> None:
+            if info.attempt <= self.retries:
+                submit(info.index, info.spec, info.attempt + 1)
+            else:
+                results[info.index] = CellResult(
+                    spec=info.spec,
+                    attempts=info.attempt,
+                    failure=self._failure(
+                        info.spec, error, info.attempt, timed_out
+                    ),
+                )
+
+        try:
+            for index, spec in enumerate(specs):
+                submit(index, spec, attempt=1)
+            while pending:
+                done, _ = wait(
+                    set(pending),
+                    timeout=self.poll_seconds,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    info = pending.pop(future)
+                    try:
+                        payload = future.result()
+                    except Exception as error:  # noqa: BLE001
+                        handle_failure(info, error, timed_out=False)
+                    else:
+                        results[info.index] = CellResult(
+                            spec=info.spec, attempts=info.attempt, **payload
+                        )
+                if self.timeout is None:
+                    continue
+                now = time.monotonic()
+                for future, info in list(pending.items()):
+                    if info.running_since is None and future.running():
+                        info.running_since = now
+                    if (
+                        info.running_since is not None
+                        and now - info.running_since > self.timeout
+                    ):
+                        future.cancel()
+                        pending.pop(future)
+                        abandoned = True
+                        handle_failure(
+                            info,
+                            TimeoutError(
+                                f"cell exceeded {self.timeout:g}s wall-clock"
+                            ),
+                            timed_out=True,
+                        )
+        finally:
+            # Abandoned (timed-out) cells are still running inside their
+            # workers; waiting on them would re-hang the sweep.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return [results[index] for index in range(len(specs))]
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _failure(
+        spec: CellSpec, error, attempts: int, timed_out: bool
+    ) -> CellFailure:
+        return CellFailure(
+            figure=spec.figure,
+            parameter=spec.parameter,
+            value=spec.value,
+            approach=spec.approach,
+            error=f"{type(error).__name__}: {error}" if error else "unknown error",
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+
+    def _telemetry(
+        self, results: list[CellResult], wall_seconds: float
+    ) -> ExecutorTelemetry:
+        succeeded = [r for r in results if r.failure is None]
+        cell_seconds = sum(r.wall_seconds for r in succeeded)
+        telemetry = ExecutorTelemetry(
+            n_jobs=self.n_jobs,
+            cells=len(results),
+            failed_cells=len(results) - len(succeeded),
+            retried_cells=sum(1 for r in results if r.attempts > 1),
+            wall_seconds=wall_seconds,
+            cell_seconds=cell_seconds,
+            distinct_workers=len({r.worker_pid for r in succeeded}),
+        )
+        if succeeded:
+            telemetry.mean_queue_seconds = sum(
+                r.queue_seconds for r in succeeded
+            ) / len(succeeded)
+        if wall_seconds > 0:
+            telemetry.speedup_vs_serial_estimate = cell_seconds / wall_seconds
+            telemetry.worker_utilization = cell_seconds / (
+                wall_seconds * self.n_jobs
+            )
+        return telemetry
+
+
+def build_cell_specs(
+    figure: str,
+    parameter: str,
+    values,
+    settings_for_value,
+    base: ExperimentSettings,
+    approaches: tuple[str, ...],
+    seed: int,
+) -> list[CellSpec]:
+    """Expand one figure sweep into its (value x approach) cell grid."""
+    upper_approach = upper_reference(approaches)
+    specs: list[CellSpec] = []
+    for value_index, value in enumerate(values):
+        settings = settings_for_value(base, value)
+        for approach in approaches:
+            specs.append(
+                CellSpec(
+                    figure=figure,
+                    parameter=parameter,
+                    value_index=value_index,
+                    value=value,
+                    settings=settings,
+                    approach=approach,
+                    seed=seed,
+                    compute_upper=approach == upper_approach,
+                )
+            )
+    return specs
+
+
+def assemble_points(
+    results: list[CellResult],
+    parameter: str,
+    values,
+    approaches: tuple[str, ...],
+) -> tuple[list[SweepPoint], list[CellFailure]]:
+    """Merge cell results back into per-value :class:`SweepPoint`\\ s.
+
+    Outcomes are inserted in ``approaches`` order regardless of the
+    order cells completed in, so the assembled points are identical to
+    the serial loop's. Failed cells are skipped and their failures
+    returned alongside.
+    """
+    by_key = {(r.spec.value_index, r.spec.approach): r for r in results}
+    points: list[SweepPoint] = []
+    failures: list[CellFailure] = []
+    for value_index, value in enumerate(values):
+        point = SweepPoint(parameter=parameter, value=value)
+        for approach in approaches:
+            result = by_key.get((value_index, approach))
+            if result is None:
+                continue
+            if result.failure is not None:
+                failures.append(result.failure)
+                continue
+            point.outcomes[approach] = result.outcome
+            if result.spec.compute_upper and result.upper is not None:
+                point.upper = result.upper
+        points.append(point)
+    return points, failures

@@ -8,12 +8,20 @@ panels for a :class:`~repro.experiments.figures.FigureResult`;
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 from repro.experiments.figures import FigureResult
+from repro.experiments.parallel import CellFailure, ExecutorTelemetry
 from repro.experiments.runner import SweepPoint
 
-__all__ = ["format_sweep_table", "format_figure", "figure_to_markdown"]
+__all__ = [
+    "format_sweep_table",
+    "format_figure",
+    "figure_to_markdown",
+    "format_telemetry",
+    "format_failures",
+]
 
 
 def _format_value(value: object) -> str:
@@ -22,6 +30,13 @@ def _format_value(value: object) -> str:
     if isinstance(value, (tuple, list)):
         return "[" + ",".join(str(v) for v in value) + "]"
     return str(value)
+
+
+def _format_metric(value: float, precision: int) -> str:
+    """NaN marks an approach whose cell failed (see FigureResult.failures)."""
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.{precision}f}"
 
 
 def _render(headers: list[str], rows: list[list[str]], markdown: bool) -> str:
@@ -64,7 +79,7 @@ def format_sweep_table(
     for point in result.points:
         row = [_format_value(point.value)]
         row.extend(
-            f"{metric(point, approach):.{precision}f}"
+            _format_metric(metric(point, approach), precision)
             for approach in result.approaches
         )
         if include_upper:
@@ -95,3 +110,23 @@ def format_figure(result: FigureResult, markdown: bool = False) -> str:
 
 def figure_to_markdown(result: FigureResult) -> str:
     return format_figure(result, markdown=True)
+
+
+def format_telemetry(telemetry: ExecutorTelemetry | None) -> str:
+    """One-line executor report for a sweep (empty when absent)."""
+    if telemetry is None:
+        return ""
+    return f"[executor: {telemetry.summary()}]"
+
+
+def format_failures(failures: list[CellFailure]) -> str:
+    """Render a sweep's failed cells, one line each (empty when none)."""
+    lines = []
+    for failure in failures:
+        kind = "timed out" if failure.timed_out else "failed"
+        lines.append(
+            f"FAILED cell: {failure.approach} at {failure.parameter}="
+            f"{_format_value(failure.value)} ({failure.figure}) {kind} "
+            f"after {failure.attempts} attempt(s): {failure.error}"
+        )
+    return "\n".join(lines)

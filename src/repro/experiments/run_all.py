@@ -4,10 +4,14 @@ Usage::
 
     python -m repro.experiments.run_all                # full Table II scale
     python -m repro.experiments.run_all --scale 0.2    # quick pass
+    python -m repro.experiments.run_all --jobs 4       # process-pool fan-out
     python -m repro.experiments.run_all --figures fig2 fig6 --out results.md
 
 With ``--out`` the tables are also written as markdown (the format
 EXPERIMENTS.md embeds); stdout always gets the plain-text tables.
+``--jobs N`` fans each sweep's (value, approach) cells over ``N`` worker
+processes with bit-identical results (see docs/PERFORMANCE.md,
+"Parallel execution"); the default 1 preserves the serial path.
 """
 
 from __future__ import annotations
@@ -17,7 +21,12 @@ import sys
 import time
 
 from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.reporting import figure_to_markdown, format_figure
+from repro.experiments.reporting import (
+    figure_to_markdown,
+    format_failures,
+    format_figure,
+    format_telemetry,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,6 +48,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep (1 = serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--out", type=str, default=None, help="markdown output file (appended)"
     )
     parser.add_argument(
@@ -49,10 +65,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     markdown_chunks: list[str] = []
+    failed_cells = 0
     for name in args.figures:
         sweep = ALL_FIGURES[name]
         started = time.perf_counter()
-        result = sweep(scale=args.scale, seed=args.seed)
+        result = sweep(scale=args.scale, seed=args.seed, n_jobs=args.jobs)
         elapsed = time.perf_counter() - started
         print(format_figure(result))
         if args.charts:
@@ -60,6 +77,11 @@ def main(argv: list[str] | None = None) -> int:
 
             print()
             print(render_figure_charts(result))
+        if args.jobs > 1:
+            print(format_telemetry(result.telemetry))
+        if result.failures:
+            failed_cells += len(result.failures)
+            print(format_failures(result.failures), file=sys.stderr)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")
         sys.stdout.flush()
         markdown_chunks.append(f"### {result.figure}\n\n" + figure_to_markdown(result))
@@ -67,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n\n".join(markdown_chunks) + "\n")
-    return 0
+    return 1 if failed_cells else 0
 
 
 if __name__ == "__main__":

@@ -21,9 +21,25 @@ from repro.experiments.config import (
 from repro.simulation.batch import BatchSimulator, SimulationReport
 from repro.simulation.population import Population
 
-__all__ = ["ApproachOutcome", "SweepPoint", "run_approaches", "build_population"]
+__all__ = [
+    "ApproachOutcome",
+    "SweepPoint",
+    "run_approaches",
+    "run_single_approach",
+    "build_population",
+    "synthetic_pool_sizes",
+    "upper_reference",
+]
 
 _UPPER_REFERENCE_APPROACH = "GT"
+
+
+def upper_reference(approaches: tuple[str, ...]) -> str:
+    """The approach whose batches feed the UPPER bound: GT when present,
+    otherwise the first approach of the lineup."""
+    if _UPPER_REFERENCE_APPROACH in approaches:
+        return _UPPER_REFERENCE_APPROACH
+    return approaches[0]
 
 
 @dataclass(frozen=True)
@@ -54,10 +70,25 @@ class SweepPoint:
     upper: float = 0.0
 
     def score(self, approach: str) -> float:
-        return self.outcomes[approach].total_score
+        """Total score of ``approach`` (NaN when its cell failed)."""
+        outcome = self.outcomes.get(approach)
+        return outcome.total_score if outcome is not None else float("nan")
 
     def seconds(self, approach: str) -> float:
-        return self.outcomes[approach].mean_batch_seconds
+        """Mean batch time of ``approach`` (NaN when its cell failed)."""
+        outcome = self.outcomes.get(approach)
+        return (
+            outcome.mean_batch_seconds if outcome is not None else float("nan")
+        )
+
+
+def synthetic_pool_sizes(settings: ExperimentSettings) -> tuple[int, int]:
+    """Pool sizes for synthetic populations — the only settings fields
+    (besides the dataset name) that affect what gets built, which is why
+    the parallel executor's population cache keys on them."""
+    worker_pool = max(int(settings.workers_per_round * 1.5), 200)
+    task_pool = max(int(settings.tasks_per_round * 2), 100)
+    return worker_pool, task_pool
 
 
 def build_population(settings: ExperimentSettings, seed=None) -> Population:
@@ -73,8 +104,7 @@ def build_population(settings: ExperimentSettings, seed=None) -> Population:
         return Population.from_meetup(dataset)
     if settings.dataset in ("unif", "skew"):
         distribution = "uniform" if settings.dataset == "unif" else "skewed"
-        worker_pool = max(int(settings.workers_per_round * 1.5), 200)
-        task_pool = max(int(settings.tasks_per_round * 2), 100)
+        worker_pool, task_pool = synthetic_pool_sizes(settings)
         return Population.synthetic(
             worker_pool,
             task_pool,
@@ -100,34 +130,57 @@ def run_approaches(
     Equation 9 UPPER bound summed over the reference approach's batches.
     """
     point = SweepPoint(parameter=parameter, value=value)
-    config = settings.to_batch_config()
-
+    reference = upper_reference(approaches)
     for name in approaches:
-        solver = make_solver(name, epsilon=settings.epsilon, seed=seed + 1)
-        upper_accumulator = [0.0]
-        hook = None
-        if name == _UPPER_REFERENCE_APPROACH or (
-            _UPPER_REFERENCE_APPROACH not in approaches
-            and name == approaches[0]
-        ):
-
-            def hook(instance, valid_pairs, _acc=upper_accumulator):
-                _acc[0] += upper_bound(instance, valid_pairs).value
-
-        simulator = BatchSimulator(
-            population, config, solver, seed=seed, instance_hook=hook
+        outcome, upper = run_single_approach(
+            population,
+            settings,
+            name,
+            seed=seed,
+            compute_upper=name == reference,
         )
-        report = simulator.run()
-        stats_log = getattr(solver, "stats_log", None)
-        point.outcomes[name] = ApproachOutcome(
-            name=name,
-            total_score=report.total_score,
-            mean_batch_seconds=report.mean_batch_seconds,
-            completed_tasks=report.total_completed_tasks,
-            assigned_workers=report.total_assigned_workers,
-            report=report,
-            stats=SolverStats.merged(stats_log) if stats_log else None,
-        )
-        if hook is not None:
-            point.upper = upper_accumulator[0]
+        point.outcomes[name] = outcome
+        if upper is not None:
+            point.upper = upper
     return point
+
+
+def run_single_approach(
+    population: Population,
+    settings: ExperimentSettings,
+    name: str,
+    seed: int = 0,
+    compute_upper: bool = False,
+) -> tuple[ApproachOutcome, float | None]:
+    """Simulate one approach at one parameter setting — the sweep cell.
+
+    This is the unit of work the parallel executor fans out; the serial
+    :func:`run_approaches` loop calls exactly the same code, which is
+    what makes ``--jobs N`` results bit-identical to ``--jobs 1``.
+    Returns the outcome plus the summed Equation 9 UPPER bound when
+    ``compute_upper`` is set (``None`` otherwise).
+    """
+    config = settings.to_batch_config()
+    solver = make_solver(name, epsilon=settings.epsilon, seed=seed + 1)
+    upper_accumulator = [0.0]
+    hook = None
+    if compute_upper:
+
+        def hook(instance, valid_pairs, _acc=upper_accumulator):
+            _acc[0] += upper_bound(instance, valid_pairs).value
+
+    simulator = BatchSimulator(
+        population, config, solver, seed=seed, instance_hook=hook
+    )
+    report = simulator.run()
+    stats_log = getattr(solver, "stats_log", None)
+    outcome = ApproachOutcome(
+        name=name,
+        total_score=report.total_score,
+        mean_batch_seconds=report.mean_batch_seconds,
+        completed_tasks=report.total_completed_tasks,
+        assigned_workers=report.total_assigned_workers,
+        report=report,
+        stats=SolverStats.merged(stats_log) if stats_log else None,
+    )
+    return outcome, (upper_accumulator[0] if compute_upper else None)

@@ -1,0 +1,272 @@
+"""Tests for the parallel sweep executor (``repro.experiments.parallel``).
+
+The contract under test: ``--jobs N`` sweeps are **bit-identical** to
+serial ones (scores, upper bounds, completed-task counts), failing or
+hanging cells become structured failure records while the rest of the
+sweep completes, and the executor's telemetry/population-cache behave.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.config import APPROACHES, ExperimentSettings
+from repro.experiments.figures import fig2_capacity, fig7_workers
+from repro.experiments.parallel import (
+    CellSpec,
+    SweepExecutor,
+    build_cell_specs,
+    cached_population,
+    population_cache_key,
+)
+
+QUICK = ExperimentSettings(
+    rounds=2,
+    workers_per_round=40,
+    tasks_per_round=10,
+    speed_range=(0.05, 0.2),
+    radius_range=(0.2, 0.4),
+    dataset="unif",
+)
+
+
+def fingerprint(result):
+    """Exact (repr-level) scores/uppers/counts of a sweep, for parity."""
+    return [
+        (
+            point.value,
+            repr(point.upper),
+            {
+                name: (
+                    repr(outcome.total_score),
+                    outcome.completed_tasks,
+                    outcome.assigned_workers,
+                )
+                for name, outcome in point.outcomes.items()
+            },
+        )
+        for point in result.points
+    ]
+
+
+class TestParity:
+    def test_fig7_jobs4_bit_identical_to_serial(self):
+        kwargs = dict(
+            base=QUICK,
+            values=(30, 40),
+            approaches=("RAND", "TPG", "GT"),
+            seed=3,
+        )
+        serial = fig7_workers(**kwargs, n_jobs=1)
+        parallel = fig7_workers(**kwargs, n_jobs=4)
+        assert not parallel.failures
+        assert fingerprint(parallel) == fingerprint(serial)
+        # dict iteration order must match the approach lineup, not the
+        # (nondeterministic) cell completion order.
+        for point in parallel.points:
+            assert list(point.outcomes) == ["RAND", "TPG", "GT"]
+
+    def test_fig2_meetup_jobs2_bit_identical_to_serial(self):
+        base = ExperimentSettings(
+            rounds=2,
+            workers_per_round=40,
+            tasks_per_round=10,
+            speed_range=(0.05, 0.2),
+            radius_range=(0.2, 0.4),
+            dataset="meetup",
+        )
+        kwargs = dict(base=base, values=(3, 4), approaches=("RAND",), seed=0)
+        serial = fig2_capacity(**kwargs, n_jobs=1)
+        parallel = fig2_capacity(**kwargs, n_jobs=2)
+        assert not parallel.failures
+        assert fingerprint(parallel) == fingerprint(serial)
+
+
+class TestFailureInjection:
+    def test_raising_cell_records_failure_serial(self):
+        result = fig7_workers(
+            base=QUICK,
+            values=(30,),
+            approaches=("RAND", "BOGUS"),
+            seed=0,
+            n_jobs=1,
+        )
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.approach == "BOGUS"
+        assert "unknown approach" in failure.error
+        assert failure.attempts == 2  # one retry
+        assert not failure.timed_out
+        # The rest of the sweep completed.
+        assert set(result.points[0].outcomes) == {"RAND"}
+        assert result.points[0].score("RAND") >= 0.0
+
+    def test_raising_cell_records_failure_parallel(self):
+        result = fig7_workers(
+            base=QUICK,
+            values=(30,),
+            approaches=("RAND", "BOGUS"),
+            seed=0,
+            n_jobs=2,
+        )
+        assert len(result.failures) == 1
+        assert result.failures[0].approach == "BOGUS"
+        assert set(result.points[0].outcomes) == {"RAND"}
+        assert result.telemetry.failed_cells == 1
+        assert result.telemetry.retried_cells >= 1
+
+    def test_timing_out_cell_records_failure_and_sweep_completes(self):
+        def sleepy_factory(epsilon, seed):
+            def solver(instance, valid_pairs):
+                time.sleep(1.2)
+                raise AssertionError("cell should have been abandoned")
+
+            return solver
+
+        APPROACHES["SLEEPY"] = sleepy_factory
+        try:
+            # fork (not spawn) so the pool workers inherit the
+            # test-registered approach.
+            executor = SweepExecutor(
+                n_jobs=2, timeout=0.15, retries=1, mp_context="fork"
+            )
+            result = fig7_workers(
+                base=QUICK,
+                values=(30,),
+                approaches=("RAND", "SLEEPY"),
+                seed=0,
+                executor=executor,
+            )
+        finally:
+            del APPROACHES["SLEEPY"]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.approach == "SLEEPY"
+        assert failure.timed_out
+        assert failure.attempts == 2
+        assert set(result.points[0].outcomes) == {"RAND"}
+
+
+class TestExecutor:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(n_jobs=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(timeout=0.0)
+        with pytest.raises(ValueError):
+            SweepExecutor(retries=-1)
+
+    def test_telemetry_fields(self):
+        result = fig7_workers(
+            base=QUICK, values=(30, 40), approaches=("RAND",), seed=0
+        )
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert telemetry.n_jobs == 1
+        assert telemetry.cells == 2
+        assert telemetry.failed_cells == 0
+        assert telemetry.wall_seconds > 0
+        assert telemetry.cell_seconds > 0
+        assert telemetry.speedup_vs_serial_estimate > 0
+        payload = telemetry.to_dict()
+        assert payload["cells"] == 2
+        assert "worker_utilization" in payload
+        assert "cells over 1 worker(s)" in telemetry.summary()
+
+    def test_cell_specs_are_picklable_and_mark_upper_reference(self):
+        from dataclasses import replace
+
+        specs = build_cell_specs(
+            "Figure 7",
+            "workers_per_round",
+            [30, 40],
+            lambda base, value: replace(base, workers_per_round=value),
+            QUICK,
+            ("RAND", "TPG", "GT"),
+            seed=0,
+        )
+        assert len(specs) == 6
+        uppers = [spec.approach for spec in specs if spec.compute_upper]
+        assert uppers == ["GT", "GT"]  # GT is the reference when present
+        restored = pickle.loads(pickle.dumps(specs))
+        assert restored == specs
+        assert isinstance(restored[0], CellSpec)
+
+
+class TestPopulationCache:
+    def test_same_settings_hit_the_cache(self):
+        first = cached_population(QUICK, seed=11)
+        again = cached_population(QUICK, seed=11)
+        assert first is again
+
+    def test_key_ignores_non_population_settings(self):
+        from dataclasses import replace
+
+        base_key = population_cache_key(QUICK, 0)
+        assert population_cache_key(replace(QUICK, epsilon=0.08), 0) == base_key
+        assert population_cache_key(replace(QUICK, capacity=6), 0) == base_key
+        # Pool sizes and seed DO matter.
+        assert (
+            population_cache_key(replace(QUICK, workers_per_round=500), 0)
+            != base_key
+        )
+        assert population_cache_key(QUICK, 1) != base_key
+        # Meetup ignores everything but the seed.
+        meetup = replace(QUICK, dataset="meetup")
+        assert population_cache_key(meetup, 0) == ("meetup", 0)
+        assert population_cache_key(
+            replace(meetup, workers_per_round=9), 0
+        ) == ("meetup", 0)
+
+
+class TestReportingIntegration:
+    def test_failed_cell_renders_as_na(self):
+        from repro.experiments.reporting import format_failures, format_figure
+
+        result = fig7_workers(
+            base=QUICK,
+            values=(30,),
+            approaches=("RAND", "BOGUS"),
+            seed=0,
+        )
+        text = format_figure(result)
+        assert "n/a" in text
+        failure_text = format_failures(result.failures)
+        assert "BOGUS" in failure_text and "unknown approach" in failure_text
+
+    def test_run_all_jobs_flag(self, capsys):
+        from repro.experiments.run_all import main
+
+        code = main(
+            ["--figures", "fig6", "--scale", "0.05", "--jobs", "2"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Figure 6" in printed
+        assert "[executor:" in printed
+
+    def test_cli_sweep_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.md"
+        code = main(
+            [
+                "sweep",
+                "--figure",
+                "fig6",
+                "--scale",
+                "0.05",
+                "--seed",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Figure 6" in printed
+        assert "regenerated in" in printed
+        assert "Figure 6" in out.read_text()
