@@ -64,10 +64,77 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wrap_budget(solver, args: argparse.Namespace):
+    """Wrap a solver in the anytime fallback chain when a budget is set.
+
+    Without ``--solver-budget`` the raw solver is returned unchanged, so
+    assignments stay bit-identical to earlier releases.
+    """
+    budget = getattr(args, "solver_budget", None)
+    if budget is None:
+        return solver
+    from repro.core.fallback import FallbackSolver
+
+    return FallbackSolver(
+        solver, budget=budget, label=args.approach, seed=args.seed
+    )
+
+
+def _print_degradations(solver) -> None:
+    """Print one line per degraded call of a FallbackSolver (if any)."""
+    log = getattr(solver, "degradation_log", None)
+    if not log:
+        return
+    degraded = [record for record in log if record.degraded]
+    for record in degraded:
+        print(f"degradation: {record.summary()}")
+    if degraded:
+        print(
+            f"degraded {len(degraded)}/{len(log)} solve(s) under the "
+            f"{log[0].budget_seconds:g}s budget"
+        )
+
+
+def _parse_faults(spec: str):
+    """``--faults`` spec -> :class:`~repro.simulation.faults.FaultModel`.
+
+    Comma-separated ``key=value`` pairs: ``no_show``, ``dropout``,
+    ``cancel`` (rates in [0, 1]), ``noise`` (location sigma), ``release``
+    (dropout busy fraction), ``retries`` (max per task), ``repair``
+    (0/1). Example: ``no_show=0.1,dropout=0.05,repair=1``.
+    """
+    from repro.simulation.faults import FaultModel
+
+    keys = {
+        "no_show": ("no_show_rate", float),
+        "dropout": ("dropout_rate", float),
+        "cancel": ("cancellation_rate", float),
+        "noise": ("location_noise_sigma", float),
+        "release": ("dropout_release", float),
+        "retries": ("max_task_retries", int),
+        "repair": ("repair", lambda raw: bool(int(raw))),
+    }
+    kwargs = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, raw = part.partition("=")
+        if name not in keys:
+            raise ValueError(
+                f"unknown fault key {name!r}; expected one of "
+                f"{', '.join(sorted(keys))}"
+            )
+        field, convert = keys[name]
+        kwargs[field] = convert(raw)
+    return FaultModel(**kwargs)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     pairs = compute_valid_pairs(instance)
     solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+    solver = _wrap_budget(solver, args)
 
     started = time.perf_counter()
     assignment = solver(instance, pairs)
@@ -84,6 +151,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"{elapsed:.3f}s"
     )
     _print_stats(solver)
+    _print_degradations(solver)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump({"pairs": assignment.to_pairs()}, handle)
@@ -130,7 +198,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.experiments.config import ExperimentSettings
+    from repro.experiments.reporting import format_fault_summary
     from repro.experiments.runner import build_population
     from repro.simulation.batch import BatchConfig, BatchSimulator
     from repro.simulation.metrics import aggregate, write_csv, write_jsonl
@@ -144,7 +215,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     population = build_population(settings, seed=args.seed)
     config: BatchConfig = settings.to_batch_config()
+    if args.faults:
+        config = replace(config, faults=_parse_faults(args.faults))
     solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+    solver = _wrap_budget(solver, args)
     report = BatchSimulator(population, config, solver, seed=args.seed).run()
 
     stats = aggregate(report)
@@ -157,6 +231,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"mean batch {stats.mean_batch_seconds * 1e3:.1f} ms"
     )
     _print_stats(solver)
+    _print_degradations(solver)
+    fault_line = format_fault_summary(report)
+    if fault_line:
+        print(fault_line)
     if args.csv:
         write_csv(report, args.csv)
         print(f"wrote per-round metrics to {args.csv}")
@@ -177,11 +255,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     result = ALL_FIGURES[args.figure](
-        scale=args.scale, seed=args.seed, n_jobs=args.jobs
+        scale=args.scale,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        checkpoint=args.resume,
     )
     elapsed = time.perf_counter() - started
     print(format_figure(result))
-    if args.jobs > 1:
+    if args.jobs > 1 or args.resume:
         print(format_telemetry(result.telemetry))
     print(f"[{args.figure} regenerated in {elapsed:.1f}s]")
     if args.out:
@@ -229,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--epsilon", type=float, default=0.05)
     solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--solver-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime wall-clock budget: on overrun the solver degrades "
+        "GT -> TPG -> pair-greedy -> random but always answers "
+        "(see docs/ROBUSTNESS.md)",
+    )
     solve.add_argument("--out", default=None, help="write assignment JSON here")
     solve.set_defaults(handler=_cmd_solve)
 
@@ -254,6 +344,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--epsilon", type=float, default=0.05)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--solver-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime per-batch budget with solver degradation "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    simulate.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject worker/task faults, e.g. "
+        "'no_show=0.1,dropout=0.05,cancel=0.02,noise=0.01' "
+        "(see docs/ROBUSTNESS.md for all keys)",
+    )
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")
     simulate.set_defaults(handler=_cmd_simulate)
@@ -280,6 +386,14 @@ def build_parser() -> argparse.ArgumentParser:
         "either way)",
     )
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint JSONL path: finished cells are journaled there "
+        "and a re-run with the same path skips them (safe to pass on "
+        "the first run too)",
+    )
     sweep.add_argument(
         "--out", default=None, help="markdown output file (appended)"
     )

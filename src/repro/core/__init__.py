@@ -16,11 +16,15 @@ Public surface (re-exported at package top level):
   :func:`~repro.core.baselines.mflow.solve_mflow`,
   :func:`~repro.core.exact.solve_exact`.
 * :func:`~repro.core.bounds.upper_bound` — Equation 9's UPPER reference.
+* :class:`~repro.core.fallback.FallbackSolver` — anytime wall-clock
+  budget with the GT -> TPG -> pair-greedy -> random degradation ladder
+  (see docs/ROBUSTNESS.md).
 """
 
 from repro.core.assignment import Assignment
 from repro.core.bounds import BoundReport, upper_bound
 from repro.core.exact import solve_exact
+from repro.core.fallback import DegradationRecord, FallbackSolver
 from repro.core.game import GameResult, solve_game_theoretic
 from repro.core.local_search import LocalSearchResult, solve_local_search
 from repro.core.model import Instance, Task, Worker
@@ -36,6 +40,8 @@ __all__ = [
     "BoundReport",
     "upper_bound",
     "solve_exact",
+    "DegradationRecord",
+    "FallbackSolver",
     "GameResult",
     "solve_game_theoretic",
     "Instance",

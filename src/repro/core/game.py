@@ -205,7 +205,9 @@ def solve_game_theoretic(
                 index=rounds - 1,
                 seconds=round_seconds,
                 moves=moves,
-                gain=round_gain,
+                # builtin float, not np.float64: stats must round-trip
+                # repr-exactly through the sweep checkpoint journal
+                gain=float(round_gain),
                 evaluations=stats.gain_evaluations - evaluations_before,
             )
         )

@@ -71,6 +71,12 @@ class SolverStats:
         Per-round timings of the best-response dynamics.
     runs:
         Number of solver invocations merged into this object.
+    degraded_solves:
+        Calls an anytime :class:`~repro.core.fallback.FallbackSolver`
+        had to answer with a lower tier (0 for unwrapped solvers).
+    fallback_answers:
+        Per-tier answer counts of a fallback chain (empty for unwrapped
+        solvers); sums to ``runs`` when every call went through a chain.
     """
 
     solver: str = ""
@@ -84,6 +90,8 @@ class SolverStats:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     rounds: list[RoundStats] = field(default_factory=list)
     runs: int = 1
+    degraded_solves: int = 0
+    fallback_answers: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another run's counters into this object (in place).
@@ -102,6 +110,11 @@ class SolverStats:
         self.total_seconds += other.total_seconds
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.degraded_solves += other.degraded_solves
+        for tier, count in other.fallback_answers.items():
+            self.fallback_answers[tier] = (
+                self.fallback_answers.get(tier, 0) + count
+            )
         self.rounds.extend(other.rounds)
         self.runs += other.runs - 1 if other.runs > 1 else 0
         if other is not self:
@@ -149,7 +162,17 @@ class SolverStats:
                 for r in self.rounds
             ],
             "runs": self.runs,
+            "degraded_solves": self.degraded_solves,
+            "fallback_answers": dict(self.fallback_answers),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolverStats":
+        """Inverse of :meth:`to_dict` (used by the sweep checkpoint
+        journal); tolerates records written before newer fields existed."""
+        payload = dict(payload)
+        rounds = [RoundStats(**entry) for entry in payload.pop("rounds", [])]
+        return cls(rounds=rounds, **payload)
 
     def summary(self) -> str:
         """One human-readable line for CLI/benchmark output."""
@@ -165,6 +188,12 @@ class SolverStats:
             )
         if self.rounds:
             parts.append(f"rounds={len(self.rounds)}")
+        if self.fallback_answers:
+            answers = ",".join(
+                f"{tier}:{count}"
+                for tier, count in sorted(self.fallback_answers.items())
+            )
+            parts.append(f"degraded={self.degraded_solves} via={answers}")
         for name, seconds in self.phase_seconds.items():
             parts.append(f"{name}={seconds * 1e3:.1f}ms")
         parts.append(f"total={self.total_seconds * 1e3:.1f}ms")

@@ -73,15 +73,19 @@ def _sweep(
     seed: int,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Expand the sweep into (value x approach) cells and execute them.
 
     ``n_jobs=1`` runs the cells inline in grid order — the historical
     serial path; larger values fan out over a process pool with
     bit-identical results (see :mod:`repro.experiments.parallel`).
+    ``checkpoint`` journals finished cells to a JSONL file so an
+    interrupted sweep resumes where it stopped (ignored when an explicit
+    ``executor`` is passed — configure it on the executor instead).
     """
     if executor is None:
-        executor = SweepExecutor(n_jobs=n_jobs)
+        executor = SweepExecutor(n_jobs=n_jobs, checkpoint=checkpoint)
     values = list(values)
     specs = build_cell_specs(
         figure, parameter, values, settings_for_value, base, approaches, seed
@@ -106,6 +110,7 @@ def fig2_capacity(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -119,6 +124,7 @@ def fig2_capacity(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -130,6 +136,7 @@ def fig3_speed(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
 
@@ -149,6 +156,7 @@ def fig3_speed(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -160,6 +168,7 @@ def fig4_radius(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -175,6 +184,7 @@ def fig4_radius(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -186,6 +196,7 @@ def fig5_deadline(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -199,6 +210,7 @@ def fig5_deadline(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -210,6 +222,7 @@ def fig6_epsilon(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
 
@@ -227,6 +240,7 @@ def fig6_epsilon(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -238,6 +252,7 @@ def fig7_workers(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -253,6 +268,7 @@ def fig7_workers(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -264,6 +280,7 @@ def fig8_tasks(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -279,6 +296,7 @@ def fig8_tasks(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 
@@ -293,6 +311,7 @@ def fig9_extensions(
     seed: int = 0,
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Extension figure (not in the paper): the baseline ladder.
 
@@ -315,6 +334,7 @@ def fig9_extensions(
         seed,
         executor=executor,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
     )
 
 

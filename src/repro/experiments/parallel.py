@@ -21,6 +21,15 @@ results **bit-identical** to the serial path:
 * :class:`ExecutorTelemetry` captures per-cell wall time, queue latency,
   worker utilization and the speedup over the serial estimate; the
   reporting layer and ``benchmarks/bench_guard.py`` surface it.
+* With ``checkpoint=<path>`` every finished cell is journaled to a
+  schema-versioned JSONL file (:class:`SweepJournal`; append + flush +
+  fsync per record), and a re-run with the same checkpoint resumes by
+  loading finished cells instead of re-executing them — the JSON float
+  round-trip is exact, so resumed results are repr-identical to the
+  journaled originals. A ``KeyboardInterrupt`` mid-sweep leaves the
+  journal complete up to the last finished cell and re-raises after
+  reporting partial telemetry, so an interrupted sweep is always
+  resumable.
 
 ``n_jobs=1`` (the default everywhere) executes the same cells inline in
 submission order — no subprocess, no pickling — preserving the
@@ -29,13 +38,17 @@ historical serial behavior.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
+from repro.core.stats import SolverStats
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import (
     ApproachOutcome,
@@ -45,6 +58,8 @@ from repro.experiments.runner import (
     synthetic_pool_sizes,
     upper_reference,
 )
+from repro.simulation.batch import SimulationReport
+from repro.simulation.metrics import round_from_dict, round_to_dict
 from repro.simulation.population import Population
 
 __all__ = [
@@ -53,11 +68,16 @@ __all__ = [
     "CellResult",
     "ExecutorTelemetry",
     "SweepExecutor",
+    "SweepJournal",
     "build_cell_specs",
     "assemble_points",
     "cached_population",
     "population_cache_key",
 ]
+
+#: Bumped whenever the journal record layout changes; records with a
+#: different version are ignored on resume (the cell simply re-runs).
+JOURNAL_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -95,7 +115,11 @@ class CellFailure:
 
 @dataclass
 class CellResult:
-    """Outcome (or failure) of one executed cell, plus its timings."""
+    """Outcome (or failure) of one executed cell, plus its timings.
+
+    ``resumed`` marks a cell loaded from a checkpoint journal rather
+    than executed this run; its timings are the original run's.
+    """
 
     spec: CellSpec
     outcome: ApproachOutcome | None = None
@@ -105,6 +129,7 @@ class CellResult:
     attempts: int = 1
     worker_pid: int = 0
     failure: CellFailure | None = None
+    resumed: bool = False
 
 
 @dataclass
@@ -121,6 +146,7 @@ class ExecutorTelemetry:
     cells: int = 0
     failed_cells: int = 0
     retried_cells: int = 0
+    resumed_cells: int = 0
     wall_seconds: float = 0.0
     cell_seconds: float = 0.0
     mean_queue_seconds: float = 0.0
@@ -135,6 +161,7 @@ class ExecutorTelemetry:
             "cells": self.cells,
             "failed_cells": self.failed_cells,
             "retried_cells": self.retried_cells,
+            "resumed_cells": self.resumed_cells,
             "wall_seconds": self.wall_seconds,
             "cell_seconds": self.cell_seconds,
             "mean_queue_seconds": self.mean_queue_seconds,
@@ -154,6 +181,8 @@ class ExecutorTelemetry:
         ]
         if self.n_jobs > 1:
             parts.append(f"queue {self.mean_queue_seconds * 1e3:.0f}ms")
+        if self.resumed_cells:
+            parts.append(f"resumed {self.resumed_cells}")
         if self.retried_cells:
             parts.append(f"retried {self.retried_cells}")
         if self.failed_cells:
@@ -236,6 +265,138 @@ class _Attempt:
         self.running_since: float | None = None
 
 
+# --------------------------------------------------------------------------
+# Checkpoint journal — tentpole: a killed or crashed sweep resumes by
+# skipping cells already journaled, repr-identical to an uninterrupted run.
+
+
+def _spec_key(spec: CellSpec) -> str:
+    """Canonical identity of a cell — the journal's lookup key.
+
+    Built from the spec's full JSON rendering (sorted keys), so a resumed
+    sweep only reuses a record when *every* knob that determined the cell
+    matches the current request; any settings change makes the cell
+    re-run instead of silently serving stale results.
+    """
+    return json.dumps(asdict(spec), sort_keys=True, default=str)
+
+
+def _result_to_payload(result: CellResult) -> dict:
+    """JSON-ready journal record of one *successful* cell.
+
+    Failures are deliberately not journaled: a failed cell should retry
+    on resume, not be replayed.
+    """
+    payload = {
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "key": _spec_key(result.spec),
+        "upper": result.upper,
+        "wall_seconds": result.wall_seconds,
+        "queue_seconds": result.queue_seconds,
+        "attempts": result.attempts,
+        "worker_pid": result.worker_pid,
+        "outcome": None,
+    }
+    outcome = result.outcome
+    if outcome is not None:
+        stats = outcome.stats
+        payload["outcome"] = {
+            "name": outcome.name,
+            "total_score": outcome.total_score,
+            "mean_batch_seconds": outcome.mean_batch_seconds,
+            "completed_tasks": outcome.completed_tasks,
+            "assigned_workers": outcome.assigned_workers,
+            "rounds": [round_to_dict(r) for r in outcome.report.rounds],
+            "stats": stats.to_dict() if stats is not None else None,
+        }
+    return payload
+
+
+def _payload_to_result(payload: dict, spec: CellSpec) -> CellResult:
+    """Rebuild a :class:`CellResult` from its journal record.
+
+    Python's ``json`` emits shortest-repr floats, which round-trip
+    losslessly, so the rebuilt outcome is repr-identical to the one
+    journaled — the property the resume parity tests pin down.
+    """
+    outcome = None
+    data = payload.get("outcome")
+    if data is not None:
+        stats_data = data.get("stats")
+        outcome = ApproachOutcome(
+            name=data["name"],
+            total_score=data["total_score"],
+            mean_batch_seconds=data["mean_batch_seconds"],
+            completed_tasks=data["completed_tasks"],
+            assigned_workers=data["assigned_workers"],
+            report=SimulationReport(
+                rounds=[round_from_dict(r) for r in data["rounds"]]
+            ),
+            stats=(
+                SolverStats.from_dict(stats_data)
+                if stats_data is not None
+                else None
+            ),
+        )
+    return CellResult(
+        spec=spec,
+        outcome=outcome,
+        upper=payload.get("upper"),
+        wall_seconds=payload.get("wall_seconds", 0.0),
+        queue_seconds=payload.get("queue_seconds", 0.0),
+        attempts=payload.get("attempts", 1),
+        worker_pid=payload.get("worker_pid", 0),
+        resumed=True,
+    )
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of finished sweep cells.
+
+    Each line is one schema-versioned JSON record of a successful cell,
+    written atomically from the appender's view: append + flush +
+    ``os.fsync`` per record, so a kill between cells loses at most the
+    cell in flight. :meth:`load` tolerates a truncated final line (the
+    signature of a hard kill) and skips records from other schema
+    versions — those cells simply re-run.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict]:
+        """Finished-cell records keyed by :func:`_spec_key` string."""
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue  # truncated tail from a mid-write kill
+                if (
+                    not isinstance(payload, dict)
+                    or payload.get("schema") != JOURNAL_SCHEMA_VERSION
+                    or "key" not in payload
+                ):
+                    continue
+                records[payload["key"]] = payload
+        return records
+
+    def append(self, result: CellResult) -> None:
+        """Durably journal one successful cell."""
+        line = json.dumps(_result_to_payload(result))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
 class SweepExecutor:
     """Fans sweep cells out over a process pool, deterministically.
 
@@ -259,6 +420,14 @@ class SweepExecutor:
         portable, thread-safe choice and what determinism is tested
         under; ``"fork"`` is available for tests that must inherit
         monkeypatched registries.
+    checkpoint:
+        Path of a :class:`SweepJournal` JSONL file. Every finished cell
+        is appended durably; a re-run with the same checkpoint skips
+        cells already journaled (``CellResult.resumed=True``). ``None``
+        (default) disables journaling entirely.
+
+    After a ``KeyboardInterrupt`` mid-run the telemetry of the cells
+    that did finish is available as ``partial_telemetry``.
     """
 
     def __init__(
@@ -268,6 +437,7 @@ class SweepExecutor:
         retries: int = 1,
         mp_context: str = "spawn",
         poll_seconds: float = 0.05,
+        checkpoint: str | Path | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -280,18 +450,77 @@ class SweepExecutor:
         self.retries = retries
         self.mp_context = mp_context
         self.poll_seconds = poll_seconds
+        self.checkpoint = checkpoint
+        self.partial_telemetry: ExecutorTelemetry | None = None
 
     def run(
         self, specs: list[CellSpec]
     ) -> tuple[list[CellResult], ExecutorTelemetry]:
         """Execute every cell; returns per-cell results (in spec order)
-        plus the run's :class:`ExecutorTelemetry`."""
+        plus the run's :class:`ExecutorTelemetry`.
+
+        With a ``checkpoint``, cells whose key is already journaled are
+        loaded instead of executed, and every cell finished here is
+        journaled before the next one starts. ``KeyboardInterrupt`` is
+        re-raised after the journal is safe and ``partial_telemetry``
+        reflects the finished cells — the sweep can be resumed verbatim.
+        """
         started = time.perf_counter()
-        if self.n_jobs == 1 or len(specs) <= 1:
-            results = [self._run_inline(spec) for spec in specs]
+        journal = (
+            SweepJournal(self.checkpoint)
+            if self.checkpoint is not None
+            else None
+        )
+        results: dict[int, CellResult] = {}
+        remaining: list[tuple[int, CellSpec]] = []
+        if journal is not None:
+            finished = journal.load()
+            for index, spec in enumerate(specs):
+                payload = finished.get(_spec_key(spec))
+                if payload is not None:
+                    results[index] = _payload_to_result(payload, spec)
+                else:
+                    remaining.append((index, spec))
         else:
-            results = self._run_pool(specs)
-        return results, self._telemetry(results, time.perf_counter() - started)
+            remaining = list(enumerate(specs))
+
+        try:
+            if self.n_jobs == 1 or len(remaining) <= 1:
+                for index, spec in remaining:
+                    self._finish(index, self._run_inline(spec), results, journal)
+            else:
+                self._run_pool(remaining, results, journal)
+        except KeyboardInterrupt:
+            # Satellite contract: the journal already holds every cell
+            # that finished (each append flushed + fsynced), so surface
+            # what completed and hand control back to the user.
+            done = [results[index] for index in sorted(results)]
+            self.partial_telemetry = self._telemetry(
+                done, time.perf_counter() - started
+            )
+            where = f"; journal: {journal.path}" if journal is not None else ""
+            print(
+                f"[sweep] interrupted after {len(done)}/{len(specs)} "
+                f"finished cells{where}",
+                file=sys.stderr,
+            )
+            raise
+
+        ordered = [results[index] for index in range(len(specs))]
+        telemetry = self._telemetry(ordered, time.perf_counter() - started)
+        return ordered, telemetry
+
+    def _finish(
+        self,
+        index: int,
+        result: CellResult,
+        results: dict[int, CellResult],
+        journal: SweepJournal | None,
+    ) -> None:
+        """Record one finished cell and (durably) journal successes."""
+        results[index] = result
+        if journal is not None and result.failure is None:
+            journal.append(result)
 
     # -- serial path -------------------------------------------------------
 
@@ -313,12 +542,16 @@ class SweepExecutor:
 
     # -- pool path ---------------------------------------------------------
 
-    def _run_pool(self, specs: list[CellSpec]) -> list[CellResult]:
+    def _run_pool(
+        self,
+        remaining: list[tuple[int, CellSpec]],
+        results: dict[int, CellResult],
+        journal: SweepJournal | None,
+    ) -> None:
         context = multiprocessing.get_context(self.mp_context)
         pool = ProcessPoolExecutor(
-            max_workers=min(self.n_jobs, len(specs)), mp_context=context
+            max_workers=min(self.n_jobs, len(remaining)), mp_context=context
         )
-        results: dict[int, CellResult] = {}
         pending: dict = {}
         abandoned = False
 
@@ -348,7 +581,7 @@ class SweepExecutor:
                 )
 
         try:
-            for index, spec in enumerate(specs):
+            for index, spec in remaining:
                 submit(index, spec, attempt=1)
             while pending:
                 done, _ = wait(
@@ -363,8 +596,15 @@ class SweepExecutor:
                     except Exception as error:  # noqa: BLE001
                         handle_failure(info, error, timed_out=False)
                     else:
-                        results[info.index] = CellResult(
-                            spec=info.spec, attempts=info.attempt, **payload
+                        self._finish(
+                            info.index,
+                            CellResult(
+                                spec=info.spec,
+                                attempts=info.attempt,
+                                **payload,
+                            ),
+                            results,
+                            journal,
                         )
                 if self.timeout is None:
                     continue
@@ -386,11 +626,17 @@ class SweepExecutor:
                             ),
                             timed_out=True,
                         )
+        except KeyboardInterrupt:
+            # Don't wait for in-flight cells on a user interrupt; the
+            # journal is already durable, so just tear down and re-raise
+            # (``run`` reports partial telemetry and the journal path).
+            abandoned = True
+            raise
         finally:
-            # Abandoned (timed-out) cells are still running inside their
-            # workers; waiting on them would re-hang the sweep.
+            # Abandoned (timed-out or interrupted) cells are still
+            # running inside their workers; waiting on them would
+            # re-hang the sweep.
             pool.shutdown(wait=not abandoned, cancel_futures=True)
-        return [results[index] for index in range(len(specs))]
 
     # -- shared helpers ----------------------------------------------------
 
@@ -412,20 +658,26 @@ class SweepExecutor:
         self, results: list[CellResult], wall_seconds: float
     ) -> ExecutorTelemetry:
         succeeded = [r for r in results if r.failure is None]
-        cell_seconds = sum(r.wall_seconds for r in succeeded)
+        # Resumed cells were executed (and timed) by an earlier run, so
+        # they do not contribute to this run's timing aggregates.
+        executed = [r for r in succeeded if not r.resumed]
+        cell_seconds = sum(r.wall_seconds for r in executed)
         telemetry = ExecutorTelemetry(
             n_jobs=self.n_jobs,
             cells=len(results),
             failed_cells=len(results) - len(succeeded),
-            retried_cells=sum(1 for r in results if r.attempts > 1),
+            retried_cells=sum(
+                1 for r in results if r.attempts > 1 and not r.resumed
+            ),
+            resumed_cells=sum(1 for r in succeeded if r.resumed),
             wall_seconds=wall_seconds,
             cell_seconds=cell_seconds,
-            distinct_workers=len({r.worker_pid for r in succeeded}),
+            distinct_workers=len({r.worker_pid for r in executed}),
         )
-        if succeeded:
+        if executed:
             telemetry.mean_queue_seconds = sum(
-                r.queue_seconds for r in succeeded
-            ) / len(succeeded)
+                r.queue_seconds for r in executed
+            ) / len(executed)
         if wall_seconds > 0:
             telemetry.speedup_vs_serial_estimate = cell_seconds / wall_seconds
             telemetry.worker_utilization = cell_seconds / (

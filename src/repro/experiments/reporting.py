@@ -14,6 +14,7 @@ from typing import Callable
 from repro.experiments.figures import FigureResult
 from repro.experiments.parallel import CellFailure, ExecutorTelemetry
 from repro.experiments.runner import SweepPoint
+from repro.simulation.batch import SimulationReport
 
 __all__ = [
     "format_sweep_table",
@@ -21,6 +22,7 @@ __all__ = [
     "figure_to_markdown",
     "format_telemetry",
     "format_failures",
+    "format_fault_summary",
 ]
 
 
@@ -117,6 +119,24 @@ def format_telemetry(telemetry: ExecutorTelemetry | None) -> str:
     if telemetry is None:
         return ""
     return f"[executor: {telemetry.summary()}]"
+
+
+def format_fault_summary(report: SimulationReport) -> str:
+    """One-line fault/repair report for a simulation (empty when clean).
+
+    Renders the per-kind event counts plus the repair outcome, e.g.
+    ``[faults: no_show=12 dropout=5, repaired 3 group(s), dissolved 2]``.
+    """
+    counts = report.fault_counts
+    if not counts:
+        return ""
+    kinds = " ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+    parts = [f"faults: {kinds}"]
+    if report.total_repaired_groups:
+        parts.append(f"repaired {report.total_repaired_groups} group(s)")
+    if report.total_dissolved_groups:
+        parts.append(f"dissolved {report.total_dissolved_groups}")
+    return "[" + ", ".join(parts) + "]"
 
 
 def format_failures(failures: list[CellFailure]) -> str:

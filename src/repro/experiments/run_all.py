@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.reporting import (
@@ -58,6 +59,13 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=str, default=None, help="markdown output file (appended)"
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="journal finished sweep cells to <dir>/<figure>.jsonl so an "
+        "interrupted run resumes where it stopped (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
         "--charts",
         action="store_true",
         help="also print unicode sparkline charts of both panels",
@@ -68,8 +76,16 @@ def main(argv: list[str] | None = None) -> int:
     failed_cells = 0
     for name in args.figures:
         sweep = ALL_FIGURES[name]
+        checkpoint = None
+        if args.checkpoint_dir:
+            checkpoint = str(Path(args.checkpoint_dir) / f"{name}.jsonl")
         started = time.perf_counter()
-        result = sweep(scale=args.scale, seed=args.seed, n_jobs=args.jobs)
+        result = sweep(
+            scale=args.scale,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            checkpoint=checkpoint,
+        )
         elapsed = time.perf_counter() - started
         print(format_figure(result))
         if args.charts:
@@ -77,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
 
             print()
             print(render_figure_charts(result))
-        if args.jobs > 1:
+        if args.jobs > 1 or checkpoint:
             print(format_telemetry(result.telemetry))
         if result.failures:
             failed_cells += len(result.failures)

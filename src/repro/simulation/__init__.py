@@ -9,6 +9,7 @@ and freed workers into the next round.
 
 from repro.simulation.arrivals import DiurnalArrivals, PoissonArrivals, TopUpArrivals
 from repro.simulation.batch import BatchConfig, BatchSimulator, RoundMetrics, SimulationReport
+from repro.simulation.faults import FaultEvent, FaultInjector, FaultModel
 from repro.simulation.metrics import AggregateMetrics, aggregate, write_csv, write_jsonl
 from repro.simulation.feedback import (
     LearningRound,
@@ -30,6 +31,9 @@ __all__ = [
     "BatchSimulator",
     "RoundMetrics",
     "SimulationReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
     "LearningRound",
     "QualityEstimator",
     "RatingModel",

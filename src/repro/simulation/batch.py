@@ -28,6 +28,7 @@ from repro.core.assignment import Assignment
 from repro.core.model import Instance, Task, Worker
 from repro.core.validity import ValidPairs, compute_valid_pairs
 from repro.datasets.synthetic import gaussian_in_range
+from repro.simulation.faults import FaultEvent, FaultInjector, FaultModel
 from repro.simulation.population import Population
 from repro.spatial.geometry import Point
 from repro.utils.rng import ensure_rng, spawn_rngs
@@ -78,6 +79,17 @@ class BatchConfig:
     but only a fraction respond. 1.0 (default) reproduces the paper's
     deterministic supply.
     """
+    faults: FaultModel | None = None
+    """Optional in-dispatch fault injection (see
+    :mod:`repro.simulation.faults`).
+
+    Unlike ``worker_participation`` — which thins the invited pool
+    *before* the solver runs — the fault model breaks assignments
+    *after* they are made: dispatch no-shows, mid-task dropouts, task
+    cancellations and location noise, plus the group-repair response.
+    ``None`` (default) reproduces the paper's fault-free platform
+    bit-identically.
+    """
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -88,6 +100,24 @@ class BatchConfig:
             )
         if self.remaining_time <= 0:
             raise ValueError("remaining_time must be positive")
+        if self.task_duration <= 0:
+            raise ValueError(
+                f"task_duration must be positive, got {self.task_duration}"
+            )
+        if self.batch_interval <= 0:
+            raise ValueError(
+                f"batch_interval must be positive, got {self.batch_interval}"
+            )
+        for name in ("speed_range", "radius_range"):
+            lo, hi = getattr(self, name)
+            if lo <= 0 or hi <= 0:
+                raise ValueError(
+                    f"{name} bounds must be positive, got ({lo}, {hi})"
+                )
+            if lo > hi:
+                raise ValueError(
+                    f"{name} lower bound {lo} exceeds upper bound {hi}"
+                )
         if not 0.0 < self.worker_participation <= 1.0:
             raise ValueError(
                 f"worker_participation must be in (0, 1], got "
@@ -97,7 +127,13 @@ class BatchConfig:
 
 @dataclass(frozen=True)
 class RoundMetrics:
-    """Measurements of one batch."""
+    """Measurements of one batch.
+
+    The fault fields are all zero/empty on fault-free runs:
+    ``fault_events`` records every injected fault (and the repair
+    machinery's reactions) in occurrence order; the counters summarize
+    the dispatch-repair pass.
+    """
 
     round_index: int
     timestamp: float
@@ -108,6 +144,10 @@ class RoundMetrics:
     assigned_workers: int
     completed_tasks: int
     solver_seconds: float
+    fault_events: tuple[FaultEvent, ...] = ()
+    repaired_groups: int = 0
+    dissolved_groups: int = 0
+    backfilled_workers: int = 0
 
 
 @dataclass
@@ -136,12 +176,39 @@ class SimulationReport:
             return 0.0
         return sum(r.solver_seconds for r in self.rounds) / len(self.rounds)
 
+    @property
+    def fault_events(self) -> list[FaultEvent]:
+        """Every fault event of the run, in occurrence order."""
+        return [event for r in self.rounds for event in r.fault_events]
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Event counts by kind (only kinds that occurred appear)."""
+        counts: dict[str, int] = {}
+        for event in self.fault_events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    @property
+    def total_repaired_groups(self) -> int:
+        return sum(r.repaired_groups for r in self.rounds)
+
+    @property
+    def total_dissolved_groups(self) -> int:
+        return sum(r.dissolved_groups for r in self.rounds)
+
 
 @dataclass
 class _OpenTask:
-    """A task carried across batches until served or expired."""
+    """A task carried across batches until served or expired.
+
+    ``fault_retries`` counts fault-caused group dissolutions the task
+    has survived; past ``FaultModel.max_task_retries`` the platform
+    abandons it instead of retrying forever.
+    """
 
     task: Task
+    fault_retries: int = 0
 
 
 class BatchSimulator:
@@ -177,11 +244,22 @@ class BatchSimulator:
         self.config = config
         self.solver = solver
         self.instance_hook = instance_hook
-        self._round_rngs = spawn_rngs(ensure_rng(seed), config.rounds)
+        # The fault streams are spawned from the same root *after* the
+        # round streams, so enabling faults never perturbs the sampling
+        # draws, and a disabled/absent fault model spawns nothing —
+        # keeping fault-free runs bit-identical to the historical path.
+        root = ensure_rng(seed)
+        self._round_rngs = spawn_rngs(root, config.rounds)
+        self._injector: FaultInjector | None = None
+        if config.faults is not None and config.faults.enabled:
+            self._injector = FaultInjector(
+                config.faults, config.rounds, seed=root
+            )
 
     def run(self) -> SimulationReport:
         """Execute all configured rounds and return the report."""
         config = self.config
+        injector = self._injector
         report = SimulationReport()
         busy_until: dict[int, float] = {}
         open_tasks: list[_OpenTask] = []
@@ -190,6 +268,7 @@ class BatchSimulator:
         for round_index in range(config.rounds):
             now = round_index * config.batch_interval
             rng = self._round_rngs[round_index]
+            events: list[FaultEvent] = []
 
             # Workers who finished their previous groups become available.
             busy_until = {
@@ -206,6 +285,10 @@ class BatchSimulator:
                 )
                 worker_indices = worker_indices[showed_up]
             workers = self._materialize_workers(worker_indices, now, rng)
+            if injector is not None:
+                workers = self._apply_location_noise(
+                    injector, round_index, workers, events
+                )
 
             # Expired carryover tasks disappear; fresh tasks arrive.
             open_tasks = [
@@ -232,6 +315,17 @@ class BatchSimulator:
                     )
                 )
                 next_task_id += 1
+            if injector is not None and open_tasks:
+                cancelled, cancel_events = injector.cancellations(
+                    round_index, [entry.task.task_id for entry in open_tasks]
+                )
+                if cancelled:
+                    open_tasks = [
+                        entry
+                        for entry in open_tasks
+                        if entry.task.task_id not in cancelled
+                    ]
+                events.extend(cancel_events)
 
             instance = Instance(
                 workers=workers,
@@ -252,6 +346,21 @@ class BatchSimulator:
 
             assignment.check_feasible()
             assignment.drop_incomplete_groups()
+
+            repaired = dissolved = backfilled = 0
+            abandoned: set[int] = set()
+            if injector is not None:
+                repaired, dissolved, backfilled = self._dispatch_faults(
+                    injector,
+                    round_index,
+                    assignment,
+                    instance,
+                    valid_pairs,
+                    worker_indices,
+                    open_tasks,
+                    abandoned,
+                    events,
+                )
             score = assignment.total_score()
 
             served_tasks: set[int] = set()
@@ -264,6 +373,18 @@ class BatchSimulator:
                     for worker in assignment.members(task_index):
                         population_index = int(worker_indices[worker])
                         busy_until[population_index] = now + config.task_duration
+            if injector is not None and served_tasks:
+                self._mid_task_dropouts(
+                    injector,
+                    round_index,
+                    assignment,
+                    instance,
+                    worker_indices,
+                    served_tasks,
+                    busy_until,
+                    now,
+                    events,
+                )
 
             report.rounds.append(
                 RoundMetrics(
@@ -276,6 +397,10 @@ class BatchSimulator:
                     assigned_workers=assignment.assigned_worker_count(),
                     completed_tasks=len(served_tasks),
                     solver_seconds=solver_seconds,
+                    fault_events=tuple(events),
+                    repaired_groups=repaired,
+                    dissolved_groups=dissolved,
+                    backfilled_workers=backfilled,
                 )
             )
 
@@ -284,10 +409,188 @@ class BatchSimulator:
                     entry
                     for task_index, entry in enumerate(open_tasks)
                     if task_index not in served_tasks
+                    and task_index not in abandoned
                 ]
             else:
                 open_tasks = []
         return report
+
+    # ------------------------------------------------------------------
+    # fault handling (only reached when a fault model is enabled)
+    # ------------------------------------------------------------------
+    def _apply_location_noise(
+        self,
+        injector: FaultInjector,
+        round_index: int,
+        workers: list[Worker],
+        events: list[FaultEvent],
+    ) -> list[Worker]:
+        """Perturb reported worker positions (GPS error) before validity."""
+        if not workers:
+            return workers
+        locations = np.array(
+            [(w.location.x, w.location.y) for w in workers]
+        )
+        noisy, noise_events = injector.location_noise(round_index, locations)
+        if not noise_events:
+            return workers
+        events.extend(noise_events)
+        return [
+            worker.moved_to(Point(float(noisy[i, 0]), float(noisy[i, 1])))
+            for i, worker in enumerate(workers)
+        ]
+
+    def _dispatch_faults(
+        self,
+        injector: FaultInjector,
+        round_index: int,
+        assignment: Assignment,
+        instance: Instance,
+        valid_pairs: ValidPairs,
+        worker_indices: np.ndarray,
+        open_tasks: list[_OpenTask],
+        abandoned: set[int],
+        events: list[FaultEvent],
+    ) -> tuple[int, int, int]:
+        """No-shows at dispatch, then the group-repair pass.
+
+        Every group is >= ``B`` strong when this runs (incomplete groups
+        were already dropped). Workers who no-show are unassigned; each
+        broken group is backfilled from idle valid workers when repair
+        is on and enough candidates exist, otherwise dissolved. A task
+        whose group dissolved increments its fault-retry counter and is
+        abandoned (removed from the open pool) once the counter exceeds
+        ``FaultModel.max_task_retries``.
+
+        Returns ``(repaired_groups, dissolved_groups, backfilled_workers)``.
+        """
+        model = injector.model
+        minimum = instance.min_group_size
+        assigned = [
+            worker
+            for worker in range(instance.worker_count)
+            if assignment.is_assigned(worker)
+        ]
+        mask = injector.no_shows(round_index, len(assigned))
+        no_show_set: set[int] = set()
+        broken: set[int] = set()
+        for worker, missing in zip(assigned, mask):
+            if not missing:
+                continue
+            task = assignment.unassign(worker)
+            no_show_set.add(worker)
+            broken.add(task)
+            events.append(
+                FaultEvent(
+                    round_index=round_index,
+                    kind="no_show",
+                    worker_id=int(worker_indices[worker]),
+                    task_id=instance.tasks[task].task_id,
+                    detail="worker never arrived at dispatch",
+                )
+            )
+
+        repaired = dissolved = backfilled = 0
+        for task in sorted(broken):
+            count = assignment.assigned_count(task)
+            if count >= minimum:
+                continue  # group absorbed the loss
+            needed = minimum - count
+            candidates: list[int] = []
+            if model.repair:
+                candidates = sorted(
+                    (
+                        worker
+                        for worker in valid_pairs.workers_for_task[task]
+                        if not assignment.is_assigned(worker)
+                        and worker not in no_show_set
+                    ),
+                    key=lambda worker: (-assignment.join_gain(worker, task), worker),
+                )
+            if model.repair and len(candidates) >= needed and count > 0:
+                for worker in candidates[:needed]:
+                    assignment.assign(worker, task)
+                    backfilled += 1
+                    events.append(
+                        FaultEvent(
+                            round_index=round_index,
+                            kind="backfill",
+                            worker_id=int(worker_indices[worker]),
+                            task_id=instance.tasks[task].task_id,
+                            detail="idle valid worker backfilled a broken group",
+                        )
+                    )
+                repaired += 1
+                continue
+            # Dissolve: idle the survivors, schedule a bounded retry.
+            for worker in list(assignment.members(task)):
+                assignment.unassign(worker)
+            dissolved += 1
+            events.append(
+                FaultEvent(
+                    round_index=round_index,
+                    kind="dissolve",
+                    task_id=instance.tasks[task].task_id,
+                    detail=f"group fell below B={minimum} after no-shows",
+                )
+            )
+            entry = open_tasks[task]
+            entry.fault_retries += 1
+            if entry.fault_retries > model.max_task_retries:
+                abandoned.add(task)
+                events.append(
+                    FaultEvent(
+                        round_index=round_index,
+                        kind="abandon",
+                        task_id=entry.task.task_id,
+                        detail=(
+                            f"abandoned after {entry.fault_retries} "
+                            "fault-caused dissolutions"
+                        ),
+                    )
+                )
+        return repaired, dissolved, backfilled
+
+    def _mid_task_dropouts(
+        self,
+        injector: FaultInjector,
+        round_index: int,
+        assignment: Assignment,
+        instance: Instance,
+        worker_indices: np.ndarray,
+        served_tasks: set[int],
+        busy_until: dict[int, float],
+        now: float,
+        events: list[FaultEvent],
+    ) -> None:
+        """Release mid-task quitters early.
+
+        The task still completes (payment was committed at dispatch, and
+        Equation 2's revenue was already booked), but the quitter rejoins
+        the idle pool after ``dropout_release`` of the task duration —
+        faults propagate into future rounds through worker supply.
+        """
+        started = [
+            (task, worker)
+            for task in sorted(served_tasks)
+            for worker in assignment.members(task)
+        ]
+        mask = injector.dropouts(round_index, len(started))
+        release = now + self.config.task_duration * injector.model.dropout_release
+        for (task, worker), quit_early in zip(started, mask):
+            if not quit_early:
+                continue
+            population_index = int(worker_indices[worker])
+            busy_until[population_index] = release
+            events.append(
+                FaultEvent(
+                    round_index=round_index,
+                    kind="dropout",
+                    worker_id=population_index,
+                    task_id=instance.tasks[task].task_id,
+                    detail=f"quit mid-task, released at t={release:g}",
+                )
+            )
 
     def _materialize_workers(
         self, worker_indices: np.ndarray, now: float, rng

@@ -1,0 +1,207 @@
+"""Seeded fault injection for the batch framework.
+
+Algorithm 1 assumes every assigned worker shows up, nobody quits
+mid-task, no requester cancels, and every reported location is exact.
+Real platforms satisfy none of those, so this module models the four
+failure modes as a deterministic, seeded injector the
+:class:`~repro.simulation.batch.BatchSimulator` threads through its
+dispatch loop:
+
+* **task cancellation** — an open task is withdrawn by its requester
+  before the solver runs (applied after the round's arrivals, so
+  carryover tasks can be cancelled too);
+* **location noise** — each materialized worker's reported position is
+  perturbed by isotropic Gaussian noise before validity is computed
+  (GPS error: Definition 3 is evaluated against the *reported*
+  location);
+* **worker no-show at dispatch** — a worker in a started group never
+  arrives; the group may fall below ``B`` and must be repaired or
+  dissolved;
+* **mid-task dropout** — a worker in a started group quits partway
+  through; the task still completes (payment is committed at dispatch)
+  but the worker is released early, changing future supply.
+
+All randomness comes from per-round fault streams spawned *after* the
+simulator's sampling streams, so a disabled fault model leaves every
+pre-existing draw — and therefore every assignment — bit-identical to
+the fault-free code path, and the same seed always produces the same
+:class:`FaultEvent` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = ["FaultModel", "FaultEvent", "FaultInjector"]
+
+#: Every event kind the injector (or the simulator's repair pass) emits.
+EVENT_KINDS = (
+    "cancellation",
+    "location_noise",
+    "no_show",
+    "dropout",
+    "backfill",
+    "dissolve",
+    "abandon",
+)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Configuration of the injected failure modes.
+
+    Rates are per-entity-per-round probabilities; the default instance
+    (all zeros) is inert. ``repair`` and ``max_task_retries`` configure
+    the simulator's response to faults rather than the faults
+    themselves: whether broken groups are backfilled from idle valid
+    workers, and how many fault-caused dissolutions a task survives
+    before the platform abandons it.
+    """
+
+    no_show_rate: float = 0.0
+    dropout_rate: float = 0.0
+    cancellation_rate: float = 0.0
+    location_noise_sigma: float = 0.0
+    dropout_release: float = 0.5
+    """Fraction of ``task_duration`` after which a dropout frees its
+    worker (the remaining members finish the task without them)."""
+    repair: bool = True
+    max_task_retries: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("no_show_rate", "dropout_rate", "cancellation_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.location_noise_sigma < 0:
+            raise ValueError(
+                f"location_noise_sigma must be non-negative, got "
+                f"{self.location_noise_sigma}"
+            )
+        if not 0.0 < self.dropout_release <= 1.0:
+            raise ValueError(
+                f"dropout_release must be in (0, 1], got {self.dropout_release}"
+            )
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any failure mode can actually fire."""
+        return (
+            self.no_show_rate > 0
+            or self.dropout_rate > 0
+            or self.cancellation_rate > 0
+            or self.location_noise_sigma > 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or the repair machinery's reaction to one).
+
+    ``worker_id``/``task_id`` are the stable external identifiers
+    (population index / ``Task.task_id``), not per-batch positions; -1
+    marks not-applicable. ``detail`` is a short human-readable note.
+    """
+
+    round_index: int
+    kind: str
+    worker_id: int = -1
+    task_id: int = -1
+    detail: str = ""
+
+
+@dataclass
+class FaultInjector:
+    """Draws the per-round fault outcomes from dedicated seeded streams.
+
+    One independent stream per round (same spawning discipline as the
+    simulator's sampling streams), consumed in a fixed method-call
+    order, so the event stream is a pure function of
+    ``(seed, config, solver behavior)``.
+    """
+
+    model: FaultModel
+    rounds: int
+    seed: object = None
+    _rngs: list = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rngs = spawn_rngs(ensure_rng(self.seed), self.rounds)
+
+    def rng(self, round_index: int) -> np.random.Generator:
+        return self._rngs[round_index]
+
+    def cancellations(
+        self, round_index: int, task_ids: list[int]
+    ) -> tuple[set[int], list[FaultEvent]]:
+        """Which of the round's open tasks get withdrawn.
+
+        Returns the cancelled ``task_id`` set plus one event per
+        cancellation. Draws nothing when the rate is zero.
+        """
+        if self.model.cancellation_rate <= 0 or not task_ids:
+            return set(), []
+        draws = self.rng(round_index).random(len(task_ids))
+        cancelled = {
+            task_id
+            for task_id, draw in zip(task_ids, draws)
+            if draw < self.model.cancellation_rate
+        }
+        events = [
+            FaultEvent(
+                round_index=round_index,
+                kind="cancellation",
+                task_id=task_id,
+                detail="requester withdrew the task",
+            )
+            for task_id in sorted(cancelled)
+        ]
+        return cancelled, events
+
+    def location_noise(
+        self, round_index: int, locations: np.ndarray
+    ) -> tuple[np.ndarray, list[FaultEvent]]:
+        """Perturb reported worker locations by Gaussian noise.
+
+        Returns the noisy ``(k, 2)`` array (a copy) and a single
+        aggregate event recording how many workers were perturbed.
+        """
+        sigma = self.model.location_noise_sigma
+        if sigma <= 0 or locations.size == 0:
+            return locations, []
+        noise = self.rng(round_index).normal(
+            0.0, sigma, size=locations.shape
+        )
+        event = FaultEvent(
+            round_index=round_index,
+            kind="location_noise",
+            detail=f"perturbed {locations.shape[0]} worker locations "
+            f"(sigma={sigma:g})",
+        )
+        return locations + noise, [event]
+
+    def no_shows(
+        self, round_index: int, count: int
+    ) -> np.ndarray:
+        """Boolean no-show mask over ``count`` dispatched workers."""
+        if self.model.no_show_rate <= 0 or count == 0:
+            return np.zeros(count, dtype=bool)
+        return (
+            self.rng(round_index).random(count) < self.model.no_show_rate
+        )
+
+    def dropouts(self, round_index: int, count: int) -> np.ndarray:
+        """Boolean mid-task dropout mask over ``count`` started workers."""
+        if self.model.dropout_rate <= 0 or count == 0:
+            return np.zeros(count, dtype=bool)
+        return (
+            self.rng(round_index).random(count) < self.model.dropout_rate
+        )

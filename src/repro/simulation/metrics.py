@@ -5,7 +5,13 @@ them on disk. This module renders a
 :class:`~repro.simulation.batch.SimulationReport` as CSV or JSON-lines,
 and computes the aggregate statistics the paper's figures are built from
 (plus a few a platform would track: assignment rate, completion rate,
-score per completed task).
+score per completed task, fault/repair counters).
+
+The :func:`round_to_dict`/:func:`round_from_dict` pair is the canonical
+JSON round-trip for a :class:`~repro.simulation.batch.RoundMetrics` —
+exact down to the last float bit (Python's ``json`` emits shortest-repr
+floats, which round-trip losslessly) — and is reused by the sweep
+checkpoint journal in :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
@@ -16,8 +22,17 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.simulation.batch import RoundMetrics, SimulationReport
+from repro.simulation.faults import FaultEvent
 
-__all__ = ["AggregateMetrics", "aggregate", "write_csv", "write_jsonl", "read_jsonl"]
+__all__ = [
+    "AggregateMetrics",
+    "aggregate",
+    "write_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "round_to_dict",
+    "round_from_dict",
+]
 
 _FIELDS = [
     "round_index",
@@ -29,7 +44,14 @@ _FIELDS = [
     "assigned_workers",
     "completed_tasks",
     "solver_seconds",
+    "repaired_groups",
+    "dissolved_groups",
+    "backfilled_workers",
 ]
+
+#: Extra CSV column derived from the event list (CSV stays flat; the
+#: full event stream lives in the JSONL rendering).
+_CSV_FIELDS = _FIELDS + ["fault_count"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +68,9 @@ class AggregateMetrics:
     score_per_completed_task: float
     mean_batch_seconds: float
     max_batch_seconds: float
+    fault_events: int = 0
+    repaired_groups: int = 0
+    dissolved_groups: int = 0
 
 
 def aggregate(report: SimulationReport) -> AggregateMetrics:
@@ -74,23 +99,48 @@ def aggregate(report: SimulationReport) -> AggregateMetrics:
         ),
         mean_batch_seconds=report.mean_batch_seconds,
         max_batch_seconds=max((r.solver_seconds for r in rounds), default=0.0),
+        fault_events=sum(len(r.fault_events) for r in rounds),
+        repaired_groups=report.total_repaired_groups,
+        dissolved_groups=report.total_dissolved_groups,
     )
 
 
+def round_to_dict(metrics: RoundMetrics) -> dict:
+    """JSON-ready dict of one round (fault events as nested dicts)."""
+    payload = asdict(metrics)
+    payload["fault_events"] = [asdict(event) for event in metrics.fault_events]
+    return payload
+
+
+def round_from_dict(payload: dict) -> RoundMetrics:
+    """Inverse of :func:`round_to_dict`; tolerates pre-fault records."""
+    payload = dict(payload)
+    events = tuple(
+        FaultEvent(**event) for event in payload.pop("fault_events", [])
+    )
+    return RoundMetrics(fault_events=events, **payload)
+
+
 def write_csv(report: SimulationReport, path: str | Path) -> None:
-    """One CSV row per round, with a header."""
+    """One CSV row per round, with a header.
+
+    The event stream is summarized as a ``fault_count`` column; use
+    :func:`write_jsonl` to keep individual events.
+    """
     with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
         writer.writeheader()
         for metrics in report.rounds:
-            writer.writerow(asdict(metrics))
+            row = {field: getattr(metrics, field) for field in _FIELDS}
+            row["fault_count"] = len(metrics.fault_events)
+            writer.writerow(row)
 
 
 def write_jsonl(report: SimulationReport, path: str | Path) -> None:
     """One JSON object per round (safe to append across runs)."""
     with open(path, "w", encoding="utf-8") as handle:
         for metrics in report.rounds:
-            handle.write(json.dumps(asdict(metrics)) + "\n")
+            handle.write(json.dumps(round_to_dict(metrics)) + "\n")
 
 
 def read_jsonl(path: str | Path) -> SimulationReport:
@@ -101,6 +151,5 @@ def read_jsonl(path: str | Path) -> SimulationReport:
             line = line.strip()
             if not line:
                 continue
-            payload = json.loads(line)
-            report.rounds.append(RoundMetrics(**payload))
+            report.rounds.append(round_from_dict(json.loads(line)))
     return report

@@ -2,8 +2,10 @@
 
 from repro.utils.errors import (
     CapacityError,
+    DegradedResultError,
     InvalidInstanceError,
     ReproError,
+    SolverTimeoutError,
     ValidityError,
 )
 from repro.utils.rng import ensure_rng, spawn_rngs
@@ -11,8 +13,10 @@ from repro.utils.timer import Stopwatch
 
 __all__ = [
     "CapacityError",
+    "DegradedResultError",
     "InvalidInstanceError",
     "ReproError",
+    "SolverTimeoutError",
     "ValidityError",
     "ensure_rng",
     "spawn_rngs",

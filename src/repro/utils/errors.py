@@ -30,3 +30,23 @@ class ValidityError(ReproError):
 
 class CapacityError(ReproError):
     """An assignment gives a task more workers than its capacity allows."""
+
+
+class SolverTimeoutError(ReproError):
+    """A solver exceeded its wall-clock budget.
+
+    Raised inside the anytime fallback chain
+    (:mod:`repro.core.fallback`) when a tier fails to answer within its
+    remaining budget; the chain catches it and degrades to the next
+    tier, recording the timeout in the
+    :class:`~repro.core.fallback.DegradationRecord`.
+    """
+
+
+class DegradedResultError(ReproError):
+    """A fallback chain had to answer with a lower tier.
+
+    Only raised when the caller opted into strict mode
+    (``FallbackSolver(on_degrade="raise")``); the default mode records
+    the degradation and returns the lower-tier assignment instead.
+    """

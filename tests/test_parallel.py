@@ -222,6 +222,133 @@ class TestPopulationCache:
         ) == ("meetup", 0)
 
 
+class TestCheckpointResume:
+    KWARGS = dict(
+        base=QUICK, values=(30, 40), approaches=("RAND", "TPG"), seed=3
+    )
+
+    def test_full_resume_is_repr_identical_to_writing_run(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert first.telemetry.resumed_cells == 0
+        resumed = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert resumed.telemetry.resumed_cells == 4
+        assert fingerprint(resumed) == fingerprint(first)
+        # Beyond scores: the whole outcome (reports, timings, stats) is
+        # repr-identical — JSON floats round-trip exactly.
+        for a, b in zip(first.points, resumed.points):
+            assert repr(b.outcomes) == repr(a.outcomes)
+        assert "resumed 4" in resumed.telemetry.summary()
+
+    def test_truncated_journal_reruns_only_missing_cells(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == 4
+        journal.write_text("\n".join(lines[:2]) + "\n")
+        resumed = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert resumed.telemetry.resumed_cells == 2
+        assert not resumed.failures
+        assert fingerprint(resumed) == fingerprint(first)
+        # The re-executed cells were journaled again.
+        assert len(journal.read_text().strip().splitlines()) == 4
+
+    def test_corrupt_tail_and_schema_mismatch_are_skipped(self, tmp_path):
+        from repro.experiments.parallel import SweepJournal
+
+        journal = tmp_path / "sweep.jsonl"
+        fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 999, "key": "future-version"}\n')
+            handle.write('{"schema": 1, "key": "trunc')  # killed mid-write
+        records = SweepJournal(journal).load()
+        assert len(records) == 4
+        assert "future-version" not in records
+        # A resume over the damaged journal still works.
+        resumed = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert resumed.telemetry.resumed_cells == 4
+
+    def test_settings_change_invalidates_journal_entries(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        changed = fig7_workers(
+            base=QUICK,
+            values=(30, 40),
+            approaches=("RAND", "TPG"),
+            seed=4,  # different seed -> different cells
+            checkpoint=str(journal),
+        )
+        assert changed.telemetry.resumed_cells == 0
+
+    def test_keyboard_interrupt_flushes_journal_then_resumes(self, tmp_path):
+        calls = {"count": 0, "armed": True}
+
+        def kboom_factory(epsilon, seed):
+            inner = APPROACHES["RAND"](epsilon=epsilon, seed=seed)
+
+            def solver(instance, valid_pairs):
+                calls["count"] += 1
+                # Cells run 2 rounds each; blow up inside the second cell.
+                if calls["armed"] and calls["count"] > 2:
+                    raise KeyboardInterrupt
+                return inner(instance, valid_pairs)
+
+            return solver
+
+        APPROACHES["KBOOM"] = kboom_factory
+        journal = tmp_path / "sweep.jsonl"
+        kwargs = dict(
+            base=QUICK, values=(30, 40), approaches=("KBOOM",), seed=3
+        )
+        try:
+            executor = SweepExecutor(n_jobs=1, checkpoint=str(journal))
+            with pytest.raises(KeyboardInterrupt):
+                fig7_workers(**kwargs, executor=executor)
+            # The first cell was journaled before the interrupt...
+            assert len(journal.read_text().strip().splitlines()) == 1
+            # ...and partial telemetry reports exactly the finished work.
+            assert executor.partial_telemetry is not None
+            assert executor.partial_telemetry.cells == 1
+
+            calls["armed"] = False
+            calls["count"] = 0
+            clean = fig7_workers(**kwargs)
+            resumed = fig7_workers(**kwargs, checkpoint=str(journal))
+            assert resumed.telemetry.resumed_cells == 1
+            assert not resumed.failures
+            assert fingerprint(resumed) == fingerprint(clean)
+        finally:
+            del APPROACHES["KBOOM"]
+
+    def test_pool_path_journals_and_resumes(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        parallel = fig7_workers(
+            **self.KWARGS, n_jobs=2, checkpoint=str(journal)
+        )
+        assert not parallel.failures
+        assert len(journal.read_text().strip().splitlines()) == 4
+        resumed = fig7_workers(
+            **self.KWARGS, n_jobs=2, checkpoint=str(journal)
+        )
+        assert resumed.telemetry.resumed_cells == 4
+        assert fingerprint(resumed) == fingerprint(parallel)
+
+    def test_cli_sweep_resume_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "fig6.jsonl"
+        argv = [
+            "sweep", "--figure", "fig6", "--scale", "0.05",
+            "--resume", str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[executor:" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+
+
 class TestReportingIntegration:
     def test_failed_cell_renders_as_na(self):
         from repro.experiments.reporting import format_failures, format_figure
