@@ -17,12 +17,32 @@ Two sections, both written to ``BENCH_pr2.json`` next to the repo root:
   ``speedup_vs_serial_estimate`` additionally reports
   sum-of-cell-time / wall, the core-independent view.
 
+A third group of sections — the quality-store scale record — is written
+to ``BENCH_pr4.json``:
+
+* **backend_parity** — builds the *same* community quality matrix as a
+  :class:`~repro.core.quality_store.SparseQualityStore`, its dense
+  ``to_dense()`` twin, and a shared-memory copy, then solves TPG, GT and
+  GT+ALL on each over the seed grid and checks the assignments and
+  scores are **repr-identical** across all three backends.
+* **memory_scaling** — per worker count (default 2 000 / 8 000 /
+  20 000), spawns one child process per backend that builds its
+  production quality store plus a fixed read workload and reports
+  ``ru_maxrss``; records peak RSS and wall for dense vs sparse. At
+  n >= 20 000 the sparse backend must cut peak RSS by at least 5x or
+  the guard fails.
+* **shared_attach** — one-time shared-segment creation cost vs the
+  per-worker zero-copy attach, against the per-process rebuild and
+  memcpy costs it replaces.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_guard.py              # everything
     PYTHONPATH=src python benchmarks/bench_guard.py --repeats 4
     PYTHONPATH=src python benchmarks/bench_guard.py --jobs 8 --sweep-scale 0.5
     PYTHONPATH=src python benchmarks/bench_guard.py --skip-sweep
+    PYTHONPATH=src python benchmarks/bench_guard.py --only-scale \\
+        --scale-sizes 2000 8000 20000
 
 Exit status is non-zero when an incremental score deviates from the
 oracle or a parallel sweep result deviates from serial — both are
@@ -41,13 +61,17 @@ import argparse
 import json
 import math
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.game import solve_game_theoretic  # noqa: E402
+from repro.core.model import Instance  # noqa: E402
 from repro.core.tpg import solve_tpg_with_stats  # noqa: E402
 from repro.core.validity import compute_valid_pairs  # noqa: E402
 from repro.datasets.synthetic import generate_instance  # noqa: E402
@@ -58,7 +82,12 @@ DEFAULT_TASKS = 500
 DEFAULT_SEEDS = (0, 1, 2)
 DEFAULT_SWEEP_SCALE = 0.3
 DEFAULT_JOBS = 4
+DEFAULT_SCALE_SIZES = (2000, 8000, 20000)
+#: Acceptance bar: at n >= this, sparse must cut peak RSS >= 5x.
+RSS_RATIO_FLOOR = 5.0
+RSS_RATIO_SIZE = 20000
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
+SCALE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 
 #: Mean per-batch wall-clock of the pre-incremental-engine code at the
 #: same scale and seeds, measured as min-of-4 repeats on the machine
@@ -240,6 +269,260 @@ def run_sweep_benchmark(
     return record, failures
 
 
+def _with_quality(instance: Instance, quality) -> Instance:
+    """The same workers/tasks served by a different quality backend."""
+    return Instance(
+        workers=instance.workers,
+        tasks=instance.tasks,
+        quality=quality,
+        min_group_size=instance.min_group_size,
+        now=instance.now,
+    )
+
+
+def _solve_fingerprint(instance: Instance) -> dict:
+    """Repr-exact record of what each solver decides on ``instance``.
+
+    ``repr`` of the (worker, task) pair list plus the incremental total,
+    so any backend-induced difference — even one float bit — shows up.
+    """
+    valid_pairs = compute_valid_pairs(instance)
+    fingerprint: dict = {}
+    tpg = solve_tpg_with_stats(instance, valid_pairs)
+    fingerprint["tpg"] = {
+        "pairs": repr(tpg.assignment.to_pairs()),
+        "score": repr(tpg.assignment.total_score()),
+    }
+    gt = solve_game_theoretic(instance, valid_pairs)
+    fingerprint["gt"] = {
+        "pairs": repr(gt.assignment.to_pairs()),
+        "score": repr(gt.final_score),
+    }
+    gtall = solve_game_theoretic(
+        instance, valid_pairs, epsilon=0.05, lazy_update=True
+    )
+    fingerprint["gtall"] = {
+        "pairs": repr(gtall.assignment.to_pairs()),
+        "score": repr(gtall.final_score),
+    }
+    return fingerprint
+
+
+def run_backend_parity(
+    seeds=DEFAULT_SEEDS,
+    workers: int = DEFAULT_WORKERS,
+    tasks: int = DEFAULT_TASKS,
+) -> tuple[dict, list[str]]:
+    """Dense / sparse / shared backends must make identical decisions.
+
+    All three stores hold the *same* matrix (the sparse community store,
+    its dense materialization, and a shared-memory copy of that), so any
+    divergence is a backend bug, never a tolerance issue.
+    """
+    from repro.core.quality_store import SharedDenseQualityStore
+
+    failures: list[str] = []
+    record: dict = {
+        "scale": {"workers": workers, "tasks": tasks, "seeds": list(seeds)},
+        "solvers": ["tpg", "gt", "gtall"],
+        "seeds": {},
+    }
+    for seed in seeds:
+        sparse_instance = generate_instance(
+            workers, tasks, seed=seed, quality_backend="sparse"
+        )
+        dense = sparse_instance.quality.to_dense()
+        shared = SharedDenseQualityStore.create(dense)
+        try:
+            fingerprints = {
+                "dense": _solve_fingerprint(_with_quality(sparse_instance, dense)),
+                "sparse": _solve_fingerprint(sparse_instance),
+                "shared": _solve_fingerprint(_with_quality(sparse_instance, shared)),
+            }
+        finally:
+            shared.close()
+            shared.unlink()
+        identical = (
+            fingerprints["dense"] == fingerprints["sparse"] == fingerprints["shared"]
+        )
+        if not identical:
+            for backend in ("sparse", "shared"):
+                for solver, expected in fingerprints["dense"].items():
+                    got = fingerprints[backend][solver]
+                    if got != expected:
+                        failures.append(
+                            f"backend parity seed={seed}: {backend} {solver} "
+                            f"diverges from dense (score {got['score']} vs "
+                            f"{expected['score']})"
+                        )
+        record["seeds"][str(seed)] = {
+            "identical": identical,
+            "scores": {
+                solver: fingerprints["dense"][solver]["score"]
+                for solver in fingerprints["dense"]
+            },
+        }
+    record["identical"] = all(
+        entry["identical"] for entry in record["seeds"].values()
+    )
+    return record, failures
+
+
+def _measure_rss_child(backend: str, worker_count: int) -> int:
+    """Child-process mode: build one backend's store, run a fixed read
+    workload, print a JSON line with peak RSS — spawned by
+    :func:`run_scale_benchmark` so each measurement gets a fresh
+    address space (``ru_maxrss`` is a high-water mark)."""
+    import resource
+
+    from repro.core.quality import CooperationMatrix
+    from repro.datasets.synthetic import sparse_community_quality
+
+    started = time.perf_counter()
+    if backend == "dense":
+        store = CooperationMatrix.random_community(worker_count, seed=0)
+    elif backend == "sparse":
+        store = sparse_community_quality(worker_count, seed=0)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    build_seconds = time.perf_counter() - started
+
+    rng = np.random.default_rng(0)
+    started = time.perf_counter()
+    sink = 0.0
+    for _ in range(200):
+        group = np.sort(rng.choice(worker_count, size=6, replace=False))
+        sink += store.ordered_pair_sum(group)
+    for worker in rng.integers(0, worker_count, size=50):
+        sink += float(store.q_row(int(worker)).sum())
+    subset = np.sort(
+        rng.choice(worker_count, size=min(200, worker_count), replace=False)
+    )
+    sink += float(store.gather(subset).sum())
+    read_seconds = time.perf_counter() - started
+
+    print(
+        json.dumps(
+            {
+                "backend": backend,
+                "workers": worker_count,
+                "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                "build_seconds": build_seconds,
+                "read_seconds": read_seconds,
+                "store_nbytes": store.nbytes,
+                "checksum": sink,
+            }
+        )
+    )
+    return 0
+
+
+def run_scale_benchmark(
+    sizes=DEFAULT_SCALE_SIZES,
+) -> tuple[dict, list[str]]:
+    """Peak RSS + wall of dense vs sparse community stores per size.
+
+    Each (backend, size) runs in its own child process so the RSS
+    high-water mark reflects exactly one store build plus the shared
+    read workload.
+    """
+    failures: list[str] = []
+    record: dict = {"sizes": {}, "rss_kb_is_linux_kilobytes": True}
+    for worker_count in sizes:
+        entry: dict = {}
+        for backend in ("dense", "sparse"):
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    str(Path(__file__).resolve()),
+                    "--measure-rss",
+                    backend,
+                    str(worker_count),
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if result.returncode != 0:
+                failures.append(
+                    f"RSS child {backend} n={worker_count} failed: "
+                    f"{result.stderr.strip().splitlines()[-1:]}"
+                )
+                continue
+            entry[backend] = json.loads(result.stdout.strip().splitlines()[-1])
+        if "dense" in entry and "sparse" in entry:
+            ratio = entry["dense"]["peak_rss_kb"] / entry["sparse"]["peak_rss_kb"]
+            entry["rss_ratio_dense_over_sparse"] = ratio
+            entry["nbytes_ratio"] = (
+                entry["dense"]["store_nbytes"] / entry["sparse"]["store_nbytes"]
+            )
+            if worker_count >= RSS_RATIO_SIZE and ratio < RSS_RATIO_FLOOR:
+                failures.append(
+                    f"sparse backend cuts peak RSS only {ratio:.2f}x at "
+                    f"n={worker_count}; the acceptance floor is "
+                    f"{RSS_RATIO_FLOOR:g}x"
+                )
+        record["sizes"][str(worker_count)] = entry
+    return record, failures
+
+
+def run_attach_benchmark(
+    worker_count: int = 4000, repeats: int = 5
+) -> tuple[dict, list[str]]:
+    """Shared-memory attach vs the per-process costs it replaces.
+
+    A pool worker without the shared backend either rebuilds the
+    population from its seed or receives a pickled copy (~one memcpy);
+    with it, the worker attaches to the parent's segment zero-copy.
+    """
+    from repro.core.quality import CooperationMatrix
+    from repro.core.quality_store import SharedDenseQualityStore
+
+    failures: list[str] = []
+    started = time.perf_counter()
+    dense = CooperationMatrix.random_community(worker_count, seed=0)
+    rebuild_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    copied = np.array(dense.values, copy=True)
+    copy_seconds = time.perf_counter() - started
+    del copied
+
+    started = time.perf_counter()
+    shared = SharedDenseQualityStore.create(dense)
+    create_seconds = time.perf_counter() - started
+
+    attach_seconds = float("inf")
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            attached = SharedDenseQualityStore.attach(shared.name, worker_count)
+            float(attached.q_row(0).sum())  # touch pages through the view
+            attach_seconds = min(attach_seconds, time.perf_counter() - started)
+            attached.close()
+    finally:
+        shared.close()
+        shared.unlink()
+
+    record = {
+        "workers": worker_count,
+        "matrix_nbytes": dense.nbytes,
+        "rebuild_seconds": rebuild_seconds,
+        "copy_seconds": copy_seconds,
+        "create_seconds": create_seconds,
+        "attach_seconds": attach_seconds,
+        "attach_speedup_vs_rebuild": rebuild_seconds / attach_seconds,
+        "attach_speedup_vs_copy": copy_seconds / attach_seconds,
+        "repeats": repeats,
+    }
+    if attach_seconds >= rebuild_seconds:
+        failures.append(
+            f"shared-memory attach ({attach_seconds:.4f}s) is not cheaper "
+            f"than a population rebuild ({rebuild_seconds:.4f}s) at "
+            f"n={worker_count}"
+        )
+    return record, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
@@ -266,46 +549,148 @@ def main(argv: list[str] | None = None) -> int:
         help="only run the solver oracle guard",
     )
     parser.add_argument(
+        "--skip-scale",
+        action="store_true",
+        help="skip the quality-store scale record (BENCH_pr4.json)",
+    )
+    parser.add_argument(
+        "--only-scale",
+        action="store_true",
+        help="run only the quality-store scale record",
+    )
+    parser.add_argument(
+        "--scale-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SCALE_SIZES),
+        metavar="N",
+        help="worker counts of the dense-vs-sparse RSS measurement "
+        f"(the >= {RSS_RATIO_FLOOR:g}x floor applies at n >= {RSS_RATIO_SIZE})",
+    )
+    parser.add_argument(
+        "--attach-workers",
+        type=int,
+        default=4000,
+        help="matrix size of the shared-memory attach measurement",
+    )
+    parser.add_argument(
+        "--measure-rss",
+        nargs=2,
+        metavar=("BACKEND", "N"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal child-process mode
+    )
+    parser.add_argument(
         "--out", type=Path, default=OUTPUT, help="output JSON path"
+    )
+    parser.add_argument(
+        "--scale-out",
+        type=Path,
+        default=SCALE_OUTPUT,
+        help="scale-record JSON path",
     )
     args = parser.parse_args(argv)
 
-    guard_record, failures = run_guard(
-        workers=args.workers, tasks=args.tasks, repeats=args.repeats
-    )
-    record: dict = {"solver_guard": guard_record}
-    if not args.skip_sweep:
-        sweep_record, sweep_failures = run_sweep_benchmark(
-            scale=args.sweep_scale, jobs=args.jobs, seed=args.sweep_seed
-        )
-        record["parallel_sweep"] = sweep_record
-        failures += sweep_failures
+    if args.measure_rss:
+        backend, worker_count = args.measure_rss
+        return _measure_rss_child(backend, int(worker_count))
 
-    args.out.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
-    print(f"wrote {args.out}")
-    for solver in ("tpg", "gt", "gtall"):
-        summary = guard_record["summary"][solver]
-        print(
-            f"{solver}: mean {summary['mean_seconds'] * 1e3:.1f} ms/batch "
-            f"({summary['speedup_vs_baseline']:.2f}x vs pre-incremental baseline)"
+    failures: list[str] = []
+    guard_record = None
+    if not args.only_scale:
+        guard_record, failures = run_guard(
+            workers=args.workers, tasks=args.tasks, repeats=args.repeats
         )
-    if not args.skip_sweep:
-        sweep = record["parallel_sweep"]
+        record: dict = {"solver_guard": guard_record}
+        if not args.skip_sweep:
+            sweep_record, sweep_failures = run_sweep_benchmark(
+                scale=args.sweep_scale, jobs=args.jobs, seed=args.sweep_seed
+            )
+            record["parallel_sweep"] = sweep_record
+            failures += sweep_failures
+        args.out.write_text(
+            json.dumps(record, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+
+    if not args.skip_scale:
+        parity_record, parity_failures = run_backend_parity(
+            workers=args.workers, tasks=args.tasks
+        )
+        scale_record, scale_failures = run_scale_benchmark(
+            sizes=args.scale_sizes
+        )
+        attach_record, attach_failures = run_attach_benchmark(
+            worker_count=args.attach_workers
+        )
+        failures += parity_failures + scale_failures + attach_failures
+        args.scale_out.write_text(
+            json.dumps(
+                {
+                    "backend_parity": parity_record,
+                    "memory_scaling": scale_record,
+                    "shared_attach": attach_record,
+                },
+                indent=1,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.scale_out}")
+
+    if guard_record is not None:
+        for solver in ("tpg", "gt", "gtall"):
+            summary = guard_record["summary"][solver]
+            print(
+                f"{solver}: mean {summary['mean_seconds'] * 1e3:.1f} ms/batch "
+                f"({summary['speedup_vs_baseline']:.2f}x vs pre-incremental "
+                "baseline)"
+            )
+        if not args.skip_sweep:
+            sweep = record["parallel_sweep"]
+            print(
+                f"fig7 sweep (scale {sweep['scale']:g}, {sweep['cpu_count']} "
+                f"core(s)): serial {sweep['serial_seconds']:.1f}s, "
+                f"--jobs {sweep['jobs']} {sweep['parallel_seconds']:.1f}s "
+                f"({sweep['measured_speedup']:.2f}x measured, "
+                f"{sweep['parallel_telemetry']['speedup_vs_serial_estimate']:.2f}x "
+                f"vs cell-time estimate), bit-identical: "
+                f"{sweep['bit_identical']}"
+            )
+    if not args.skip_scale:
         print(
-            f"fig7 sweep (scale {sweep['scale']:g}, {sweep['cpu_count']} "
-            f"core(s)): serial {sweep['serial_seconds']:.1f}s, "
-            f"--jobs {sweep['jobs']} {sweep['parallel_seconds']:.1f}s "
-            f"({sweep['measured_speedup']:.2f}x measured, "
-            f"{sweep['parallel_telemetry']['speedup_vs_serial_estimate']:.2f}x "
-            f"vs cell-time estimate), bit-identical: "
-            f"{sweep['bit_identical']}"
+            "backend parity (dense/sparse/shared): "
+            + ("identical" if parity_record["identical"] else "DIVERGED")
+        )
+        for size, entry in scale_record["sizes"].items():
+            ratio = entry.get("rss_ratio_dense_over_sparse")
+            if ratio is None:
+                continue
+            print(
+                f"n={size}: dense {entry['dense']['peak_rss_kb'] / 1024:.0f} MB "
+                f"peak RSS vs sparse {entry['sparse']['peak_rss_kb'] / 1024:.0f} "
+                f"MB ({ratio:.1f}x), build "
+                f"{entry['dense']['build_seconds']:.2f}s vs "
+                f"{entry['sparse']['build_seconds']:.2f}s"
+            )
+        print(
+            f"shared attach at n={attach_record['workers']}: "
+            f"{attach_record['attach_seconds'] * 1e3:.2f} ms vs rebuild "
+            f"{attach_record['rebuild_seconds'] * 1e3:.0f} ms "
+            f"({attach_record['attach_speedup_vs_rebuild']:.0f}x)"
         )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("all incremental scores match the from-scratch oracle"
-          + ("" if args.skip_sweep else "; parallel sweep bit-identical"))
+    checks = []
+    if guard_record is not None:
+        checks.append("incremental scores match the from-scratch oracle")
+        if not args.skip_sweep:
+            checks.append("parallel sweep bit-identical")
+    if not args.skip_scale:
+        checks.append("quality-store backends repr-identical")
+    print("all checks passed: " + "; ".join(checks))
     return 0
 
 

@@ -212,6 +212,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tasks_per_round=args.tasks,
         capacity=args.capacity,
         dataset=args.dataset,
+        quality_backend=args.quality_backend,
     )
     population = build_population(settings, seed=args.seed)
     config: BatchConfig = settings.to_batch_config()
@@ -259,6 +260,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_jobs=args.jobs,
         checkpoint=args.resume,
+        quality_backend=args.quality_backend,
     )
     elapsed = time.perf_counter() - started
     print(format_figure(result))
@@ -360,6 +362,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'no_show=0.1,dropout=0.05,cancel=0.02,noise=0.01' "
         "(see docs/ROBUSTNESS.md for all keys)",
     )
+    simulate.add_argument(
+        "--quality-backend",
+        choices=("dense", "sparse"),
+        default="dense",
+        help="cooperation-store backend: 'sparse' keeps the synthetic "
+        "community matrix as prior + CSR deviations in O(nnz) memory "
+        "('unif'/'skew' datasets only; see docs/PERFORMANCE.md)",
+    )
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")
     simulate.set_defaults(handler=_cmd_simulate)
@@ -393,6 +403,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint JSONL path: finished cells are journaled there "
         "and a re-run with the same path skips them (safe to pass on "
         "the first run too)",
+    )
+    sweep.add_argument(
+        "--quality-backend",
+        choices=("dense", "sparse", "shared"),
+        default="dense",
+        help="cooperation-store backend: 'sparse' builds the synthetic "
+        "population as prior + CSR deviations in O(nnz) memory "
+        "(synthetic figures only); 'shared' keeps a dense matrix but "
+        "serves it to --jobs workers from one shared-memory segment "
+        "instead of per-process copies (see docs/PERFORMANCE.md)",
     )
     sweep.add_argument(
         "--out", default=None, help="markdown output file (appended)"

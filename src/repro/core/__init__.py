@@ -6,6 +6,8 @@ Public surface (re-exported at package top level):
   :class:`~repro.core.model.Instance` — the problem model (Definitions 1-4).
 * :class:`~repro.core.quality.CooperationMatrix` — pairwise cooperation
   quality ``q_i(w_k)`` with the Equation-1 estimator.
+* :mod:`~repro.core.quality_store` — the :class:`QualityStore` protocol
+  with dense / sparse / shared-memory backends.
 * :mod:`~repro.core.revenue` — cooperation quality revenue ``Q(W_j)``
   (Equation 2) and marginal gains (Equation 4).
 * :class:`~repro.core.assignment.Assignment` — a feasible solution with
@@ -30,6 +32,12 @@ from repro.core.local_search import LocalSearchResult, solve_local_search
 from repro.core.model import Instance, Task, Worker
 from repro.core.online import solve_online_greedy
 from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import (
+    DenseQualityStore,
+    QualityStore,
+    SharedDenseQualityStore,
+    SparseQualityStore,
+)
 from repro.core.tpg import solve_tpg
 from repro.core.validity import ValidPairs, compute_valid_pairs
 from repro.core.baselines.mflow import solve_mflow
@@ -48,6 +56,10 @@ __all__ = [
     "Task",
     "Worker",
     "CooperationMatrix",
+    "QualityStore",
+    "DenseQualityStore",
+    "SparseQualityStore",
+    "SharedDenseQualityStore",
     "solve_tpg",
     "ValidPairs",
     "compute_valid_pairs",

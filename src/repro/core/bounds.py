@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import Instance
-from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import QualityStore
 from repro.core.validity import ValidPairs, compute_valid_pairs
 
 __all__ = [
@@ -28,7 +28,7 @@ __all__ = [
 
 
 def highest_average_quality(
-    quality: CooperationMatrix, worker: int, min_group_size: int
+    quality: QualityStore, worker: int, min_group_size: int
 ) -> float:
     """``q_hat_{i,B}`` of Lemma V.2.
 
@@ -43,7 +43,7 @@ def highest_average_quality(
 
 
 def lowest_average_quality(
-    quality: CooperationMatrix, worker: int, min_group_size: int
+    quality: QualityStore, worker: int, min_group_size: int
 ) -> float:
     """``q_check_{i,B}`` of Lemma V.3 — the matching lower bound."""
     bottom = quality.bottom_qualities(worker, min_group_size - 1)

@@ -21,6 +21,11 @@ solver instrumentation.
 With ``budget=None`` the wrapper adds no thread, no timing check and no
 behavioral change: the primary runs inline and its assignment is
 bit-identical to an unwrapped call.
+
+The chain never touches the cooperation store directly — every tier goes
+through the instance's :class:`~repro.core.quality_store.QualityStore`
+interface — so degradation behaves identically under the dense, sparse
+and shared-memory backends.
 """
 
 from __future__ import annotations

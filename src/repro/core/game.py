@@ -429,9 +429,11 @@ class _BestResponseDynamics:
         capacities = self._capacities
         minimum = self._minimum
         memo = self._overflow_memo
-        q = self.quality.values
-        q_row = q[worker]
-        q_col = q[:, worker]
+        # Backend-polymorphic row/column gathers (QualityStore protocol):
+        # dense stores return zero-cost views, the sparse store serves
+        # LRU-cached materialized rows with identical float values.
+        q_row = self.quality.q_row(worker)
+        q_col = self.quality.q_col(worker)
 
         utilities = np.empty(len(tasks))
         batch_arrays: list[np.ndarray] = []
@@ -552,16 +554,17 @@ class _BestResponseDynamics:
             # Theorems V.3 (current best == task) and V.4 (other tasks).
             (entering,) = added
             (leaving,) = removed
-            q = self.quality.values
+            toward_leaving = self.quality.q_col(leaving)
+            toward_entering = self.quality.q_col(entering)
             for other in watchers:
                 if other in (entering, leaving):
                     self._mark_dirty(other)
                     continue
                 if self._cached_best[other] == task:
-                    if q[other, leaving] > q[other, entering]:
+                    if toward_leaving[other] > toward_entering[other]:
                         self._mark_dirty(other)
                 else:
-                    if q[other, leaving] < q[other, entering]:
+                    if toward_leaving[other] < toward_entering[other]:
                         self._mark_dirty(other)
             return
         # Shrink or multi-element change: no theorem applies — rescan all.

@@ -16,6 +16,12 @@ equilibrium (relocations exhaust unilateral improvements — on the total
 score, which by Theorem V.1 equals the mover's utility change) and
 2-swap-stable. Quantifies how much of the Nash-vs-optimum gap
 coalitional moves recover (see ``benchmarks/test_ablations.py``).
+
+The search reads cooperation quality only through
+:class:`~repro.core.assignment.Assignment`'s incremental scoring, so it
+is agnostic to the instance's
+:class:`~repro.core.quality_store.QualityStore` backend (dense, sparse
+or shared memory) and produces identical moves under each.
 """
 
 from __future__ import annotations

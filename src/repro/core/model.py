@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import QualityStore
 from repro.spatial.geometry import Point
 from repro.utils.errors import InvalidInstanceError
 
@@ -125,7 +125,7 @@ class Instance:
 
     workers: tuple[Worker, ...]
     tasks: tuple[Task, ...]
-    quality: CooperationMatrix
+    quality: QualityStore
     min_group_size: int = 3
     now: float = 0.0
 
@@ -133,7 +133,7 @@ class Instance:
         self,
         workers,
         tasks,
-        quality: CooperationMatrix,
+        quality: QualityStore,
         min_group_size: int = 3,
         now: float = 0.0,
     ) -> None:

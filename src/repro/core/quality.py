@@ -25,7 +25,7 @@ import numpy as np
 from repro.utils.errors import InvalidInstanceError
 from repro.utils.rng import ensure_rng
 
-__all__ = ["CooperationMatrix", "estimate_pair_quality"]
+__all__ = ["CooperationMatrix", "estimate_pair_quality", "history_pair_values"]
 
 DEFAULT_BASE_QUALITY = 0.5
 DEFAULT_ALPHA = 0.5
@@ -52,13 +52,98 @@ def estimate_pair_quality(
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
     if not 0.0 <= base_quality <= 1.0:
         raise ValueError(f"base_quality must be in [0, 1], got {base_quality}")
-    for score in ratings:
-        if not 0.0 <= score <= 1.0:
-            raise ValueError(f"rating {score} outside [0, 1]")
-    if not ratings:
+    scores = _validated_ratings(ratings)
+    if not scores.size:
         return base_quality
-    historical = sum(ratings) / len(ratings)
+    # cumsum reduces strictly left-to-right, exactly like the Python-level
+    # ``sum`` this replaced, so results are bit-identical to the old loop
+    # (np.sum would reorder via pairwise summation for >= 8 ratings).
+    historical = float(scores.cumsum()[-1]) / scores.size
     return alpha * base_quality + (1.0 - alpha) * historical
+
+
+def _validated_ratings(ratings: Sequence[float]) -> np.ndarray:
+    """Range-check ratings in one vectorized pass and return them as floats."""
+    scores = np.asarray(ratings, dtype=float)
+    if scores.ndim != 1:
+        scores = scores.reshape(-1)
+    if scores.size:
+        invalid = ~((scores >= 0.0) & (scores <= 1.0))  # catches NaN too
+        if invalid.any():
+            bad = scores[invalid][0]
+            raise ValueError(f"rating {bad} outside [0, 1]")
+    return scores
+
+
+def history_pair_values(
+    worker_count: int,
+    shared_task_ratings: dict[tuple[int, int], Sequence[float]],
+    base_quality: float = DEFAULT_BASE_QUALITY,
+    alpha: float = DEFAULT_ALPHA,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Equation 1 over a history dict.
+
+    Returns ``(rows, cols, values)`` with both orientations of every pair
+    interleaved in dict order — assigning ``q[rows, cols] = values`` then
+    reproduces the historical per-pair loop's last-write-wins behaviour
+    when a dict lists both ``(i, k)`` and ``(k, i)``. Validation
+    (alpha/base ranges, self-pairs, out-of-range indices, rating range)
+    happens in bulk numpy passes; rating means use ``np.add.reduceat``
+    over one concatenated array instead of a Python loop per rating.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if not 0.0 <= base_quality <= 1.0:
+        raise ValueError(f"base_quality must be in [0, 1], got {base_quality}")
+    pair_count = len(shared_task_ratings)
+    if not pair_count:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, np.empty(0, dtype=float)
+
+    first = np.fromiter(
+        (i for i, _ in shared_task_ratings), dtype=np.intp, count=pair_count
+    )
+    second = np.fromiter(
+        (k for _, k in shared_task_ratings), dtype=np.intp, count=pair_count
+    )
+    self_pairs = first == second
+    if self_pairs.any():
+        where = int(np.flatnonzero(self_pairs)[0])
+        raise InvalidInstanceError(
+            f"self-pair ({first[where]}, {second[where]}) in history"
+        )
+    out_of_range = (
+        (first < 0) | (first >= worker_count) | (second < 0) | (second >= worker_count)
+    )
+    if out_of_range.any():
+        where = int(np.flatnonzero(out_of_range)[0])
+        raise InvalidInstanceError(
+            f"pair ({first[where]}, {second[where]}) out of range"
+        )
+
+    rating_arrays = [
+        np.asarray(ratings, dtype=float).reshape(-1)
+        for ratings in shared_task_ratings.values()
+    ]
+    lengths = np.fromiter(
+        (arr.size for arr in rating_arrays), dtype=np.intp, count=pair_count
+    )
+    values = np.full(pair_count, base_quality, dtype=float)
+    rated = lengths > 0
+    if rated.any():
+        flat = np.concatenate([arr for arr in rating_arrays if arr.size])
+        _validated_ratings(flat)
+        starts = np.concatenate(([0], lengths[rated].cumsum()[:-1]))
+        means = np.add.reduceat(flat, starts) / lengths[rated]
+        values[rated] = alpha * base_quality + (1.0 - alpha) * means
+
+    rows = np.empty(2 * pair_count, dtype=np.intp)
+    cols = np.empty(2 * pair_count, dtype=np.intp)
+    rows[0::2] = first
+    rows[1::2] = second
+    cols[0::2] = second
+    cols[1::2] = first
+    return rows, cols, np.repeat(values, 2)
 
 
 class CooperationMatrix:
@@ -107,14 +192,10 @@ class CooperationMatrix:
         """
         prior = estimate_pair_quality([], base_quality, alpha)
         q = np.full((worker_count, worker_count), prior, dtype=float)
-        for (i, k), ratings in shared_task_ratings.items():
-            if i == k:
-                raise InvalidInstanceError(f"self-pair ({i}, {k}) in history")
-            if not (0 <= i < worker_count and 0 <= k < worker_count):
-                raise InvalidInstanceError(f"pair ({i}, {k}) out of range")
-            value = estimate_pair_quality(list(ratings), base_quality, alpha)
-            q[i, k] = value
-            q[k, i] = value
+        rows, cols, values = history_pair_values(
+            worker_count, shared_task_ratings, base_quality, alpha
+        )
+        q[rows, cols] = values
         return cls(q, copy=False)
 
     @classmethod
@@ -207,6 +288,37 @@ class CooperationMatrix:
         """The underlying read-only ``(m, m)`` array."""
         return self._q
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing store (the dense array here)."""
+        return int(self._q.nbytes)
+
+    def q_row(self, worker: int) -> np.ndarray:
+        """Read-only view of row ``worker``: ``q_worker(w_k)`` for all k.
+
+        Part of the :class:`~repro.core.quality_store.QualityStore`
+        protocol — the GT best-response scan gathers from this row with
+        ``np.add.reduceat`` (see ``game.py``).
+        """
+        return self._q[worker]
+
+    def q_col(self, worker: int) -> np.ndarray:
+        """Read-only view of column ``worker``: ``q_i(w_worker)`` for all i."""
+        return self._q[:, worker]
+
+    def gather(self, index: np.ndarray) -> np.ndarray:
+        """The ``(k, k)`` submatrix ``q[index[:, None], index]`` as a copy.
+
+        Callers (the Equation 2 capacity peel, TPG group builders) may
+        add/transpose the result; the returned array is freshly allocated
+        and safe to mutate.
+        """
+        return self._q[index[:, None], index]
+
+    def to_dense(self) -> "CooperationMatrix":
+        """This store is already dense."""
+        return self
+
     def pair(self, i: int, k: int) -> float:
         """``q_i(w_k)`` — quality of worker ``i`` toward worker ``k``."""
         if i == k:
@@ -224,7 +336,7 @@ class CooperationMatrix:
         off-diagonal sum).
         """
         index = np.asarray(members, dtype=np.intp)
-        if index.size != len(set(index.tolist())):
+        if np.unique(index).size != index.size:
             raise ValueError(f"duplicate members: {sorted(members)}")
         return float(self._q[index[:, None], index].sum())
 
@@ -245,7 +357,7 @@ class CooperationMatrix:
         i.e. exactly the increase of :meth:`ordered_pair_sum` when
         ``worker`` joins.
         """
-        index = np.asarray(members, dtype=int)
+        index = np.asarray(members, dtype=np.intp)
         return float(self._q[worker, index].sum() + self._q[index, worker].sum())
 
     def top_qualities(self, worker: int, count: int) -> np.ndarray:
@@ -272,7 +384,7 @@ class CooperationMatrix:
         The batch framework uses this to carve each batch's matrix out of
         the population-level matrix.
         """
-        index = np.asarray(workers, dtype=int)
+        index = np.asarray(workers, dtype=np.intp)
         return CooperationMatrix(self._q[np.ix_(index, index)], copy=True)
 
     def __eq__(self, other: object) -> bool:

@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import QualityStore
 
 __all__ = [
     "RevenueCache",
@@ -44,7 +45,7 @@ _VECTOR_PEEL_LIMIT = 7
 
 
 def best_counted_subset(
-    quality: CooperationMatrix, members: Sequence[int], size: int
+    quality: QualityStore, members: Sequence[int], size: int
 ) -> list[int]:
     """The (approximately) best ``size``-subset of ``members``.
 
@@ -62,11 +63,10 @@ def best_counted_subset(
     kept = sorted(members)
     if len(kept) != len(set(kept)):
         raise ValueError(f"duplicate members: {sorted(members)}")
-    q = quality.values
     while len(kept) > size:
         if len(kept) <= _VECTOR_PEEL_LIMIT:
             index = np.asarray(kept, dtype=np.intp)
-            sub = q[index[:, None], index]
+            sub = quality.gather(index)
             # The diagonal is exactly 0.0, so including it keeps every
             # partial sum bit-identical to cross_sum over the others.
             contributions = sub.sum(axis=1) + sub.sum(axis=0)
@@ -85,7 +85,7 @@ def best_counted_subset(
 
 
 def group_revenue(
-    quality: CooperationMatrix,
+    quality: QualityStore,
     members: Sequence[int],
     capacity: int,
     min_group_size: int,
@@ -114,7 +114,7 @@ def group_revenue(
 
 
 def marginal_gain(
-    quality: CooperationMatrix,
+    quality: QualityStore,
     members: Sequence[int],
     worker: int,
     capacity: int,
@@ -135,7 +135,7 @@ def marginal_gain(
 
 
 def removal_delta(
-    quality: CooperationMatrix,
+    quality: QualityStore,
     members: Sequence[int],
     worker: int,
     capacity: int,
@@ -152,7 +152,7 @@ def removal_delta(
 
 
 def worker_average_quality(
-    quality: CooperationMatrix, worker: int, members: Sequence[int], capacity: int
+    quality: QualityStore, worker: int, members: Sequence[int], capacity: int
 ) -> float:
     """``q_i(W_j)`` — a member's average quality within the group.
 
@@ -211,7 +211,7 @@ class RevenueCache:
 
     def __init__(
         self,
-        quality: CooperationMatrix,
+        quality: QualityStore,
         capacities: Sequence[int],
         min_group_size: int,
     ) -> None:

@@ -102,7 +102,7 @@ def exact_best_group(
         return [], 0.0
     ordered = sorted(candidates)
     index = np.asarray(ordered, dtype=np.intp)
-    sub = quality.values[index[:, None], index]
+    sub = quality.gather(index)
     symmetric = sub + sub.T
 
     combos, pair_columns = _combo_table(count, size)
@@ -139,7 +139,7 @@ def greedy_best_group(
     if count <= EXACT_SEED_THRESHOLD:
         return exact_best_group(quality, candidates, size)
     index = np.asarray(candidates, dtype=np.intp)
-    sub = quality.values[index[:, None], index]
+    sub = quality.gather(index)
     symmetric = sub + sub.T
     np.fill_diagonal(symmetric, -np.inf)
     flat_best = int(np.argmax(symmetric))

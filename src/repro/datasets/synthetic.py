@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.model import Instance, Task, Worker
 from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import SparseQualityStore
 from repro.spatial.geometry import Point
 from repro.utils.rng import ensure_rng
 
@@ -28,6 +29,7 @@ __all__ = [
     "generate_workers",
     "generate_tasks",
     "generate_instance",
+    "sparse_community_quality",
 ]
 
 DISTRIBUTIONS = ("uniform", "skewed")
@@ -139,6 +141,58 @@ def generate_tasks(
     ]
 
 
+def sparse_community_quality(
+    worker_count: int,
+    community_size: int = 64,
+    within: float = 0.8,
+    across: float = 0.3,
+    noise: float = 0.1,
+    seed=None,
+    row_cache_size: int = 128,
+) -> SparseQualityStore:
+    """Community-structured quality without the dense ``(n, n)`` matrix.
+
+    The O(n²) analogue is :meth:`CooperationMatrix.random_community`;
+    here cross-community pairs sit *exactly* at the prior ``across`` (no
+    noise — that is what makes them implicit), and only within-community
+    pairs are stored explicitly: ``clip(within + symmetric noise, 0, 1)``.
+    Communities have a *bounded* expected size (``community_size``)
+    instead of a fixed count, so memory and density scale as
+    O(n · community_size) and ``community_size / n`` — about 0.3% of the
+    matrix at n = 20 000 with the default size.
+    """
+    if community_size < 1:
+        raise ValueError(f"community_size must be >= 1, got {community_size}")
+    rng = ensure_rng(seed)
+    community_count = max(1, worker_count // community_size)
+    labels = rng.integers(0, community_count, size=worker_count)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    for community in range(community_count):
+        members = np.flatnonzero(labels == community)
+        count = members.size
+        if count < 2:
+            continue
+        jitter = rng.normal(0.0, noise, size=(count, count))
+        block = np.clip(within + (jitter + jitter.T) / 2.0, 0.0, 1.0)
+        local_rows, local_cols = np.nonzero(~np.eye(count, dtype=bool))
+        rows_parts.append(members[local_rows])
+        cols_parts.append(members[local_cols])
+        vals_parts.append(block[local_rows, local_cols])
+    if rows_parts:
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        vals = np.concatenate(vals_parts)
+    else:
+        rows = np.empty(0, dtype=np.intp)
+        cols = np.empty(0, dtype=np.intp)
+        vals = np.empty(0, dtype=float)
+    return SparseQualityStore(
+        worker_count, across, rows, cols, vals, row_cache_size=row_cache_size
+    )
+
+
 def generate_instance(
     worker_count: int,
     task_count: int,
@@ -150,11 +204,14 @@ def generate_instance(
     distribution: str = "uniform",
     quality_kind: str = "community",
     seed=None,
+    quality_backend: str = "dense",
 ) -> Instance:
     """One self-contained synthetic batch (the unit most tests use).
 
     ``quality_kind`` is ``"community"`` (block-structured, the realistic
     default) or ``"uniform"`` (i.i.d. scores).
+    ``quality_backend="sparse"`` swaps the dense matrix for a
+    :func:`sparse_community_quality` store (community kind only).
     """
     rng = ensure_rng(seed)
     workers = generate_workers(
@@ -171,7 +228,18 @@ def generate_instance(
         distribution=distribution,
         seed=rng,
     )
-    if quality_kind == "community":
+    if quality_backend == "sparse":
+        if quality_kind != "community":
+            raise ValueError(
+                "the sparse quality backend requires quality_kind='community', "
+                f"got {quality_kind!r}"
+            )
+        quality = sparse_community_quality(worker_count, seed=rng)
+    elif quality_backend != "dense":
+        raise ValueError(
+            f"unknown quality_backend {quality_backend!r}; expected 'dense' or 'sparse'"
+        )
+    elif quality_kind == "community":
         quality = CooperationMatrix.random_community(worker_count, seed=rng)
     elif quality_kind == "uniform":
         quality = CooperationMatrix.random_uniform(worker_count, seed=rng)

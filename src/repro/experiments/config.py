@@ -79,6 +79,21 @@ class ExperimentSettings:
     radius_range: tuple[float, float] = (0.05, 0.10)
     epsilon: float = DEFAULT_EPSILON
     dataset: str = "meetup"
+    #: Quality-store backend for the population matrix: ``"dense"`` (the
+    #: historical default) or ``"sparse"`` (O(nnz)
+    #: :class:`~repro.core.quality_store.SparseQualityStore`; synthetic
+    #: community datasets only). The third CLI backend, ``"shared"``, is
+    #: a *transport* concern — the population is dense and the
+    #: :class:`~repro.experiments.parallel.SweepExecutor` moves it into
+    #: shared memory — so it is configured on the executor, not here.
+    quality_backend: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.quality_backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"unknown quality_backend {self.quality_backend!r}; "
+                "expected 'dense' or 'sparse'"
+            )
 
     def to_batch_config(self) -> BatchConfig:
         return BatchConfig(

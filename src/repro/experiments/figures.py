@@ -74,6 +74,7 @@ def _sweep(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Expand the sweep into (value x approach) cells and execute them.
 
@@ -83,9 +84,18 @@ def _sweep(
     ``checkpoint`` journals finished cells to a JSONL file so an
     interrupted sweep resumes where it stopped (ignored when an explicit
     ``executor`` is passed — configure it on the executor instead).
+    ``quality_backend`` selects the cooperation-store backend:
+    ``"sparse"`` makes the population itself O(nnz) (synthetic datasets
+    only), ``"shared"`` keeps a dense population but moves it into
+    shared memory for the worker pool (also ignored when an explicit
+    ``executor`` is passed).
     """
+    if quality_backend == "sparse" and base.quality_backend != "sparse":
+        base = replace(base, quality_backend="sparse")
     if executor is None:
-        executor = SweepExecutor(n_jobs=n_jobs, checkpoint=checkpoint)
+        executor = SweepExecutor(
+            n_jobs=n_jobs, checkpoint=checkpoint, quality_backend=quality_backend
+        )
     values = list(values)
     specs = build_cell_specs(
         figure, parameter, values, settings_for_value, base, approaches, seed
@@ -111,6 +121,7 @@ def fig2_capacity(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -125,6 +136,7 @@ def fig2_capacity(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -137,6 +149,7 @@ def fig3_speed(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
 
@@ -157,6 +170,7 @@ def fig3_speed(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -169,6 +183,7 @@ def fig4_radius(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -185,6 +200,7 @@ def fig4_radius(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -197,6 +213,7 @@ def fig5_deadline(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -211,6 +228,7 @@ def fig5_deadline(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -223,6 +241,7 @@ def fig6_epsilon(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
 
@@ -241,6 +260,7 @@ def fig6_epsilon(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -253,6 +273,7 @@ def fig7_workers(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -269,6 +290,7 @@ def fig7_workers(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -281,6 +303,7 @@ def fig8_tasks(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -297,6 +320,7 @@ def fig8_tasks(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 
@@ -312,6 +336,7 @@ def fig9_extensions(
     executor: SweepExecutor | None = None,
     n_jobs: int = 1,
     checkpoint: str | None = None,
+    quality_backend: str = "dense",
 ) -> FigureResult:
     """Extension figure (not in the paper): the baseline ladder.
 
@@ -335,6 +360,7 @@ def fig9_extensions(
         executor=executor,
         n_jobs=n_jobs,
         checkpoint=checkpoint,
+        quality_backend=quality_backend,
     )
 
 

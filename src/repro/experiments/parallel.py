@@ -45,9 +45,11 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
+from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import QUALITY_BACKENDS, SharedDenseQualityStore
 from repro.core.stats import SolverStats
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import (
@@ -98,6 +100,12 @@ class CellSpec:
     approach: str
     seed: int
     compute_upper: bool = False
+    #: ``(segment_name, matrix_size)`` of a shared-memory cooperation
+    #: matrix the worker should attach zero-copy instead of rebuilding
+    #: the population's quality. Pure transport — excluded from the
+    #: journal identity (:func:`_spec_key`) because segment names are
+    #: random per run and never change what the cell computes.
+    quality_shm: tuple[str, int] | None = None
 
 
 @dataclass(frozen=True)
@@ -211,15 +219,38 @@ def population_cache_key(settings: ExperimentSettings, seed) -> tuple:
     if settings.dataset == "meetup":
         return ("meetup", seed)
     worker_pool, task_pool = synthetic_pool_sizes(settings)
-    return (settings.dataset, worker_pool, task_pool, seed)
+    return (
+        settings.dataset,
+        worker_pool,
+        task_pool,
+        settings.quality_backend,
+        seed,
+    )
 
 
-def cached_population(settings: ExperimentSettings, seed) -> Population:
-    """A process-local memoized :func:`build_population`."""
+def cached_population(
+    settings: ExperimentSettings,
+    seed,
+    quality_shm: tuple[str, int] | None = None,
+) -> Population:
+    """A process-local memoized :func:`build_population`.
+
+    ``quality_shm`` attaches the population's cooperation matrix from an
+    existing shared-memory segment instead of regenerating it — the
+    zero-copy path of the ``shared`` quality backend. Locations are drawn
+    before quality from the same rng stream, so the attached population
+    is exactly the one the segment's creator built.
+    """
     key = population_cache_key(settings, seed)
+    if quality_shm is not None:
+        key = key + ("shm", quality_shm[0])
     population = _POPULATION_CACHE.get(key)
     if population is None:
-        population = build_population(settings, seed=seed)
+        quality = None
+        if quality_shm is not None:
+            name, size = quality_shm
+            quality = SharedDenseQualityStore.attach(name, int(size))
+        population = build_population(settings, seed=seed, quality=quality)
         while len(_POPULATION_CACHE) >= _POPULATION_CACHE_LIMIT:
             _POPULATION_CACHE.pop(next(iter(_POPULATION_CACHE)))
         _POPULATION_CACHE[key] = population
@@ -235,7 +266,9 @@ def _execute_cell(spec: CellSpec, submitted_at: float) -> dict:
     """
     started_at = time.time()
     started = time.perf_counter()
-    population = cached_population(spec.settings, spec.seed)
+    population = cached_population(
+        spec.settings, spec.seed, quality_shm=spec.quality_shm
+    )
     outcome, upper = run_single_approach(
         population,
         spec.settings,
@@ -277,8 +310,14 @@ def _spec_key(spec: CellSpec) -> str:
     sweep only reuses a record when *every* knob that determined the cell
     matches the current request; any settings change makes the cell
     re-run instead of silently serving stale results.
+
+    ``quality_shm`` is deliberately excluded: shared-memory segment names
+    are random per run and purely a transport detail, so a shared-backend
+    sweep resumes from (and journals to) the same records as a dense one.
     """
-    return json.dumps(asdict(spec), sort_keys=True, default=str)
+    payload = asdict(spec)
+    payload.pop("quality_shm", None)
+    return json.dumps(payload, sort_keys=True, default=str)
 
 
 def _result_to_payload(result: CellResult) -> dict:
@@ -425,6 +464,19 @@ class SweepExecutor:
         is appended durably; a re-run with the same checkpoint skips
         cells already journaled (``CellResult.resumed=True``). ``None``
         (default) disables journaling entirely.
+    quality_backend:
+        ``"shared"`` places each distinct population's dense cooperation
+        matrix in one :mod:`multiprocessing.shared_memory` segment that
+        every pool worker attaches zero-copy, instead of rebuilding
+        ``n^2`` floats per process. Results stay bit-identical — the
+        segment holds exactly the floats the worker would have generated.
+        Segments are created lazily when the pool path actually runs and
+        are always unlinked in a ``finally`` (including on
+        ``KeyboardInterrupt``); their names are exposed afterwards as
+        ``last_shared_segments`` so tests can assert nothing leaked.
+        ``"dense"`` (default) and ``"sparse"`` change nothing here —
+        sparse is a *population* concern configured via
+        ``ExperimentSettings.quality_backend``.
 
     After a ``KeyboardInterrupt`` mid-run the telemetry of the cells
     that did finish is available as ``partial_telemetry``.
@@ -438,6 +490,7 @@ class SweepExecutor:
         mp_context: str = "spawn",
         poll_seconds: float = 0.05,
         checkpoint: str | Path | None = None,
+        quality_backend: str = "dense",
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -445,13 +498,22 @@ class SweepExecutor:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if quality_backend not in QUALITY_BACKENDS:
+            raise ValueError(
+                f"unknown quality_backend {quality_backend!r}; "
+                f"expected one of {QUALITY_BACKENDS}"
+            )
         self.n_jobs = n_jobs
         self.timeout = timeout
         self.retries = retries
         self.mp_context = mp_context
         self.poll_seconds = poll_seconds
         self.checkpoint = checkpoint
+        self.quality_backend = quality_backend
         self.partial_telemetry: ExecutorTelemetry | None = None
+        #: Names of the shared-memory segments the most recent
+        #: :meth:`run` created (all unlinked by the time run returns).
+        self.last_shared_segments: list[str] = []
 
     def run(
         self, specs: list[CellSpec]
@@ -484,11 +546,15 @@ class SweepExecutor:
         else:
             remaining = list(enumerate(specs))
 
+        shared_stores: list[SharedDenseQualityStore] = []
+        self.last_shared_segments = []
         try:
             if self.n_jobs == 1 or len(remaining) <= 1:
                 for index, spec in remaining:
                     self._finish(index, self._run_inline(spec), results, journal)
             else:
+                if self.quality_backend == "shared":
+                    remaining = self._annotate_shared(remaining, shared_stores)
                 self._run_pool(remaining, results, journal)
         except KeyboardInterrupt:
             # Satellite contract: the journal already holds every cell
@@ -505,6 +571,14 @@ class SweepExecutor:
                 file=sys.stderr,
             )
             raise
+        finally:
+            # Shared-memory lifecycle: the creator (this process) always
+            # unlinks, even on KeyboardInterrupt — attached workers keep
+            # their mappings until they exit, but no named segment
+            # outlives the sweep.
+            for store in shared_stores:
+                store.close()
+                store.unlink()
 
         ordered = [results[index] for index in range(len(specs))]
         telemetry = self._telemetry(ordered, time.perf_counter() - started)
@@ -521,6 +595,39 @@ class SweepExecutor:
         results[index] = result
         if journal is not None and result.failure is None:
             journal.append(result)
+
+    def _annotate_shared(
+        self,
+        remaining: list[tuple[int, CellSpec]],
+        shared_stores: list[SharedDenseQualityStore],
+    ) -> list[tuple[int, CellSpec]]:
+        """Create one shared segment per distinct population and tag specs.
+
+        Populations are built once in the parent (via the same
+        :func:`cached_population` the serial path uses), their dense
+        matrices copied into shared memory, and every cell spec of that
+        population annotated with ``(segment_name, size)``. Populations
+        whose quality is not a dense matrix (the sparse backend — already
+        O(nnz) small) are left untouched.
+        """
+        segments: dict[tuple, tuple[str, int] | None] = {}
+        annotated: list[tuple[int, CellSpec]] = []
+        for index, spec in remaining:
+            key = population_cache_key(spec.settings, spec.seed)
+            if key not in segments:
+                population = cached_population(spec.settings, spec.seed)
+                if isinstance(population.quality, CooperationMatrix):
+                    store = SharedDenseQualityStore.create(population.quality)
+                    shared_stores.append(store)
+                    self.last_shared_segments.append(store.name)
+                    segments[key] = (store.name, store.size)
+                else:
+                    segments[key] = None
+            entry = segments[key]
+            if entry is not None:
+                spec = replace(spec, quality_shm=entry)
+            annotated.append((index, spec))
+        return annotated
 
     # -- serial path -------------------------------------------------------
 

@@ -66,6 +66,15 @@ def main(argv: list[str] | None = None) -> int:
         "interrupted run resumes where it stopped (see docs/ROBUSTNESS.md)",
     )
     parser.add_argument(
+        "--quality-backend",
+        choices=("dense", "sparse", "shared"),
+        default="dense",
+        help="cooperation-store backend: 'sparse' builds synthetic "
+        "populations in O(nnz) memory (synthetic figures only); 'shared' "
+        "serves the dense matrix to --jobs workers from shared memory "
+        "(see docs/PERFORMANCE.md, 'Memory scaling')",
+    )
+    parser.add_argument(
         "--charts",
         action="store_true",
         help="also print unicode sparkline charts of both panels",
@@ -85,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             n_jobs=args.jobs,
             checkpoint=checkpoint,
+            quality_backend=args.quality_backend,
         )
         elapsed = time.perf_counter() - started
         print(format_figure(result))

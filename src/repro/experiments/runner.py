@@ -91,16 +91,38 @@ def synthetic_pool_sizes(settings: ExperimentSettings) -> tuple[int, int]:
     return worker_pool, task_pool
 
 
-def build_population(settings: ExperimentSettings, seed=None) -> Population:
+def build_population(settings: ExperimentSettings, seed=None, quality=None) -> Population:
     """Materialize the dataset a settings object names.
 
     ``meetup`` builds the surrogate crawl; ``unif``/``skew`` build
     synthetic populations sized to comfortably cover the per-round draws.
+    ``settings.quality_backend == "sparse"`` swaps the synthetic dense
+    community matrix for an O(nnz) sparse store (the meetup surrogate
+    derives its matrix from group memberships and stays dense).
+
+    ``quality`` overrides the cooperation store entirely — sweep-pool
+    workers pass an attached shared-memory store here. Synthetic datasets
+    then skip quality generation (locations are drawn first from the
+    same rng stream, so they match the creator's); the meetup surrogate
+    still derives its matrix internally, so the override only avoids the
+    per-process matrix copy, not the surrogate build.
     """
     if settings.dataset == "meetup":
+        if settings.quality_backend == "sparse":
+            raise ValueError(
+                "quality_backend='sparse' supports the synthetic datasets "
+                "('unif'/'skew') only; the meetup surrogate derives a dense "
+                "Jaccard matrix from group memberships"
+            )
         from repro.datasets.meetup import generate_meetup_dataset
 
         dataset = generate_meetup_dataset(seed=seed)
+        if quality is not None:
+            return Population(
+                worker_locations=dataset.user_locations,
+                task_locations=dataset.event_locations,
+                quality=quality,
+            )
         return Population.from_meetup(dataset)
     if settings.dataset in ("unif", "skew"):
         distribution = "uniform" if settings.dataset == "unif" else "skewed"
@@ -110,6 +132,8 @@ def build_population(settings: ExperimentSettings, seed=None) -> Population:
             task_pool,
             distribution=distribution,
             seed=seed,
+            quality_backend=settings.quality_backend,
+            quality=quality,
         )
     raise ValueError(
         f"unknown dataset {settings.dataset!r}; expected 'meetup', 'unif' or 'skew'"

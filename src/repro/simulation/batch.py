@@ -330,6 +330,9 @@ class BatchSimulator:
             instance = Instance(
                 workers=workers,
                 tasks=[entry.task for entry in open_tasks],
+                # restricted_to is part of the QualityStore protocol, so a
+                # sparse population restricts per batch in O(nnz of the
+                # draw) without ever materializing its full dense matrix.
                 quality=self.population.quality.restricted_to(worker_indices),
                 min_group_size=config.min_group_size,
                 now=now,

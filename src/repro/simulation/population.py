@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import QualityStore
 from repro.datasets.meetup import MeetupDataset
-from repro.datasets.synthetic import generate_locations
+from repro.datasets.synthetic import generate_locations, sparse_community_quality
 from repro.utils.rng import ensure_rng
 
 __all__ = ["Population"]
@@ -39,7 +40,7 @@ class Population:
 
     worker_locations: np.ndarray
     task_locations: np.ndarray
-    quality: CooperationMatrix
+    quality: QualityStore
 
     def __post_init__(self) -> None:
         if self.worker_locations.ndim != 2 or self.worker_locations.shape[1] != 2:
@@ -77,24 +78,52 @@ class Population:
         distribution: str = "uniform",
         quality_kind: str = "community",
         seed=None,
+        quality_backend: str = "dense",
+        quality: QualityStore | None = None,
     ) -> "Population":
         """A synthetic population (UNIF or SKEW locations).
 
         ``quality_kind`` selects the cooperation structure — see
         :class:`~repro.core.quality.CooperationMatrix`.
+        ``quality_backend="sparse"`` builds an O(nnz)
+        :class:`~repro.core.quality_store.SparseQualityStore` (community
+        structure only — a uniform matrix has no sparsity to exploit)
+        without ever materializing the dense matrix. Passing an explicit
+        ``quality`` store skips quality generation entirely — the sweep
+        pool uses this to wrap a shared-memory segment. Locations are
+        drawn *before* quality from the same rng stream, so they are
+        identical across backends for a given seed.
         """
         rng = ensure_rng(seed)
         worker_locations = generate_locations(rng, worker_pool_size, distribution)
         task_locations = generate_locations(rng, task_pool_size, distribution)
-        if quality_kind == "community":
-            quality = CooperationMatrix.random_community(worker_pool_size, seed=rng)
-        elif quality_kind == "uniform":
-            quality = CooperationMatrix.random_uniform(worker_pool_size, seed=rng)
-        else:
-            raise ValueError(
-                f"unknown quality_kind {quality_kind!r}; "
-                "expected 'community' or 'uniform'"
-            )
+        if quality is None:
+            if quality_backend == "sparse":
+                if quality_kind != "community":
+                    raise ValueError(
+                        "the sparse quality backend requires "
+                        f"quality_kind='community', got {quality_kind!r}"
+                    )
+                quality = sparse_community_quality(worker_pool_size, seed=rng)
+            elif quality_backend == "dense":
+                if quality_kind == "community":
+                    quality = CooperationMatrix.random_community(
+                        worker_pool_size, seed=rng
+                    )
+                elif quality_kind == "uniform":
+                    quality = CooperationMatrix.random_uniform(
+                        worker_pool_size, seed=rng
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown quality_kind {quality_kind!r}; "
+                        "expected 'community' or 'uniform'"
+                    )
+            else:
+                raise ValueError(
+                    f"unknown quality_backend {quality_backend!r}; "
+                    "expected 'dense' or 'sparse'"
+                )
         return cls(
             worker_locations=worker_locations,
             task_locations=task_locations,

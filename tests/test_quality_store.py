@@ -1,0 +1,442 @@
+"""Backend parity and lifecycle tests for ``repro.core.quality_store``.
+
+The contract under test: the dense, sparse and shared-memory quality
+backends hold the same floats and feed them through the same numpy
+reductions, so every consumer — revenue, GT, TPG, the fallback chain,
+the sweep executor — produces **repr-identical** results regardless of
+backend. Plus the sparse store's LRU row cache and the shared segment's
+create/attach/unlink lifecycle (nothing may leak, even on Ctrl-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fallback import FallbackSolver
+from repro.core.game import solve_game_theoretic
+from repro.core.model import Instance
+from repro.core.quality import CooperationMatrix
+from repro.core.quality_store import (
+    QUALITY_BACKENDS,
+    DenseQualityStore,
+    QualityStore,
+    SharedDenseQualityStore,
+    SparseQualityStore,
+)
+from repro.core.tpg import solve_tpg_with_stats
+from repro.core.validity import compute_valid_pairs
+from repro.datasets.synthetic import generate_instance, sparse_community_quality
+from repro.simulation.population import Population
+from repro.utils.errors import InvalidInstanceError
+
+SEED_GRID = (0, 1, 2)
+
+
+def _with_quality(instance: Instance, quality) -> Instance:
+    return Instance(
+        workers=instance.workers,
+        tasks=instance.tasks,
+        quality=quality,
+        min_group_size=instance.min_group_size,
+        now=instance.now,
+    )
+
+
+def _reference_matrix(size: int = 60, seed: int = 7) -> CooperationMatrix:
+    """A dense community matrix with plenty of prior-valued entries."""
+    return sparse_community_quality(size, community_size=12, seed=seed).to_dense()
+
+
+class TestProtocol:
+    def test_all_backends_satisfy_the_protocol(self):
+        dense = _reference_matrix(20)
+        sparse = SparseQualityStore.from_dense(dense, prior=0.3)
+        shared = SharedDenseQualityStore.create(dense)
+        try:
+            for store in (dense, sparse, shared):
+                assert isinstance(store, QualityStore)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_dense_backend_is_the_cooperation_matrix(self):
+        assert DenseQualityStore is CooperationMatrix
+
+    def test_backend_names(self):
+        assert QUALITY_BACKENDS == ("dense", "sparse", "shared")
+
+
+class TestSparseStoreParity:
+    """Every read of the sparse store must equal the dense oracle."""
+
+    @pytest.fixture()
+    def pair(self):
+        dense = _reference_matrix()
+        sparse = SparseQualityStore.from_dense(dense, prior=0.3)
+        return dense, sparse
+
+    def test_round_trip_is_exact(self, pair):
+        dense, sparse = pair
+        assert np.array_equal(sparse.to_dense().values, dense.values)
+        assert sparse.size == dense.size
+        assert sparse.nbytes < dense.nbytes
+
+    def test_rows_cols_and_pairs(self, pair):
+        dense, sparse = pair
+        for worker in (0, 13, 59):
+            assert np.array_equal(sparse.q_row(worker), dense.q_row(worker))
+            assert np.array_equal(sparse.q_col(worker), dense.q_col(worker))
+        assert repr(sparse.pair(3, 44)) == repr(dense.pair(3, 44))
+        with pytest.raises(ValueError, match="self-pair"):
+            sparse.pair(5, 5)
+
+    def test_gather_and_sums_are_repr_identical(self, pair):
+        dense, sparse = pair
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            index = np.sort(rng.choice(dense.size, size=6, replace=False))
+            assert np.array_equal(sparse.gather(index), dense.gather(index))
+            assert repr(sparse.ordered_pair_sum(index)) == repr(
+                dense.ordered_pair_sum(index)
+            )
+            assert repr(sparse.submatrix_sum(index)) == repr(
+                dense.submatrix_sum(index)
+            )
+            worker = int(rng.integers(dense.size))
+            members = index[index != worker]
+            assert repr(sparse.cross_sum(worker, members)) == repr(
+                dense.cross_sum(worker, members)
+            )
+
+    def test_top_and_bottom_qualities(self, pair):
+        dense, sparse = pair
+        for worker in (0, 31):
+            for count in (1, 4, 10):
+                assert np.array_equal(
+                    sparse.top_qualities(worker, count),
+                    dense.top_qualities(worker, count),
+                )
+                assert np.array_equal(
+                    sparse.bottom_qualities(worker, count),
+                    dense.bottom_qualities(worker, count),
+                )
+
+    def test_restricted_to_matches_dense(self, pair):
+        dense, sparse = pair
+        workers = [3, 8, 21, 40, 55]
+        assert np.array_equal(
+            sparse.restricted_to(workers).to_dense().values,
+            dense.restricted_to(workers).values,
+        )
+
+    def test_symmetry_detection(self, pair):
+        dense, sparse = pair
+        assert sparse.is_symmetric() == dense.is_symmetric()
+
+    def test_structural_pair_sum_matches_the_reduction(self, pair):
+        dense, sparse = pair
+        index = np.array([2, 9, 17, 33])
+        assert sparse.structural_pair_sum(index) == pytest.approx(
+            dense.ordered_pair_sum(index)
+        )
+
+    def test_from_history_matches_dense_from_history(self):
+        history = {
+            (0, 1): [0.9, 0.8],
+            (1, 0): [0.4],  # later orientation wins, as in the dense path
+            (2, 3): [0.6, 0.7, 0.65],
+            (4, 5): [],
+        }
+        dense = CooperationMatrix.from_history(8, history)
+        sparse = SparseQualityStore.from_history(8, history)
+        assert np.array_equal(sparse.to_dense().values, dense.values)
+
+
+class TestSparseValidation:
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            SparseQualityStore(4, 0.3, [0, 0], [1, 1], [0.5, 0.6])
+
+    def test_diagonal_entries_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="diagonal"):
+            SparseQualityStore(4, 0.3, [2], [2], [0.5])
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            SparseQualityStore(4, 0.3, [0], [4], [0.5])
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(InvalidInstanceError, match=r"\[0, 1\]"):
+            SparseQualityStore(4, 0.3, [0], [1], [1.5])
+
+    def test_prior_must_be_a_probability(self):
+        with pytest.raises(InvalidInstanceError, match="prior"):
+            SparseQualityStore(4, 1.5, [], [], [])
+
+
+class TestRowCacheLRU:
+    def test_misses_hits_and_evictions(self):
+        sparse = SparseQualityStore.from_dense(
+            _reference_matrix(30), prior=0.3, row_cache_size=2
+        )
+        sparse.q_row(0)
+        sparse.q_row(1)
+        info = sparse.row_cache_info()
+        assert (info.hits, info.misses, info.evictions) == (0, 2, 0)
+        sparse.q_row(0)  # hit, refreshes row 0's recency
+        sparse.q_row(2)  # evicts row 1 (least recently used)
+        info = sparse.row_cache_info()
+        assert (info.hits, info.misses, info.evictions) == (1, 3, 1)
+        assert info.currsize == 2
+        assert info.maxsize == 2
+        sparse.q_row(1)  # was evicted: a miss again
+        assert sparse.row_cache_info().misses == 4
+
+    def test_symmetric_store_aliases_the_column_cache(self):
+        sparse = SparseQualityStore.from_dense(_reference_matrix(30), prior=0.3)
+        sparse.q_row(4)
+        assert sparse.col_cache_info().misses == 1  # same cache object
+        sparse.q_col(4)
+        assert sparse.col_cache_info().hits == 1
+
+    def test_cached_rows_are_read_only(self):
+        sparse = SparseQualityStore.from_dense(_reference_matrix(20), prior=0.3)
+        row = sparse.q_row(3)
+        with pytest.raises(ValueError):
+            row[0] = 0.5
+
+    def test_cache_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="row_cache_size"):
+            SparseQualityStore(4, 0.3, [], [], [], row_cache_size=0)
+
+
+class TestSolverParity:
+    """The tentpole contract: repr-identical solver results per backend."""
+
+    @pytest.mark.parametrize("seed", SEED_GRID)
+    def test_gt_tpg_and_fallback_identical_across_backends(self, seed):
+        sparse_instance = generate_instance(
+            100, 25, seed=seed, quality_backend="sparse"
+        )
+        dense = sparse_instance.quality.to_dense()
+        shared = SharedDenseQualityStore.create(dense)
+        try:
+            fingerprints = []
+            for quality in (dense, sparse_instance.quality, shared):
+                instance = _with_quality(sparse_instance, quality)
+                valid_pairs = compute_valid_pairs(instance)
+                gt = solve_game_theoretic(instance, valid_pairs)
+                tpg = solve_tpg_with_stats(instance, valid_pairs)
+                gtall = solve_game_theoretic(
+                    instance, valid_pairs, epsilon=0.05, lazy_update=True
+                )
+                fallback = FallbackSolver(
+                    lambda inst, pairs: solve_game_theoretic(inst, pairs).assignment,
+                    budget=None,
+                    label="GT",
+                    seed=seed,
+                )(instance, valid_pairs)
+                fingerprints.append(
+                    {
+                        "gt": (repr(gt.assignment.to_pairs()), repr(gt.final_score)),
+                        "tpg": (
+                            repr(tpg.assignment.to_pairs()),
+                            repr(tpg.assignment.total_score()),
+                        ),
+                        "gtall": (
+                            repr(gtall.assignment.to_pairs()),
+                            repr(gtall.final_score),
+                        ),
+                        "fallback": (
+                            repr(fallback.to_pairs()),
+                            repr(fallback.total_score()),
+                        ),
+                    }
+                )
+        finally:
+            shared.close()
+            shared.unlink()
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_population_locations_identical_across_backends(self):
+        dense_pop = Population.synthetic(120, 40, seed=5)
+        sparse_pop = Population.synthetic(
+            120, 40, seed=5, quality_backend="sparse"
+        )
+        assert np.array_equal(
+            dense_pop.worker_locations, sparse_pop.worker_locations
+        )
+        assert np.array_equal(
+            dense_pop.task_locations, sparse_pop.task_locations
+        )
+        assert isinstance(sparse_pop.quality, SparseQualityStore)
+
+    def test_settings_reject_unknown_backends(self):
+        from repro.experiments.config import ExperimentSettings
+
+        with pytest.raises(ValueError, match="quality_backend"):
+            ExperimentSettings(quality_backend="bogus")
+        # "shared" is an executor transport, not a population setting.
+        with pytest.raises(ValueError, match="quality_backend"):
+            ExperimentSettings(quality_backend="shared")
+
+    def test_meetup_rejects_the_sparse_backend(self):
+        from repro.experiments.config import ExperimentSettings
+        from repro.experiments.runner import build_population
+
+        settings = ExperimentSettings(dataset="meetup", quality_backend="sparse")
+        with pytest.raises(ValueError, match="meetup"):
+            build_population(settings, seed=0)
+
+
+class TestSharedMemoryLifecycle:
+    def test_attach_sees_the_creators_floats(self):
+        dense = _reference_matrix(25)
+        shared = SharedDenseQualityStore.create(dense)
+        try:
+            attached = SharedDenseQualityStore.attach(shared.name, dense.size)
+            assert np.array_equal(attached.values, dense.values)
+            assert not attached.owner
+            attached.close()
+            attached.close()  # idempotent
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_unlink_destroys_the_segment(self):
+        shared = SharedDenseQualityStore.create(_reference_matrix(10))
+        name = shared.name
+        shared.close()
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedDenseQualityStore.attach(name, 10)
+
+    def test_same_process_attach_does_not_break_creator_cleanup(self):
+        # Attaching inside the creating process must leave the creator's
+        # resource-tracker registration alone, or unlink() would race the
+        # tracker at interpreter exit.
+        shared = SharedDenseQualityStore.create(_reference_matrix(10))
+        attached = SharedDenseQualityStore.attach(shared.name, 10)
+        attached.close()
+        shared.close()
+        shared.unlink()  # must not raise
+
+    def test_attacher_never_unlinks(self):
+        dense = _reference_matrix(10)
+        shared = SharedDenseQualityStore.create(dense)
+        try:
+            attached = SharedDenseQualityStore.attach(shared.name, 10)
+            attached.close()
+            attached.unlink()  # no-op for non-owners
+            again = SharedDenseQualityStore.attach(shared.name, 10)
+            assert np.array_equal(again.values, dense.values)
+            again.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+
+class TestExecutorSharedBackend:
+    """SweepExecutor with ``quality_backend='shared'``: parity + cleanup."""
+
+    def _specs(self, seed: int = 0):
+        from dataclasses import replace
+
+        from repro.experiments.config import ExperimentSettings
+        from repro.experiments.parallel import build_cell_specs
+
+        quick = ExperimentSettings(
+            rounds=2,
+            workers_per_round=40,
+            tasks_per_round=10,
+            speed_range=(0.05, 0.2),
+            radius_range=(0.2, 0.4),
+            dataset="unif",
+        )
+        return build_cell_specs(
+            "shared-test",
+            "workers_per_round",
+            [30, 40],
+            lambda settings, value: replace(settings, workers_per_round=int(value)),
+            quick,
+            ("RAND", "GT"),
+            seed,
+        )
+
+    def _fingerprint(self, results):
+        return [
+            (
+                result.spec.approach,
+                result.spec.value,
+                repr(result.outcome.total_score) if result.outcome else None,
+            )
+            for result in results
+        ]
+
+    def test_shared_pool_matches_serial_and_unlinks(self):
+        from repro.experiments.parallel import SweepExecutor
+
+        serial_results, _ = SweepExecutor(n_jobs=1).run(self._specs())
+        executor = SweepExecutor(n_jobs=2, quality_backend="shared")
+        shared_results, _ = executor.run(self._specs())
+        assert self._fingerprint(shared_results) == self._fingerprint(
+            serial_results
+        )
+        assert executor.last_shared_segments, "pool path should create segments"
+        for name in executor.last_shared_segments:
+            with pytest.raises(FileNotFoundError):
+                SharedDenseQualityStore.attach(name, 1)
+
+    def test_interrupt_still_unlinks_segments(self, monkeypatch):
+        from repro.experiments.parallel import SweepExecutor
+
+        executor = SweepExecutor(n_jobs=2, quality_backend="shared")
+
+        def interrupted(remaining, results, journal):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(executor, "_run_pool", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            executor.run(self._specs())
+        assert executor.last_shared_segments, "segments were created pre-pool"
+        for name in executor.last_shared_segments:
+            with pytest.raises(FileNotFoundError):
+                SharedDenseQualityStore.attach(name, 1)
+
+    def test_executor_rejects_unknown_backend(self):
+        from repro.experiments.parallel import SweepExecutor
+
+        with pytest.raises(ValueError, match="quality_backend"):
+            SweepExecutor(quality_backend="bogus")
+
+    def test_sparse_settings_sweep_parallel_parity(self):
+        from repro.experiments.config import ExperimentSettings
+        from repro.experiments.figures import fig7_workers
+
+        quick = ExperimentSettings(
+            rounds=2,
+            workers_per_round=40,
+            tasks_per_round=10,
+            speed_range=(0.05, 0.2),
+            radius_range=(0.2, 0.4),
+            dataset="unif",
+        )
+        kwargs = dict(
+            base=quick,
+            values=(30, 40),
+            approaches=("RAND", "GT"),
+            seed=1,
+            quality_backend="sparse",
+        )
+        serial = fig7_workers(**kwargs, n_jobs=1)
+        parallel = fig7_workers(**kwargs, n_jobs=2)
+        serial_scores = [
+            {name: repr(out.total_score) for name, out in point.outcomes.items()}
+            for point in serial.points
+        ]
+        parallel_scores = [
+            {name: repr(out.total_score) for name, out in point.outcomes.items()}
+            for point in parallel.points
+        ]
+        assert serial_scores == parallel_scores
