@@ -1,0 +1,87 @@
+"""Audit corpus — committed shrunk repros, replayed on every audit run.
+
+A corpus entry is one JSON file holding a shrunk failing (or
+historically interesting boundary) instance plus provenance metadata:
+the fuzz seed that produced it, the findings it triggered when first
+caught, and a human-written description. Entries live under
+``tests/data/audit_corpus/`` and are written with ``indent=2`` so code
+review can actually read a repro diff.
+
+The instance payload reuses :func:`repro.datasets.io.instance_to_dict`,
+so an entry's ``"instance"`` key is exactly the CLI ``generate`` format
+— ``python -m repro.cli solve`` can be pointed at it after extracting
+that key (see docs/AUDIT.md for the triage workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.model import Instance
+from repro.datasets.io import instance_from_dict, instance_to_dict
+
+__all__ = ["save_corpus_entry", "load_corpus_entry", "iter_corpus"]
+
+_CORPUS_VERSION = 1
+
+
+def save_corpus_entry(
+    path: str | Path,
+    instance: Instance,
+    description: str = "",
+    seed=None,
+    findings=(),
+) -> Path:
+    """Write one corpus entry; returns the path written."""
+    path = Path(path)
+    payload = {
+        "corpus_version": _CORPUS_VERSION,
+        "description": description,
+        "seed": list(seed) if isinstance(seed, tuple) else seed,
+        "findings": [str(finding) for finding in findings],
+        "instance": instance_to_dict(instance),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_corpus_entry(path: str | Path) -> tuple[Instance, dict]:
+    """Read one entry back as ``(instance, metadata)``.
+
+    Unknown corpus versions fail loudly, mirroring the instance-format
+    policy of :mod:`repro.datasets.io`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("corpus_version")
+    if version != _CORPUS_VERSION:
+        raise ValueError(
+            f"unsupported corpus version {version!r} in {path} "
+            f"(this reader supports {_CORPUS_VERSION})"
+        )
+    instance = instance_from_dict(payload["instance"])
+    metadata = {
+        key: value for key, value in payload.items() if key != "instance"
+    }
+    return instance, metadata
+
+
+def iter_corpus(
+    directory: str | Path,
+) -> Iterator[tuple[Path, Instance, dict]]:
+    """All entries of a corpus directory, sorted by filename.
+
+    A missing directory yields nothing (a fresh checkout without a
+    corpus is not an error).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        instance, metadata = load_corpus_entry(path)
+        yield path, instance, metadata

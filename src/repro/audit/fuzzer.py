@@ -1,0 +1,148 @@
+"""Seeded instance fuzzer with boundary-biased generation.
+
+Random CA-SC batches deliberately concentrated on the edges where the
+Equation-2/Definition-3 machinery has historically broken:
+
+* ``B`` at the model's validated floor (``min_group_size = 2`` — the
+  paper's ``B = 1`` case lives *below* the floor
+  :class:`~repro.core.model.Instance` enforces, so the closest reachable
+  boundary is 2) and task capacities exactly ``a_j = B``;
+* zero-speed workers (only distance-0 tasks are reachable);
+* expired and exactly-at-``now`` deadlines;
+* duplicate locations — workers stacked on tasks and on each other, so
+  distance-0 and equal-distance tie cases are common;
+* qualities drawn from a dyadic grid (multiples of 1/8), which makes
+  pair sums exact in binary floating point — reduction order cannot hide
+  a real divergence, and equal contributions exercise the peel
+  tie-break.
+
+Everything is driven by one :func:`numpy.random.default_rng` stream, so
+a seed reproduces its instance exactly; the audit runner derives
+per-instance seeds as ``(session_seed, index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Instance, Task, Worker
+from repro.core.quality import CooperationMatrix
+from repro.spatial.geometry import Point
+
+__all__ = ["FuzzConfig", "fuzz_instance"]
+
+#: Locations live on a coarse dyadic grid — duplicates are likely.
+_LOCATION_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+#: Dyadic qualities: sums are exact, ties are frequent.
+_QUALITY_GRID = (0.0, 0.125, 0.25, 0.5, 0.75, 1.0)
+_SPEED_GRID = (0.125, 0.25, 0.5, 1.0)
+#: Includes radius 0 (nothing reachable) and 2 (covers the whole square).
+_RADIUS_GRID = (0.0, 0.25, 0.5, 1.0, 2.0)
+#: The batch timestamp; deadlines below it are expired, equal to it are
+#: the zero-remaining-time boundary.
+_NOW = 1.0
+_DEADLINE_GRID = (0.5, 1.0, 1.5, 3.0)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size bounds and boundary-bias rates of the generator."""
+
+    min_workers: int = 2
+    max_workers: int = 10
+    min_tasks: int = 1
+    max_tasks: int = 4
+    #: Probability of the minimum group size staying at the floor B = 2.
+    tight_group_rate: float = 0.75
+    #: Probability a task's capacity is exactly ``B``.
+    tight_capacity_rate: float = 0.5
+    #: Probability a worker's speed is exactly 0.
+    zero_speed_rate: float = 0.25
+    #: Probability a task is placed exactly on some worker's location.
+    colocate_rate: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"worker bounds must satisfy 2 <= min <= max, got "
+                f"[{self.min_workers}, {self.max_workers}]"
+            )
+        if not 1 <= self.min_tasks <= self.max_tasks:
+            raise ValueError(
+                f"task bounds must satisfy 1 <= min <= max, got "
+                f"[{self.min_tasks}, {self.max_tasks}]"
+            )
+
+
+def fuzz_instance(seed, config: FuzzConfig = FuzzConfig()) -> Instance:
+    """One boundary-biased random instance, fully determined by ``seed``.
+
+    ``seed`` is anything :func:`numpy.random.default_rng` accepts — the
+    runner passes ``(session_seed, index)`` tuples.
+    """
+    rng = np.random.default_rng(seed)
+    worker_count = int(
+        rng.integers(config.min_workers, config.max_workers + 1)
+    )
+    task_count = int(rng.integers(config.min_tasks, config.max_tasks + 1))
+    min_group_size = 2 if rng.random() < config.tight_group_rate else 3
+
+    workers = []
+    for index in range(worker_count):
+        speed = (
+            0.0
+            if rng.random() < config.zero_speed_rate
+            else float(rng.choice(_SPEED_GRID))
+        )
+        workers.append(
+            Worker(
+                worker_id=index,
+                location=Point(
+                    float(rng.choice(_LOCATION_GRID)),
+                    float(rng.choice(_LOCATION_GRID)),
+                ),
+                speed=speed,
+                radius=float(rng.choice(_RADIUS_GRID)),
+            )
+        )
+
+    tasks = []
+    for index in range(task_count):
+        if rng.random() < config.colocate_rate:
+            anchor = workers[int(rng.integers(0, worker_count))]
+            location = anchor.location
+        else:
+            location = Point(
+                float(rng.choice(_LOCATION_GRID)),
+                float(rng.choice(_LOCATION_GRID)),
+            )
+        capacity = (
+            min_group_size
+            if rng.random() < config.tight_capacity_rate
+            else min_group_size + int(rng.integers(1, 3))
+        )
+        tasks.append(
+            Task(
+                task_id=index,
+                location=location,
+                capacity=capacity,
+                deadline=float(rng.choice(_DEADLINE_GRID)),
+                created_time=0.0,
+            )
+        )
+
+    # Symmetric dyadic quality matrix with a zero diagonal.
+    upper = rng.choice(_QUALITY_GRID, size=(worker_count, worker_count))
+    q = np.triu(upper, k=1)
+    q = q + q.T
+    quality = CooperationMatrix(q)
+
+    return Instance(
+        workers=workers,
+        tasks=tasks,
+        quality=quality,
+        min_group_size=min_group_size,
+        now=_NOW,
+    )

@@ -1,0 +1,101 @@
+"""Greedy shrinking of failing instances to minimal repros.
+
+Given an instance on which some failure predicate holds (typically
+"``audit_instance`` returns findings"), :func:`shrink_instance` removes
+one task or one worker at a time, keeping any removal that preserves the
+failure, until no single removal does — a local minimum in the spirit of
+delta debugging's 1-minimal reduction. Audit instances are small (the
+fuzzer caps at ~10 workers / 4 tasks), so the quadratic pass count is
+cheap, and the result is what gets serialized into the corpus: a repro a
+human can actually read (typically 2-3 workers and one task).
+
+Dropping a worker re-indexes the survivors positionally and carves the
+quality store down with
+:meth:`~repro.core.quality.CooperationMatrix.restricted_to`; dropping a
+task keeps the quality store intact. The instance's ``B``, timestamp and
+the per-entity attributes are never altered — shrinking only ever
+*removes*, so the repro stays within the space the fuzzer generated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.model import Instance
+from repro.utils.errors import InvalidInstanceError
+
+__all__ = ["shrink_instance"]
+
+
+def _drop_task(instance: Instance, index: int) -> Instance | None:
+    if instance.task_count <= 1:
+        return None
+    tasks = [
+        task for position, task in enumerate(instance.tasks) if position != index
+    ]
+    return Instance(
+        workers=instance.workers,
+        tasks=tasks,
+        quality=instance.quality,
+        min_group_size=instance.min_group_size,
+        now=instance.now,
+    )
+
+
+def _drop_worker(instance: Instance, index: int) -> Instance | None:
+    if instance.worker_count <= 1:
+        return None
+    keep = [
+        position
+        for position in range(instance.worker_count)
+        if position != index
+    ]
+    return Instance(
+        workers=[instance.workers[position] for position in keep],
+        tasks=instance.tasks,
+        quality=instance.quality.restricted_to(keep),
+        min_group_size=instance.min_group_size,
+        now=instance.now,
+    )
+
+
+def shrink_instance(
+    instance: Instance, fails: Callable[[Instance], bool]
+) -> Instance:
+    """The smallest instance reachable by single removals that still fails.
+
+    ``fails`` must return ``True`` on ``instance`` itself (otherwise it
+    is returned unchanged). Predicate exceptions are treated as "does not
+    fail" so a reduction that breaks the predicate's own machinery is
+    simply not taken.
+    """
+
+    def still_fails(candidate: Instance | None) -> bool:
+        if candidate is None:
+            return False
+        try:
+            return bool(fails(candidate))
+        except InvalidInstanceError:
+            return False
+        except Exception:
+            return False
+
+    current = instance
+    progress = True
+    while progress:
+        progress = False
+        for index in range(current.task_count):
+            candidate = _drop_task(current, index)
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        for index in range(current.worker_count):
+            candidate = _drop_worker(current, index)
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current

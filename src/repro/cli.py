@@ -1,14 +1,15 @@
 """Command-line interface for the CA-SC toolkit.
 
-Five subcommands cover the generate -> solve -> evaluate loop a
+Six subcommands cover the generate -> solve -> evaluate loop a
 downstream user needs without writing Python, plus a multi-round
-simulation driver and a figure-sweep runner::
+simulation driver, a figure-sweep runner and a correctness auditor::
 
     python -m repro.cli generate --workers 200 --tasks 40 --out batch.json
     python -m repro.cli solve batch.json --approach GT+ALL --out assignment.json
     python -m repro.cli evaluate batch.json assignment.json
     python -m repro.cli simulate --approach GT+ALL --rounds 10 --csv rounds.csv
     python -m repro.cli sweep --figure fig7 --scale 0.2 --jobs 4
+    python -m repro.cli audit --budget 60 --seed 0
 
 ``generate`` writes an instance as JSON (see ``repro.datasets.io``);
 ``solve`` runs any registered approach and prints score, upper bound and
@@ -17,7 +18,10 @@ timing; ``evaluate`` re-checks a saved assignment's feasibility and score
 1's batch framework over a synthetic or Meetup-like population and can
 export per-round metrics as CSV/JSONL; ``sweep`` regenerates one paper
 figure, optionally fanned out over ``--jobs`` worker processes with
-bit-identical results (see docs/PERFORMANCE.md, "Parallel execution").
+bit-identical results (see docs/PERFORMANCE.md, "Parallel execution");
+``audit`` replays the committed repro corpus and then fuzzes fresh
+boundary-biased instances through the differential harness, shrinking
+any failure to a minimal repro (see docs/AUDIT.md).
 """
 
 from __future__ import annotations
@@ -279,6 +283,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit.runner import run_audit, run_self_test
+    from repro.experiments.reporting import format_audit_outcome
+
+    if args.self_test:
+        result = run_self_test(seed=args.seed)
+        print(result.summary())
+        if not result.detected:
+            return 1
+        if result.shrunk_workers > 6 or result.shrunk_tasks > 3:
+            print(
+                "self-test FAILED: shrunk repro larger than the "
+                f"6-worker/3-task contract ({result.shrunk_workers}w/"
+                f"{result.shrunk_tasks}t)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    approaches = args.approaches.split(",") if args.approaches else None
+    outcome = run_audit(
+        budget=args.budget,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        out_dir=args.out_dir,
+        approaches=approaches,
+        log=print if args.verbose else None,
+    )
+    print(format_audit_outcome(outcome))
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -418,6 +454,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="markdown output file (appended)"
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    audit = commands.add_parser(
+        "audit",
+        help="differential correctness audit: corpus replay + seeded fuzz",
+    )
+    audit.add_argument(
+        "--budget",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the fuzzing phase (0 = corpus replay "
+        "only; default 30)",
+    )
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument(
+        "--corpus",
+        default="tests/data/audit_corpus",
+        help="directory of committed repros to replay first "
+        "(missing directory = nothing to replay)",
+    )
+    audit.add_argument(
+        "--out-dir",
+        default="audit_failures",
+        help="where shrunk repros of new failures are written "
+        "(CI uploads this directory as an artifact)",
+    )
+    audit.add_argument(
+        "--approaches",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated approaches to cross-check (default: the "
+        "DIFFERENTIAL_APPROACH_ORDER representatives)",
+    )
+    audit.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject a deliberate pair-sum off-by-one and verify the "
+        "harness detects and shrinks it (mutation self-test)",
+    )
+    audit.add_argument(
+        "--verbose", action="store_true", help="per-entry progress lines"
+    )
+    audit.set_defaults(handler=_cmd_audit)
     return parser
 
 

@@ -252,18 +252,30 @@ class Assignment:
                     dropped.append(worker)
         return dropped
 
+    def audit(self, tolerance: float = 1e-9) -> list:
+        """Run the invariant auditor on this assignment.
+
+        Convenience hook into :func:`repro.audit.invariants.
+        audit_assignment`: re-derives Definition 3/4 feasibility, the
+        B-threshold and Equation-2/3 revenue against a from-scratch
+        oracle, returning the list of findings (empty = clean). Unlike
+        :meth:`check_feasible` this also catches silent
+        :class:`~repro.core.revenue.RevenueCache` drift, at oracle
+        recomputation cost — use it in tests and triage, not hot paths.
+        """
+        from repro.audit.invariants import audit_assignment
+
+        return audit_assignment(self, tolerance=tolerance)
+
     def copy(self) -> "Assignment":
-        """Deep copy sharing the (immutable) instance and validity."""
+        """Deep copy sharing the (immutable) instance and validity.
+
+        The revenue state is cloned by :meth:`RevenueCache.clone` — the
+        cache owns its own layout, so fields added there later are copied
+        (or fail loudly) without this method knowing about them.
+        """
         clone = Assignment(self.instance, self.valid_pairs, self.allow_overflow)
-        source = self.revenue_cache
-        target = clone.revenue_cache
-        target._members = [list(members) for members in source._members]
-        target._member_arrays = list(source._member_arrays)
-        target._counted = list(source._counted)
-        target.pair_sums = source.pair_sums.copy()
-        target.revenues = source.revenues.copy()
-        target.counts = source.counts.copy()
-        target.versions = list(source.versions)
+        clone.revenue_cache = self.revenue_cache.clone()
         clone._task_of = self._task_of.copy()
         return clone
 

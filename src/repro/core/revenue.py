@@ -307,6 +307,54 @@ class RevenueCache:
         return float(values.sum())
 
     # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
+    def clone(self) -> "RevenueCache":
+        """An independent deep copy of the cache's mutable state.
+
+        The quality store is shared (it is immutable by contract); every
+        per-task structure is copied so mutations on the clone never leak
+        back. This method — not callers hand-copying private fields — is
+        the single place that knows the cache's layout: the trailing
+        ``__slots__`` sweep makes a clone that misses a newly added field
+        fail loudly instead of silently dropping it.
+        """
+        clone = RevenueCache.__new__(RevenueCache)
+        clone.quality = self.quality
+        clone.min_group_size = self.min_group_size
+        clone.capacities = self.capacities.copy()
+        clone.pair_sums = self.pair_sums.copy()
+        clone.revenues = self.revenues.copy()
+        clone.counts = self.counts.copy()
+        clone.versions = list(self.versions)
+        clone._members = [list(members) for members in self._members]
+        # Cached member arrays are rebuilt (never mutated in place), so
+        # sharing the array objects themselves is safe.
+        clone._member_arrays = list(self._member_arrays)
+        clone._counted = list(self._counted)
+        clone.full_evaluations = self.full_evaluations
+        clone.incremental_updates = self.incremental_updates
+        missing = [
+            name for name in RevenueCache.__slots__ if not hasattr(clone, name)
+        ]
+        if missing:
+            raise AttributeError(
+                f"RevenueCache.clone() does not copy {missing}; update it "
+                "alongside the new field(s)"
+            )
+        return clone
+
+    def state_dict(self) -> dict:
+        """Every field of the cache, keyed by slot name.
+
+        Comparison-friendly snapshot for the audit harness and the clone
+        round-trip test: covers ``__slots__`` exhaustively, so a field
+        added by a future PR shows up here (and in the clone test)
+        automatically.
+        """
+        return {name: getattr(self, name) for name in RevenueCache.__slots__}
+
+    # ------------------------------------------------------------------
     # mutation — Equation 4's delta form
     # ------------------------------------------------------------------
     def join(self, worker: int, task: int) -> None:

@@ -116,9 +116,12 @@ class SolverStats:
                 self.fallback_answers.get(tier, 0) + count
             )
         self.rounds.extend(other.rounds)
-        self.runs += other.runs - 1 if other.runs > 1 else 0
-        if other is not self:
-            self.runs += 1 if other.runs == 1 else 0
+        # ``runs`` adds like every other counter: an incoming object that
+        # itself aggregates k runs contributes exactly k. (A previous
+        # version added ``other.runs - 1`` and then skipped the final +1
+        # for multi-run inputs, so merging {runs: 3} into {runs: 1}
+        # yielded 3 instead of 4.)
+        self.runs += other.runs
         return self
 
     @classmethod

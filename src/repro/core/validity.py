@@ -30,9 +30,12 @@ from repro.spatial.grid import GridIndex
 from repro.spatial.kdtree import KDTree
 from repro.spatial.rtree import RTree
 
-__all__ = ["ValidPairs", "compute_valid_pairs"]
+__all__ = ["ValidPairs", "compute_valid_pairs", "STRATEGIES"]
 
-_STRATEGIES = ("rtree", "grid", "kdtree", "matrix")
+#: The interchangeable validity strategies (all produce identical
+#: results; the audit harness cross-checks them on every instance).
+STRATEGIES = ("rtree", "grid", "kdtree", "matrix")
+_STRATEGIES = STRATEGIES
 
 
 @dataclass(frozen=True)
@@ -126,12 +129,37 @@ def compute_valid_pairs(
     return _compute_indexed(instance, strategy)
 
 
-def _reach_limit(instance: Instance, worker_index: int) -> float:
+#: Relative slack on the speed x deadline reach bound. A valid pair
+#: satisfies ``distance / v_i <= remaining_j`` under *rounded* float
+#: division, which does not strictly imply ``distance <= v_i *
+#: remaining_j`` under rounded multiplication; a few ulps of headroom
+#: keep the range query a superset of the post-filtered valid set.
+_REACH_SLACK = 1.0 + 1e-12
+
+
+def _max_remaining(instance: Instance) -> float:
+    """Longest remaining deadline over the batch's tasks, clamped >= 0."""
+    if not instance.tasks:
+        return 0.0
+    return max(
+        0.0, max(task.remaining_time(instance.now) for task in instance.tasks)
+    )
+
+
+def _reach_limit(
+    instance: Instance, worker_index: int, max_remaining: float
+) -> float:
     """The worker's effective reach: within radius *and* within speed x
-    shortest remaining deadline is necessary; the per-task deadline check
-    happens after the range query."""
+    longest remaining deadline is necessary; the per-task deadline check
+    happens after the range query.
+
+    ``min(r_i, v_i * max_remaining)`` prunes candidates for slow workers
+    with large preference radii (a zero-speed worker only ever reaches
+    distance 0). The slack factor keeps the bound a strict superset of
+    :func:`_deadline_ok`, so all four strategies stay identical.
+    """
     worker = instance.workers[worker_index]
-    return worker.radius
+    return min(worker.radius, worker.speed * max_remaining * _REACH_SLACK)
 
 
 def _compute_indexed(instance: Instance, strategy: str) -> ValidPairs:
@@ -149,9 +177,12 @@ def _compute_indexed(instance: Instance, strategy: str) -> ValidPairs:
         cell = max(mean_radius, 1e-6)
         index = GridIndex.build(task_items, cell_size=cell)
 
+    max_remaining = _max_remaining(instance)
     tasks_for_worker: list[list[int]] = []
     for worker_index, worker in enumerate(instance.workers):
-        candidates = index.query_circle(worker.location, _reach_limit(instance, worker_index))
+        candidates = index.query_circle(
+            worker.location, _reach_limit(instance, worker_index, max_remaining)
+        )
         valid = [
             task_index
             for task_index in candidates

@@ -29,6 +29,7 @@ __all__ = [
     "TABLE_II",
     "DEFAULT_EPSILON",
     "DEFAULT_APPROACH_ORDER",
+    "DIFFERENTIAL_APPROACH_ORDER",
     "APPROACHES",
     "ExperimentSettings",
     "make_solver",
@@ -56,6 +57,24 @@ DEFAULT_APPROACH_ORDER = (
     "GT+LUB",
     "GT+TSI",
     "GT+ALL",
+)
+
+#: The approaches the audit harness cross-checks by default
+#: (``repro.audit.differential``). Every registered approach is
+#: deterministic given its seed — the same (approach, backend, strategy)
+#: combination must reproduce repr-identically — so any of them may be
+#: passed to the differential runner; this default keeps one
+#: representative per solver family to bound the cross-product's cost:
+#: the full game dynamics (GT), its lazy+epsilon production variant
+#: (GT+ALL), the two-stage greedy (TPG), the flow baseline (MFLOW), the
+#: pair-greedy ablation (PGREEDY), and the seeded-random floor (RAND).
+DIFFERENTIAL_APPROACH_ORDER = (
+    "GT",
+    "GT+ALL",
+    "TPG",
+    "MFLOW",
+    "PGREEDY",
+    "RAND",
 )
 
 #: Extension approaches beyond the paper's lineup (see DESIGN.md §2):

@@ -23,6 +23,7 @@ __all__ = [
     "format_telemetry",
     "format_failures",
     "format_fault_summary",
+    "format_audit_outcome",
 ]
 
 
@@ -137,6 +138,20 @@ def format_fault_summary(report: SimulationReport) -> str:
     if report.total_dissolved_groups:
         parts.append(f"dissolved {report.total_dissolved_groups}")
     return "[" + ", ".join(parts) + "]"
+
+
+def format_audit_outcome(outcome) -> str:
+    """Render a :class:`~repro.audit.runner.AuditOutcome` for the CLI.
+
+    The summary line first, then one line per finding (source, check,
+    detail) and one per written repro path.
+    """
+    lines = [outcome.summary()]
+    for source, finding in outcome.findings:
+        lines.append(f"FINDING {source}: {finding}")
+    for path in outcome.repro_paths:
+        lines.append(f"shrunk repro: {path}")
+    return "\n".join(lines)
 
 
 def format_failures(failures: list[CellFailure]) -> str:

@@ -205,3 +205,60 @@ def test_property_incremental_score_matches_scratch(seed, worker_count, task_cou
     assert assignment.total_score() == pytest.approx(
         assignment.recompute_total(), abs=1e-8
     )
+
+
+class TestCopyClonesRevenueCache:
+    def test_state_dict_round_trip_covers_all_slots(self, instance, pairs):
+        from repro.core.revenue import RevenueCache
+
+        assignment = Assignment(instance, pairs)
+        for worker in range(instance.worker_count):
+            for task in pairs.tasks_for_worker[worker]:
+                if assignment.assigned_count(task) < instance.tasks[task].capacity:
+                    assignment.assign(worker, task)
+                    break
+        clone = assignment.copy()
+        original_state = assignment.revenue_cache.state_dict()
+        clone_state = clone.revenue_cache.state_dict()
+        # Every slot is present in both (clone() raises on fields it
+        # does not know how to copy, so additions cannot slip through).
+        assert set(original_state) == set(RevenueCache.__slots__)
+        assert set(clone_state) == set(RevenueCache.__slots__)
+        for name in RevenueCache.__slots__:
+            left, right = original_state[name], clone_state[name]
+            if isinstance(left, np.ndarray):
+                assert np.array_equal(left, right), name
+            else:
+                assert left == right, name
+        # The quality store is shared (immutable), arrays are not.
+        assert clone.revenue_cache.quality is assignment.revenue_cache.quality
+        assert clone.revenue_cache.pair_sums is not assignment.revenue_cache.pair_sums
+
+    def test_clone_preserves_instrumentation_counters(self, instance, pairs):
+        # The old hand-copy dropped full_evaluations/incremental_updates.
+        assignment = Assignment(instance, pairs)
+        worker = next(
+            w for w in range(instance.worker_count) if pairs.tasks_for_worker[w]
+        )
+        assignment.assign(worker, pairs.tasks_for_worker[worker][0])
+        clone = assignment.copy()
+        assert (
+            clone.revenue_cache.incremental_updates
+            == assignment.revenue_cache.incremental_updates
+        )
+        assert (
+            clone.revenue_cache.full_evaluations
+            == assignment.revenue_cache.full_evaluations
+        )
+
+    def test_clone_mutation_isolation(self, instance, pairs):
+        assignment = Assignment(instance, pairs)
+        clone = assignment.copy()
+        worker = next(
+            w for w in range(instance.worker_count) if pairs.tasks_for_worker[w]
+        )
+        clone.assign(worker, pairs.tasks_for_worker[worker][0])
+        assert not assignment.is_assigned(worker)
+        assert assignment.total_score() == 0.0
+        assert assignment.audit() == []
+        assert clone.audit() == []

@@ -397,3 +397,94 @@ class TestReportingIntegration:
         assert "Figure 6" in printed
         assert "regenerated in" in printed
         assert "Figure 6" in out.read_text()
+
+
+# ---------------------------------------------------------------------------
+# Telemetry accounting properties
+# ---------------------------------------------------------------------------
+from types import SimpleNamespace
+
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.experiments.parallel import CellFailure, CellResult
+
+
+def _failure() -> CellFailure:
+    return CellFailure(
+        figure="fig", parameter="p", value=0, approach="GT",
+        error="boom", attempts=2,
+    )
+
+
+_CELL_KINDS = st.sampled_from(["executed", "failed", "resumed"])
+
+
+def _cell(kind: str, wall: float, queue: float, attempts: int, pid: int) -> CellResult:
+    return CellResult(
+        spec=None,
+        wall_seconds=wall,
+        queue_seconds=queue,
+        attempts=attempts,
+        worker_pid=pid,
+        failure=_failure() if kind == "failed" else None,
+        resumed=kind == "resumed",
+    )
+
+
+@hyp_settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            _CELL_KINDS,
+            st.floats(0.0, 10.0, allow_nan=False),
+            st.floats(0.0, 2.0, allow_nan=False),
+            st.integers(1, 3),
+            st.integers(100, 104),
+        ),
+        max_size=25,
+    ),
+    st.integers(1, 8),
+    st.floats(0.0, 5.0, allow_nan=False),
+)
+def test_property_telemetry_accounting(cells, n_jobs, idle_seconds):
+    """cells partition into failed + resumed + executed, and utilization
+    stays in [0, 1] whenever the wall clock is consistent with the cell
+    timings (wall * n_jobs >= summed executed cell time)."""
+    results = [_cell(*args) for args in cells]
+    executed = [r for r in results if r.failure is None and not r.resumed]
+    # A consistent wall clock: at least the perfectly-parallel lower
+    # bound over the executed cells, plus arbitrary idle time.
+    cell_seconds = sum(r.wall_seconds for r in executed)
+    wall = cell_seconds / n_jobs + idle_seconds
+    executor = SimpleNamespace(n_jobs=n_jobs)
+    telemetry = SweepExecutor._telemetry(executor, results, wall)
+
+    assert telemetry.cells == len(results)
+    assert (
+        telemetry.cells
+        == telemetry.failed_cells + telemetry.resumed_cells + len(executed)
+    )
+    assert telemetry.failed_cells == sum(1 for r in results if r.failure is not None)
+    assert telemetry.resumed_cells == sum(
+        1 for r in results if r.failure is None and r.resumed
+    )
+    assert 0.0 <= telemetry.worker_utilization <= 1.0 + 1e-9
+    assert telemetry.cell_seconds == pytest.approx(cell_seconds)
+    # Resumed and failed cells never contribute to timing aggregates.
+    assert telemetry.distinct_workers == len({r.worker_pid for r in executed})
+    if wall > 0:
+        assert telemetry.speedup_vs_serial_estimate == pytest.approx(
+            cell_seconds / wall
+        )
+    payload = telemetry.to_dict()
+    assert payload["cells"] == telemetry.cells
+    assert payload["worker_utilization"] == telemetry.worker_utilization
+
+
+def test_telemetry_zero_wall_clock_is_safe():
+    executor = SimpleNamespace(n_jobs=4)
+    telemetry = SweepExecutor._telemetry(executor, [], 0.0)
+    assert telemetry.cells == 0
+    assert telemetry.worker_utilization == 0.0
+    assert telemetry.speedup_vs_serial_estimate == 0.0

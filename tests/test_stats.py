@@ -161,3 +161,33 @@ class TestRunnerIntegration:
             assert outcome.stats.solver == name
             assert outcome.stats.runs == settings.rounds
             assert outcome.stats.gain_evaluations > 0
+
+
+class TestMergeRunsRegression:
+    def test_merging_multi_run_aggregate_counts_all_runs(self):
+        # Regression: ``merge`` used to add ``other.runs - 1``, so an
+        # incoming aggregate of 3 runs contributed only 2 — merging
+        # {runs: 3} into {runs: 1} yielded 3 instead of 4.
+        target = SolverStats(solver="GT", runs=1)
+        aggregate = SolverStats(solver="GT", runs=3)
+        target.merge(aggregate)
+        assert target.runs == 4
+
+    def test_merged_of_aggregates_sums_runs(self):
+        parts = [
+            SolverStats(solver="TPG", runs=2, gain_evaluations=5),
+            SolverStats(solver="TPG", runs=3, gain_evaluations=7),
+        ]
+        total = SolverStats.merged(parts)
+        assert total.runs == 5
+        assert total.gain_evaluations == 12
+
+    def test_chained_merges_stay_consistent(self):
+        # runs must behave like every other counter under re-merging:
+        # merged(merged(a, b), c) == merged(a, b, c).
+        a = SolverStats(solver="GT", runs=1)
+        b = SolverStats(solver="GT", runs=1)
+        c = SolverStats(solver="GT", runs=1)
+        nested = SolverStats.merged([SolverStats.merged([a, b]), c])
+        flat = SolverStats.merged([a, b, c])
+        assert nested.runs == flat.runs == 3

@@ -102,3 +102,82 @@ def test_property_strategies_always_agree(worker_count, task_count, seed):
     rtree = compute_valid_pairs(instance, strategy="rtree")
     kdtree = compute_valid_pairs(instance, strategy="kdtree")
     assert matrix == grid == rtree == kdtree
+
+
+class TestReachLimitRegression:
+    def test_reach_limit_is_speed_bounded(self):
+        # Regression: ``_reach_limit`` returned ``r_i`` alone, ignoring
+        # that a worker can never pass ``v_i * max_remaining`` before
+        # every deadline expires. The fixed bound is
+        # ``min(r_i, v_i * max_remaining)`` (plus float slack).
+        from repro.core.validity import _max_remaining, _reach_limit
+
+        instance = generate_instance(
+            5, 3, speed_range=(0.01, 0.02), radius_range=(0.8, 0.9), seed=0
+        )
+        max_remaining = _max_remaining(instance)
+        for worker_index, worker in enumerate(instance.workers):
+            limit = _reach_limit(instance, worker_index, max_remaining)
+            assert limit <= worker.radius
+            assert limit <= worker.speed * max_remaining * (1.0 + 1e-9)
+
+    def test_zero_speed_worker_reaches_only_distance_zero(self):
+        from repro.core.validity import _max_remaining, _reach_limit
+        from repro.core.model import Instance, Task, Worker
+        from repro.core.quality import CooperationMatrix
+        from repro.spatial.geometry import Point
+        import numpy as np
+
+        workers = [
+            Worker(worker_id=0, location=Point(0.5, 0.5), speed=0.0, radius=1.0),
+            Worker(worker_id=1, location=Point(0.0, 0.0), speed=1.0, radius=1.0),
+        ]
+        tasks = [
+            Task(task_id=0, location=Point(0.5, 0.5), capacity=2, deadline=2.0,
+                 created_time=0.0),
+            Task(task_id=1, location=Point(0.6, 0.5), capacity=2, deadline=2.0,
+                 created_time=0.0),
+        ]
+        quality = CooperationMatrix(np.array([[0.0, 0.5], [0.5, 0.0]]))
+        instance = Instance(
+            workers=workers, tasks=tasks, quality=quality,
+            min_group_size=2, now=0.0,
+        )
+        assert _reach_limit(instance, 0, _max_remaining(instance)) == 0.0
+        # The radius-0 range query still returns the co-located task:
+        # <w0, t0> is valid (distance 0), <w0, t1> is not.
+        for strategy in ("rtree", "grid", "kdtree", "matrix"):
+            pairs = compute_valid_pairs(instance, strategy=strategy)
+            assert pairs.is_valid(0, 0), strategy
+            assert not pairs.is_valid(0, 1), strategy
+            assert pairs.is_valid(1, 0) and pairs.is_valid(1, 1), strategy
+
+    def test_expired_deadlines_and_empty_task_lists(self):
+        from repro.core.validity import _max_remaining
+
+        expired = generate_instance(8, 3, remaining_time=1.0, seed=5)
+        expired = type(expired)(
+            workers=expired.workers,
+            tasks=expired.tasks,
+            quality=expired.quality,
+            min_group_size=expired.min_group_size,
+            now=max(t.deadline for t in expired.tasks) + 1.0,
+        )
+        assert _max_remaining(expired) == 0.0
+        for strategy in ("rtree", "grid", "kdtree", "matrix"):
+            assert compute_valid_pairs(expired, strategy=strategy).pair_count == 0
+
+    def test_speed_bound_preserves_four_way_parity(self):
+        # Slow workers with big radii are exactly where the new bound
+        # prunes; the four strategies must keep agreeing there.
+        for seed in range(6):
+            instance = generate_instance(
+                40, 8,
+                speed_range=(0.005, 0.05),
+                radius_range=(0.3, 0.9),
+                remaining_time=2.0,
+                seed=seed,
+            )
+            reference = compute_valid_pairs(instance, strategy="matrix")
+            for strategy in ("rtree", "grid", "kdtree"):
+                assert compute_valid_pairs(instance, strategy=strategy) == reference
