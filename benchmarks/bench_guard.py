@@ -17,7 +17,19 @@ Two sections, both written to ``BENCH_pr2.json`` next to the repo root:
   ``speedup_vs_serial_estimate`` additionally reports
   sum-of-cell-time / wall, the core-independent view.
 
-A third group of sections — the quality-store scale record — is written
+A third section — the best-response kernel record — is written to
+``BENCH_pr6.json``:
+
+* **kernel_guard** — solves GT and GT+ALL on the seed grid with
+  ``kernel="python"`` and ``kernel="native"`` and checks the assignments
+  and scores are **repr-identical** (the ``repro.core.kernels``
+  contract), recording per-kernel wall-clocks, the measured speedup,
+  whether numba was importable (without it ``native`` runs the numpy
+  fallback, so the speedup documents the fallback's ceiling, not the
+  compiled kernel's), and the kernel counters from
+  :class:`~repro.core.stats.SolverStats`.
+
+A fourth group of sections — the quality-store scale record — is written
 to ``BENCH_pr4.json``:
 
 * **backend_parity** — builds the *same* community quality matrix as a
@@ -88,6 +100,7 @@ RSS_RATIO_FLOOR = 5.0
 RSS_RATIO_SIZE = 20000
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 SCALE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
+KERNEL_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 
 #: Mean per-batch wall-clock of the pre-incremental-engine code at the
 #: same scale and seeds, measured as min-of-4 repeats on the machine
@@ -266,6 +279,120 @@ def run_sweep_benchmark(
         "parallel_telemetry": parallel.telemetry.to_dict(),
         "scores": serial_table,
     }
+    return record, failures
+
+
+def run_kernel_benchmark(
+    seeds=DEFAULT_SEEDS,
+    workers: int = DEFAULT_WORKERS,
+    tasks: int = DEFAULT_TASKS,
+    repeats: int = 3,
+) -> tuple[dict, list[str]]:
+    """Python vs native kernel: repr parity + per-kernel wall-clocks.
+
+    Both kernels must produce the same assignment down to the last
+    float bit (divergence is a correctness bug in
+    ``repro.core.kernels``, never a tolerance issue). The measured
+    speedup is honest about the environment: when numba is not
+    importable the ``native`` kernel runs its numpy fallback, so the
+    recorded number is the fallback's ceiling — the compiled figure has
+    to come from an environment with numba (the CI kernel job).
+    """
+    from repro.core.kernels import NUMBA_AVAILABLE
+
+    failures: list[str] = []
+    record: dict = {
+        "scale": {"workers": workers, "tasks": tasks, "seeds": list(seeds)},
+        "repeats": repeats,
+        "numba_available": NUMBA_AVAILABLE,
+        "solvers": ["gt", "gtall"],
+        "note": (
+            "native == numba-compiled batched prepass when numba is "
+            "importable, numpy fallback otherwise; either way the "
+            "assignment is repr-identical to kernel='python'"
+        ),
+        "boundary_bugfix_note": (
+            "this PR also fixed the _VECTOR_GROUP_LIMIT boundary: the "
+            "historical np.add.reduceat batch reduction reorders "
+            "segments of >= 3 elements on current numpy, diverging "
+            "bitwise from the scalar join_gain path. The order-exact "
+            "replacement changes last-bit utilities where the old path "
+            "was wrong; on the seed grid plain GT is repr-identical to "
+            "the pre-PR solver, while GT+ALL at seed 0 converges to a "
+            "different (higher-scoring) equilibrium: 673.9239461574595 "
+            "-> 675.5963027046109."
+        ),
+        "seeds": {},
+    }
+    configs = {
+        "gt": dict(epsilon=0.0, lazy_update=False),
+        "gtall": dict(epsilon=0.05, lazy_update=True),
+    }
+    for seed in seeds:
+        instance = generate_instance(workers, tasks, seed=seed)
+        valid_pairs = compute_valid_pairs(instance)
+        entry: dict = {}
+        for solver, kwargs in configs.items():
+            per_kernel: dict = {}
+            for kernel in ("python", "native"):
+                best = float("inf")
+                result = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = solve_game_theoretic(
+                        instance, valid_pairs, kernel=kernel, **kwargs
+                    )
+                    best = min(best, time.perf_counter() - started)
+                failures += _check_oracle(
+                    f"{solver}[{kernel}]", seed, result.assignment
+                )
+                per_kernel[kernel] = {
+                    "seconds": best,
+                    "score": repr(result.final_score),
+                    "pairs": repr(result.assignment.to_pairs()),
+                    "rounds": result.rounds,
+                    "moves": result.moves,
+                    "stats": result.stats.to_dict() if result.stats else None,
+                }
+            identical = per_kernel["python"]["score"] == per_kernel["native"][
+                "score"
+            ] and per_kernel["python"]["pairs"] == per_kernel["native"]["pairs"]
+            if not identical:
+                failures.append(
+                    f"kernel parity {solver} seed={seed}: native diverges "
+                    f"from python ({per_kernel['native']['score']} vs "
+                    f"{per_kernel['python']['score']})"
+                )
+            entry[solver] = {
+                "identical": identical,
+                "speedup_native_vs_python": (
+                    per_kernel["python"]["seconds"]
+                    / per_kernel["native"]["seconds"]
+                ),
+                **{
+                    kernel: {
+                        key: value
+                        for key, value in per_kernel[kernel].items()
+                        if key != "pairs"  # repr'd pair lists are huge
+                    }
+                    for kernel in per_kernel
+                },
+            }
+        record["seeds"][str(seed)] = entry
+    record["summary"] = {}
+    for solver in configs:
+        entries = [record["seeds"][str(s)][solver] for s in seeds]
+        python_mean = sum(e["python"]["seconds"] for e in entries) / len(entries)
+        native_mean = sum(e["native"]["seconds"] for e in entries) / len(entries)
+        record["summary"][solver] = {
+            "python_mean_seconds": python_mean,
+            "native_mean_seconds": native_mean,
+            "speedup": python_mean / native_mean,
+            "identical": all(e["identical"] for e in entries),
+        }
+    record["parity"] = all(
+        entry["identical"] for entry in record["summary"].values()
+    )
     return record, failures
 
 
@@ -554,6 +681,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the quality-store scale record (BENCH_pr4.json)",
     )
     parser.add_argument(
+        "--skip-kernel",
+        action="store_true",
+        help="skip the best-response kernel record (BENCH_pr6.json)",
+    )
+    parser.add_argument(
+        "--only-kernel",
+        action="store_true",
+        help="run only the best-response kernel record",
+    )
+    parser.add_argument(
         "--only-scale",
         action="store_true",
         help="run only the quality-store scale record",
@@ -589,6 +726,12 @@ def main(argv: list[str] | None = None) -> int:
         default=SCALE_OUTPUT,
         help="scale-record JSON path",
     )
+    parser.add_argument(
+        "--kernel-out",
+        type=Path,
+        default=KERNEL_OUTPUT,
+        help="kernel-record JSON path",
+    )
     args = parser.parse_args(argv)
 
     if args.measure_rss:
@@ -597,7 +740,20 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     guard_record = None
-    if not args.only_scale:
+    kernel_record = None
+    if not args.skip_kernel:
+        kernel_record, kernel_failures = run_kernel_benchmark(
+            workers=args.workers, tasks=args.tasks, repeats=args.repeats
+        )
+        failures += kernel_failures
+        args.kernel_out.write_text(
+            json.dumps({"kernel_guard": kernel_record}, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.kernel_out}")
+    if args.only_kernel:
+        args.skip_scale = True
+    if not args.only_scale and not args.only_kernel:
         guard_record, failures = run_guard(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
         )
@@ -638,6 +794,20 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"wrote {args.scale_out}")
 
+    if kernel_record is not None:
+        for solver, summary in kernel_record["summary"].items():
+            print(
+                f"kernel {solver}: python "
+                f"{summary['python_mean_seconds'] * 1e3:.1f} ms vs native "
+                f"{summary['native_mean_seconds'] * 1e3:.1f} ms "
+                f"({summary['speedup']:.2f}x"
+                + (
+                    ", numpy fallback — numba absent"
+                    if not kernel_record["numba_available"]
+                    else ""
+                )
+                + f"), identical: {summary['identical']}"
+            )
     if guard_record is not None:
         for solver in ("tpg", "gt", "gtall"):
             summary = guard_record["summary"][solver]
@@ -684,6 +854,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     checks = []
+    if kernel_record is not None:
+        checks.append("kernel python/native repr-identical")
     if guard_record is not None:
         checks.append("incremental scores match the from-scratch oracle")
         if not args.skip_sweep:

@@ -10,7 +10,8 @@ package is the machinery that *hunts* for the places they disagree:
   Python oracle (catching :class:`~repro.core.revenue.RevenueCache`
   drift);
 * :mod:`repro.audit.differential` — runs the cross-product
-  {approaches} x {quality backends} x {validity strategies} on one
+  {approaches} x {quality backends} x {validity strategies} x
+  {best-response kernels} on one
   instance and flags any divergence between combinations documented as
   identical;
 * :mod:`repro.audit.fuzzer` — seeded boundary-biased instance generation

@@ -14,7 +14,12 @@ Equation-2/Definition-3 machinery has historically broken:
 * qualities drawn from a dyadic grid (multiples of 1/8), which makes
   pair sums exact in binary floating point — reduction order cannot hide
   a real divergence, and equal contributions exercise the peel
-  tie-break.
+  tie-break;
+* kernel-boundary shapes (:data:`_KERNEL_SHAPES`) that pin the batched
+  best-response kernel's edges: a group saturated at exactly
+  ``_VECTOR_GROUP_LIMIT = 8`` members (the scalar-path guard), a
+  single-worker batch (one-segment CSR prepass), and a zero-valid-pairs
+  batch (empty candidate arrays).
 
 Everything is driven by one :func:`numpy.random.default_rng` stream, so
 a seed reproduces its instance exactly; the audit runner derives
@@ -44,6 +49,9 @@ _RADIUS_GRID = (0.0, 0.25, 0.5, 1.0, 2.0)
 #: the zero-remaining-time boundary.
 _NOW = 1.0
 _DEADLINE_GRID = (0.5, 1.0, 1.5, 3.0)
+#: The kernel-boundary shapes ``fuzz_instance`` cycles through when the
+#: boundary-bias roll fires (see the module docstring).
+_KERNEL_SHAPES = ("group8", "solo", "nopairs")
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,10 @@ class FuzzConfig:
     zero_speed_rate: float = 0.25
     #: Probability a task is placed exactly on some worker's location.
     colocate_rate: float = 0.4
+    #: Probability the instance is forced into one of the
+    #: :data:`_KERNEL_SHAPES` kernel-boundary layouts instead of the
+    #: fully random recipe.
+    kernel_boundary_rate: float = 0.2
 
     def __post_init__(self) -> None:
         if not 2 <= self.min_workers <= self.max_workers:
@@ -83,6 +95,9 @@ def fuzz_instance(seed, config: FuzzConfig = FuzzConfig()) -> Instance:
     runner passes ``(session_seed, index)`` tuples.
     """
     rng = np.random.default_rng(seed)
+    if rng.random() < config.kernel_boundary_rate:
+        shape = _KERNEL_SHAPES[int(rng.integers(0, len(_KERNEL_SHAPES)))]
+        return _kernel_boundary_instance(shape, rng)
     worker_count = int(
         rng.integers(config.min_workers, config.max_workers + 1)
     )
@@ -133,16 +148,105 @@ def fuzz_instance(seed, config: FuzzConfig = FuzzConfig()) -> Instance:
             )
         )
 
-    # Symmetric dyadic quality matrix with a zero diagonal.
-    upper = rng.choice(_QUALITY_GRID, size=(worker_count, worker_count))
-    q = np.triu(upper, k=1)
-    q = q + q.T
-    quality = CooperationMatrix(q)
+    quality = _dyadic_quality(rng, worker_count)
 
     return Instance(
         workers=workers,
         tasks=tasks,
         quality=quality,
+        min_group_size=min_group_size,
+        now=_NOW,
+    )
+
+
+def _dyadic_quality(rng, worker_count: int) -> CooperationMatrix:
+    """Symmetric dyadic quality matrix with a zero diagonal."""
+    upper = rng.choice(_QUALITY_GRID, size=(worker_count, worker_count))
+    q = np.triu(upper, k=1)
+    q = q + q.T
+    return CooperationMatrix(q)
+
+
+def _kernel_boundary_instance(shape: str, rng) -> Instance:
+    """One of the :data:`_KERNEL_SHAPES` layouts, still rng-driven.
+
+    * ``"group8"`` — nine workers stacked on one capacity-8 task: the
+      group saturates at exactly ``_VECTOR_GROUP_LIMIT`` members, so the
+      ninth worker's candidate scan crosses the scalar-path guard.
+    * ``"solo"`` — a single worker: the CSR prepass degenerates to one
+      (possibly empty) segment and the round has no cross-worker moves.
+    * ``"nopairs"`` — reachable distances all exceed every radius/reach
+      bound: ``ValidPairs`` is empty and every candidate array in the
+      kernel has length zero.
+    """
+    if shape == "group8":
+        center = Point(0.5, 0.5)
+        workers = [
+            Worker(worker_id=i, location=center, speed=1.0, radius=2.0)
+            for i in range(9)
+        ]
+        tasks = [
+            Task(
+                task_id=0,
+                location=center,
+                capacity=8,
+                deadline=3.0,
+                created_time=0.0,
+            )
+        ]
+        min_group_size = 2
+    elif shape == "solo":
+        workers = [
+            Worker(
+                worker_id=0,
+                location=Point(0.5, 0.5),
+                speed=float(rng.choice(_SPEED_GRID)),
+                radius=float(rng.choice(_RADIUS_GRID)),
+            )
+        ]
+        tasks = [
+            Task(
+                task_id=index,
+                location=Point(
+                    float(rng.choice(_LOCATION_GRID)),
+                    float(rng.choice(_LOCATION_GRID)),
+                ),
+                capacity=2,
+                deadline=float(rng.choice(_DEADLINE_GRID)),
+                created_time=0.0,
+            )
+            for index in range(int(rng.integers(1, 3)))
+        ]
+        min_group_size = 2
+    elif shape == "nopairs":
+        workers = [
+            Worker(
+                worker_id=index,
+                location=Point(0.0, 0.0),
+                speed=0.0,
+                radius=0.0,
+            )
+            for index in range(int(rng.integers(2, 5)))
+        ]
+        tasks = [
+            Task(
+                task_id=index,
+                location=Point(1.0, 1.0),
+                capacity=2,
+                deadline=float(rng.choice(_DEADLINE_GRID)),
+                created_time=0.0,
+            )
+            for index in range(int(rng.integers(1, 3)))
+        ]
+        min_group_size = 2
+    else:
+        raise ValueError(
+            f"unknown kernel shape {shape!r}; expected one of {_KERNEL_SHAPES}"
+        )
+    return Instance(
+        workers=workers,
+        tasks=tasks,
+        quality=_dyadic_quality(rng, len(workers)),
         min_group_size=min_group_size,
         now=_NOW,
     )

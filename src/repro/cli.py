@@ -33,6 +33,7 @@ import time
 
 from repro.core.assignment import Assignment
 from repro.core.bounds import upper_bound
+from repro.core.kernels import DEFAULT_KERNEL, KERNELS
 from repro.core.validity import compute_valid_pairs
 from repro.datasets.io import load_instance, save_instance
 from repro.datasets.synthetic import generate_instance
@@ -137,7 +138,9 @@ def _parse_faults(spec: str):
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     pairs = compute_valid_pairs(instance)
-    solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+    solver = make_solver(
+        args.approach, epsilon=args.epsilon, seed=args.seed, kernel=args.kernel
+    )
     solver = _wrap_budget(solver, args)
 
     started = time.perf_counter()
@@ -217,12 +220,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         dataset=args.dataset,
         quality_backend=args.quality_backend,
+        kernel=args.kernel,
     )
     population = build_population(settings, seed=args.seed)
     config: BatchConfig = settings.to_batch_config()
     if args.faults:
         config = replace(config, faults=_parse_faults(args.faults))
-    solver = make_solver(args.approach, epsilon=args.epsilon, seed=args.seed)
+    solver = make_solver(
+        args.approach, epsilon=args.epsilon, seed=args.seed, kernel=settings.kernel
+    )
     solver = _wrap_budget(solver, args)
     report = BatchSimulator(population, config, solver, seed=args.seed).run()
 
@@ -349,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--epsilon", type=float, default=0.05)
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=DEFAULT_KERNEL,
+        help="best-response kernel for the GT variants: 'native' batches "
+        "Equation 5 scans per round (numba-compiled when available, "
+        "bit-identical numpy fallback otherwise); results match "
+        "'python' exactly (see docs/PERFORMANCE.md)",
+    )
+    solve.add_argument(
         "--solver-budget",
         type=float,
         default=None,
@@ -405,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cooperation-store backend: 'sparse' keeps the synthetic "
         "community matrix as prior + CSR deviations in O(nnz) memory "
         "('unif'/'skew' datasets only; see docs/PERFORMANCE.md)",
+    )
+    simulate.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=DEFAULT_KERNEL,
+        help="best-response kernel for the GT variants (same results "
+        "either way; see docs/PERFORMANCE.md)",
     )
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")

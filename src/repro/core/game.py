@@ -29,14 +29,25 @@ Optimizations
   ``q_i(w_y) < q_i(w_x)`` (other tasks).
 * **Vectorized scans**: a full best-response scan scores all of a
   worker's within-capacity candidate tasks in one batched numpy pass —
-  a single gather of ``q[worker, members]`` (and its transpose) per task
-  via ``np.add.reduceat`` over the concatenated member arrays — instead
-  of one ``join_gain`` call per task. The batched arithmetic is
-  bit-identical to the scalar path for the group sizes the experiments
-  use (pairwise summation in numpy only reorders sums of eight or more
-  elements; larger groups fall back to the scalar evaluation), which
-  preserves the exact potential function and hence the reached
-  equilibria.
+  a single gather of ``q[worker, members]`` (and its transpose) per
+  task, summed segment-wise in strict left-to-right order
+  (:func:`~repro.core.kernels.segment_sums_ordered`) — instead of one
+  ``join_gain`` call per task. The batched arithmetic is bit-identical
+  to the scalar path for groups of fewer than
+  :data:`_VECTOR_GROUP_LIMIT` members, where ``ndarray.sum()`` itself
+  reduces sequentially; at eight or more elements numpy's pairwise
+  summation reorders, so those groups fall back to the scalar
+  evaluation. (``np.add.reduceat``, which this path historically used,
+  reorders segments of as few as *three* elements on current numpy and
+  silently broke the contract.) Bit-identity preserves the exact
+  potential function and hence the reached equilibria.
+* **Batched kernel** (``kernel="native"``): at the start of each round
+  the utilities of *every* worker's candidates are evaluated in one
+  pass over flat CSR buffers (:mod:`repro.core.kernels` — numba-njit
+  when available, vectorized numpy otherwise), and each worker's scan
+  replays the precomputed row when its candidate tasks' membership
+  versions are unchanged. Same floats as ``kernel="python"``, enforced
+  by the parity suite and the differential audit's kernel axis.
 
 Every solve is instrumented: the returned :class:`GameResult` carries a
 :class:`~repro.core.stats.SolverStats` with revenue-evaluation counters,
@@ -51,6 +62,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.kernels import (
+    CODE_CURRENT,
+    CODE_SCALAR,
+    DEFAULT_KERNEL,
+    resolve_kernel,
+    score_candidates,
+    segment_sums_ordered,
+)
 from repro.core.model import Instance
 from repro.core.stats import RoundStats, SolverStats
 from repro.core.tpg import solve_tpg_with_stats
@@ -63,8 +82,11 @@ DEFAULT_TOLERANCE = 1e-9
 DEFAULT_MAX_ROUNDS = 500
 
 #: Candidate groups of fewer than this many members are scored by the
-#: vectorized batch path; larger ones use the scalar ``join_gain`` whose
-#: pairwise numpy summation the batch path cannot reproduce bit-for-bit.
+#: vectorized batch path, whose strict left-to-right segment sums match
+#: the scalar ``cross_sum``'s ``ndarray.sum()`` exactly below this size.
+#: From eight summed elements on, ``ndarray.sum()`` switches to pairwise
+#: (reordered) summation that the sequential batch reduction cannot
+#: reproduce bit-for-bit, so those groups use the scalar ``join_gain``.
 _VECTOR_GROUP_LIMIT = 8
 
 
@@ -130,6 +152,7 @@ def solve_game_theoretic(
     tolerance: float = DEFAULT_TOLERANCE,
     player_order: str = "sequential",
     seed=None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> GameResult:
     """Run best-response dynamics to a (near-)Nash assignment.
 
@@ -155,9 +178,14 @@ def solve_game_theoretic(
         any order but may reach different equilibria.
     seed:
         Used by ``init="random"`` and ``player_order="shuffled"``.
+    kernel:
+        ``"python"`` (the historical per-worker scan) or ``"native"``
+        (a per-round batched prepass over all workers' candidates, see
+        :mod:`repro.core.kernels`). Bit-identical results either way.
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    kernel = resolve_kernel(kernel)
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
     if player_order not in ("sequential", "shuffled"):
@@ -178,7 +206,8 @@ def solve_game_theoretic(
     initial_score = assignment.total_score()
 
     dynamics = _BestResponseDynamics(
-        instance, valid_pairs, assignment, tolerance, lazy_update, stats
+        instance, valid_pairs, assignment, tolerance, lazy_update, stats,
+        kernel=kernel,
     )
     if player_order == "shuffled":
         dynamics.order_rng = rng
@@ -272,6 +301,7 @@ class _BestResponseDynamics:
         tolerance: float,
         lazy_update: bool,
         stats: SolverStats | None = None,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         self.instance = instance
         self.valid_pairs = valid_pairs
@@ -279,6 +309,7 @@ class _BestResponseDynamics:
         self.tolerance = tolerance
         self.lazy_update = lazy_update
         self.quality = instance.quality
+        self.kernel = resolve_kernel(kernel)
         self.stats = stats if stats is not None else SolverStats(solver="GT")
         self.order_rng = None  # set for player_order="shuffled"
         self.cache = assignment.revenue_cache
@@ -312,6 +343,76 @@ class _BestResponseDynamics:
         self._counted: list[tuple[int, ...]] = [
             assignment.counted_members(task) for task in range(instance.task_count)
         ]
+        # kernel="native" state: the validity relation as one flat CSR
+        # (slot order == each worker's candidate-list order), the quality
+        # store's kernel buffers, and the latest round-start prepass as
+        # ``(stamps, values, codes)`` (see _run_prepass).
+        self._prepass: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        if self.kernel == "native":
+            counts = np.fromiter(
+                (len(tasks) for tasks in self._tasks_lists),
+                dtype=np.int64,
+                count=len(self._tasks_lists),
+            )
+            self._vp_indptr = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._vp_indptr[1:])
+            self._vp_tasks = np.fromiter(
+                (task for tasks in self._tasks_lists for task in tasks),
+                dtype=np.int64,
+                count=int(self._vp_indptr[-1]),
+            )
+            self._capacities_array = np.asarray(self._capacities, dtype=np.int64)
+            self._kernel_buffers = self.quality.as_kernel_buffers()
+
+    # ------------------------------------------------------------------
+    def _run_prepass(self) -> None:
+        """Score every (worker, candidate) slot in one batched pass.
+
+        Runs at the start of each round for ``kernel="native"``. The
+        result is stamped per worker with the sum of its candidate
+        tasks' membership versions — the same integer the scalar stamp
+        loop in :meth:`_best_alternative` computes — so a scan later in
+        the round replays the precomputed row exactly when none of the
+        worker's candidate memberships moved since the prepass.
+        """
+        cache = self.cache
+        mem_indptr, mem_flat = cache.members_csr()
+        versions = np.asarray(cache.versions, dtype=np.int64)
+        slot_versions = versions[self._vp_tasks]
+        stamps = np.zeros(self.instance.worker_count, dtype=np.int64)
+        counts = np.diff(self._vp_indptr)
+        nonempty = counts > 0
+        if slot_versions.size:
+            # reduceat over the *nonempty* segments only: dropping an
+            # empty segment's start leaves the partition unchanged (its
+            # start equals its successor's), while keeping it would hit
+            # reduceat's hazardous empty-segment semantics. Integer
+            # sums, so reduceat's reordering is harmless here.
+            starts = self._vp_indptr[:-1][nonempty]
+            stamps[nonempty] = np.add.reduceat(slot_versions, starts)
+        current_tasks = np.fromiter(
+            (
+                self.assignment.task_of(worker)
+                for worker in range(self.instance.worker_count)
+            ),
+            dtype=np.int64,
+            count=self.instance.worker_count,
+        )
+        values, codes = score_candidates(
+            self._kernel_buffers,
+            self._vp_indptr,
+            self._vp_tasks,
+            mem_indptr,
+            mem_flat,
+            cache.pair_sums,
+            cache.revenues,
+            self._capacities_array,
+            self._minimum,
+            _VECTOR_GROUP_LIMIT,
+            current_tasks,
+            stats=self.stats,
+        )
+        self._prepass = (stamps, values, codes)
 
     # ------------------------------------------------------------------
     def run_round(self) -> tuple[int, float]:
@@ -320,6 +421,8 @@ class _BestResponseDynamics:
         Returns ``(moves, score_gain)``; the gain equals the potential
         increase of the round (Theorem V.1).
         """
+        if self.kernel == "native":
+            self._run_prepass()
         moves = 0
         gain = 0.0
         if self.order_rng is None:
@@ -422,6 +525,45 @@ class _BestResponseDynamics:
 
         stats.cache_misses += 1
         stats.gain_evaluations += len(tasks)
+
+        prepass = self._prepass
+        if prepass is not None and prepass[0][worker] == stamp:
+            # Round-start prepass replay: the stamp match proves none of
+            # the worker's candidate memberships (including its own
+            # task's) moved since the batched pass, so the precomputed
+            # utilities and classifications are still exact. Only the
+            # deferred slots are filled here: overflow/oversized joins
+            # via the scalar peel (memoized, like the legacy path) and
+            # the worker's own task via the caller's ``leave_delta``.
+            start = int(self._vp_indptr[worker])
+            end = int(self._vp_indptr[worker + 1])
+            utilities = prepass[1][start:end].copy()
+            codes = prepass[2][start:end]
+            memo = self._overflow_memo
+            for position in np.flatnonzero(codes == CODE_SCALAR):
+                position = int(position)
+                task = tasks[position]
+                key = (worker, task)
+                version = versions[task]
+                entry = memo.get(key)
+                if entry is not None and entry[0] == version:
+                    utilities[position] = entry[1]
+                else:
+                    gain = cache.join_gain(worker, task)
+                    memo[key] = (version, gain)
+                    utilities[position] = gain
+            for position in np.flatnonzero(codes == CODE_CURRENT):
+                utilities[int(position)] = current_utility
+            best_position = int(np.argmax(utilities))
+            best_task = tasks[best_position]
+            best_utility = float(utilities[best_position])
+            self._scan_memo[worker] = (
+                stamp, current_task, current_utility, best_task, best_utility
+            )
+            self._cached_best[worker] = best_task
+            self._dirty[worker] = False
+            return best_task, best_utility
+
         member_list = cache.member_list
         member_array = cache.member_array
         pair_sums = cache.pair_sums
@@ -475,12 +617,19 @@ class _BestResponseDynamics:
 
         if batch_arrays:
             # One gather of q[worker, members] (and the transpose column)
-            # per task, summed segment-wise in a single reduceat pass.
+            # per task, summed segment-wise in strict left-to-right order
+            # — ndarray.sum()'s order for these group sizes (< 8), which
+            # the scalar join_gain path relies on. np.add.reduceat is NOT
+            # usable here: it reorders segments of three or more elements
+            # on current numpy and breaks bit-identity with the scalar
+            # path (the divergence went unnoticed while no divergent
+            # candidate happened to win a worker's argmax).
             concatenated = np.concatenate(batch_arrays)
             starts = np.asarray(offsets, dtype=np.intp)
-            cross = np.add.reduceat(q_row[concatenated], starts) + np.add.reduceat(
-                q_col[concatenated], starts
-            )
+            lengths = np.asarray(batch_lengths, dtype=np.intp)
+            cross = segment_sums_ordered(
+                q_row[concatenated], starts, lengths
+            ) + segment_sums_ordered(q_col[concatenated], starts, lengths)
             task_index = np.asarray(batch_tasks, dtype=np.intp)
             current_revenues = revenues[task_index]
             # Denominator (new_count - 1) equals the current member count.

@@ -1,0 +1,467 @@
+"""Batched best-response kernels for the Equation-5 utility scan.
+
+The game solver's hot loop scores every candidate task of every worker
+once per round. ``kernel="python"`` keeps the historical per-worker
+numpy scan in :mod:`repro.core.game`; ``kernel="native"`` evaluates the
+utilities of *all* workers' candidates in one pass over flat CSR-style
+arrays — compiled with numba when it is importable, otherwise through a
+vectorized numpy fallback that produces bit-identical floats. Both
+kernels reproduce the scalar ``join_gain`` summation order exactly, so
+the choice of kernel never changes an assignment (enforced by the
+differential audit's kernel axis and the parity test suite).
+
+Summation-order contract
+------------------------
+The scalar path (``RevenueCache.join_gain`` via ``cross_sum``) sums the
+row gather and the column gather separately with ``ndarray.sum()``,
+which numpy evaluates strictly left-to-right for fewer than eight
+elements and with pairwise (reordered) partial sums from eight elements
+on. ``np.add.reduceat`` — the historical batch reduction — does *not*
+share that contract: on current numpy its SIMD partial sums reorder
+segments of as few as three elements, which silently broke the batch
+path's bit-identity with the scalar path. Every reduction in this
+module therefore accumulates strictly left-to-right
+(:func:`segment_sums_ordered`, or a plain loop in the compiled kernel),
+and groups of :data:`~repro.core.game._VECTOR_GROUP_LIMIT` or more
+members — where the scalar path itself reorders — are deferred to the
+scalar evaluation via :data:`CODE_SCALAR`.
+
+numba is an *optional* dependency: when it is absent the ``"native"``
+kernel silently degrades to the numpy fallback (counted separately in
+:class:`~repro.core.stats.SolverStats.kernel_fallback_calls`), so the
+flag is safe to enable everywhere. Compiled kernels are cached on disk
+(``cache=True``; numba writes next to this module's ``__pycache__`` or
+to ``NUMBA_CACHE_DIR``), so the one-off compile cost is paid once per
+environment, not once per process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "CODE_VALUE",
+    "CODE_SCALAR",
+    "CODE_CURRENT",
+    "KernelBuffers",
+    "resolve_kernel",
+    "segment_sums_ordered",
+    "score_candidates",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common case in this repo's CI
+    _njit = None
+    NUMBA_AVAILABLE = False
+
+#: The selectable kernels; ``"python"`` is the historical per-worker
+#: scan, ``"native"`` the batched all-workers pass (numba when present).
+KERNELS = ("python", "native")
+DEFAULT_KERNEL = "python"
+
+#: Per-slot classification emitted by :func:`score_candidates`.
+CODE_VALUE = 0  #: utility fully evaluated by the kernel
+CODE_SCALAR = 1  #: overflow/oversized join — needs the scalar peel path
+CODE_CURRENT = 2  #: the worker's own task — caller fills ``leave_delta``
+
+
+def resolve_kernel(name: str) -> str:
+    """Validate a kernel name (raises ``ValueError`` on an unknown one)."""
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; expected one of {KERNELS}")
+    return name
+
+
+@dataclass(frozen=True)
+class KernelBuffers:
+    """Flat, read-only quality buffers exported by a ``QualityStore``.
+
+    Dense backends expose their matrix directly (``dense``); the sparse
+    backend exposes both orientations as globally-sorted key arrays
+    (``row * size + col`` for the CSR side, ``col * size + row`` for the
+    CSC side) so a single binary search answers any ordered-pair lookup,
+    with absent entries defaulting to ``prior`` and the diagonal to 0.
+    """
+
+    size: int
+    dense: np.ndarray | None = None
+    row_keys: np.ndarray | None = None
+    row_values: np.ndarray | None = None
+    col_keys: np.ndarray | None = None
+    col_values: np.ndarray | None = None
+    prior: float = 0.0
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "KernelBuffers":
+        return cls(size=int(matrix.shape[0]), dense=matrix)
+
+    @classmethod
+    def from_csr(
+        cls,
+        size: int,
+        row_keys: np.ndarray,
+        row_values: np.ndarray,
+        col_keys: np.ndarray,
+        col_values: np.ndarray,
+        prior: float,
+    ) -> "KernelBuffers":
+        return cls(
+            size=size,
+            row_keys=np.ascontiguousarray(row_keys, dtype=np.int64),
+            row_values=np.ascontiguousarray(row_values, dtype=np.float64),
+            col_keys=np.ascontiguousarray(col_keys, dtype=np.int64),
+            col_values=np.ascontiguousarray(col_values, dtype=np.float64),
+            prior=float(prior),
+        )
+
+    @property
+    def is_dense(self) -> bool:
+        return self.dense is not None
+
+
+def segment_sums_ordered(
+    values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums in strict left-to-right order.
+
+    Bit-identical to summing each segment with a sequential loop — and
+    therefore to ``ndarray.sum()`` for segments of fewer than eight
+    elements, which is exactly the regime the batch scan handles (larger
+    groups go through the scalar path). ``np.add.reduceat`` cannot be
+    used here: its SIMD partial sums reorder segments of three or more
+    elements on current numpy.
+
+    The implementation pads every segment to the maximum length with
+    zeros (exact: ``x + 0.0 == x`` for the non-negative partial sums
+    that occur here) and accumulates column by column, which keeps each
+    row's additions in segment order while staying fully vectorized.
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    if starts.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    width = int(lengths.max()) if lengths.size else 0
+    if width == 0:
+        return np.zeros(starts.size, dtype=np.float64)
+    offsets = np.arange(width, dtype=np.intp)
+    index = starts[:, None] + offsets[None, :]
+    lane = offsets[None, :] < lengths[:, None]
+    np.minimum(index, max(values.size - 1, 0), out=index)
+    padded = np.where(lane, values[index], 0.0)
+    total = padded[:, 0].copy()
+    for column in range(1, width):
+        total += padded[:, column]
+    return total
+
+
+def _lookup_sorted(
+    keys: np.ndarray, values: np.ndarray, targets: np.ndarray, prior: float
+) -> np.ndarray:
+    """Vectorized sparse lookup: ``values`` where ``targets`` appear in
+    the sorted ``keys``, ``prior`` elsewhere."""
+    if keys.size == 0:
+        return np.full(targets.shape, prior, dtype=np.float64)
+    position = np.searchsorted(keys, targets)
+    clamped = np.minimum(position, keys.size - 1)
+    found = keys[clamped] == targets
+    return np.where(found, values[clamped], prior)
+
+
+def _score_candidates_numpy(
+    buffers: KernelBuffers,
+    vp_indptr: np.ndarray,
+    vp_tasks: np.ndarray,
+    mem_indptr: np.ndarray,
+    mem_flat: np.ndarray,
+    pair_sums: np.ndarray,
+    revenues: np.ndarray,
+    capacities: np.ndarray,
+    minimum: int,
+    limit: int,
+    current_tasks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    slots = vp_tasks.size
+    values = np.zeros(slots, dtype=np.float64)
+    codes = np.zeros(slots, dtype=np.uint8)
+    if slots == 0:
+        return values, codes
+
+    counts = mem_indptr[1:] - mem_indptr[:-1]
+    slot_counts = counts[vp_tasks]
+    workers = np.repeat(
+        np.arange(vp_indptr.size - 1, dtype=np.int64), np.diff(vp_indptr)
+    )
+    is_current = current_tasks[workers] == vp_tasks
+    needs_scalar = (slot_counts + 1 > capacities[vp_tasks]) | (slot_counts >= limit)
+    is_zero = ~needs_scalar & ((slot_counts == 0) | (slot_counts + 1 < minimum))
+    batchable = ~(needs_scalar | is_zero) & ~is_current
+
+    codes[needs_scalar] = CODE_SCALAR
+    codes[is_current] = CODE_CURRENT
+    zero_only = is_zero & ~is_current
+    values[zero_only] = 0.0 - revenues[vp_tasks[zero_only]]
+
+    if batchable.any():
+        b_tasks = vp_tasks[batchable]
+        b_workers = workers[batchable]
+        b_lengths = slot_counts[batchable]
+        b_starts = mem_indptr[b_tasks]
+        width = int(b_lengths.max())
+        offsets = np.arange(width, dtype=np.intp)
+        index = b_starts[:, None] + offsets[None, :]
+        lane = offsets[None, :] < b_lengths[:, None]
+        np.minimum(index, max(mem_flat.size - 1, 0), out=index)
+        member = mem_flat[index]
+        if buffers.is_dense:
+            dense = buffers.dense
+            row_vals = dense[b_workers[:, None], member]
+            col_vals = dense[member, b_workers[:, None]]
+        else:
+            size = np.int64(buffers.size)
+            row_targets = b_workers[:, None] * size + member
+            col_targets = b_workers[:, None] * size + member
+            row_vals = _lookup_sorted(
+                buffers.row_keys, buffers.row_values, row_targets, buffers.prior
+            )
+            col_vals = _lookup_sorted(
+                buffers.col_keys, buffers.col_values, col_targets, buffers.prior
+            )
+            diagonal = member == b_workers[:, None]
+            row_vals = np.where(diagonal, 0.0, row_vals)
+            col_vals = np.where(diagonal, 0.0, col_vals)
+        row_vals = np.where(lane, row_vals, 0.0)
+        col_vals = np.where(lane, col_vals, 0.0)
+        row_total = row_vals[:, 0].copy()
+        col_total = col_vals[:, 0].copy()
+        for column in range(1, width):
+            row_total += row_vals[:, column]
+            col_total += col_vals[:, column]
+        cross = row_total + col_total
+        new_revenue = (pair_sums[b_tasks] + cross) / b_lengths
+        values[batchable] = new_revenue - revenues[b_tasks]
+    return values, codes
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
+
+    @_njit(cache=True)
+    def _score_dense_njit(
+        dense,
+        vp_indptr,
+        vp_tasks,
+        mem_indptr,
+        mem_flat,
+        pair_sums,
+        revenues,
+        capacities,
+        minimum,
+        limit,
+        current_tasks,
+        values,
+        codes,
+    ):
+        worker_count = vp_indptr.size - 1
+        for worker in range(worker_count):
+            current = current_tasks[worker]
+            for slot in range(vp_indptr[worker], vp_indptr[worker + 1]):
+                task = vp_tasks[slot]
+                count = mem_indptr[task + 1] - mem_indptr[task]
+                if task == current:
+                    codes[slot] = 2
+                    values[slot] = 0.0
+                elif count + 1 > capacities[task] or count >= limit:
+                    codes[slot] = 1
+                    values[slot] = 0.0
+                elif count == 0 or count + 1 < minimum:
+                    codes[slot] = 0
+                    values[slot] = 0.0 - revenues[task]
+                else:
+                    row_total = 0.0
+                    col_total = 0.0
+                    for position in range(mem_indptr[task], mem_indptr[task + 1]):
+                        member = mem_flat[position]
+                        row_total += dense[worker, member]
+                        col_total += dense[member, worker]
+                    codes[slot] = 0
+                    values[slot] = (
+                        pair_sums[task] + (row_total + col_total)
+                    ) / count - revenues[task]
+
+    @_njit(cache=True)
+    def _sparse_pair_njit(keys, vals, target, prior):
+        low = 0
+        high = keys.size
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        if low < keys.size and keys[low] == target:
+            return vals[low]
+        return prior
+
+    @_njit(cache=True)
+    def _score_csr_njit(
+        size,
+        row_keys,
+        row_values,
+        col_keys,
+        col_values,
+        prior,
+        vp_indptr,
+        vp_tasks,
+        mem_indptr,
+        mem_flat,
+        pair_sums,
+        revenues,
+        capacities,
+        minimum,
+        limit,
+        current_tasks,
+        values,
+        codes,
+    ):
+        worker_count = vp_indptr.size - 1
+        for worker in range(worker_count):
+            current = current_tasks[worker]
+            for slot in range(vp_indptr[worker], vp_indptr[worker + 1]):
+                task = vp_tasks[slot]
+                count = mem_indptr[task + 1] - mem_indptr[task]
+                if task == current:
+                    codes[slot] = 2
+                    values[slot] = 0.0
+                elif count + 1 > capacities[task] or count >= limit:
+                    codes[slot] = 1
+                    values[slot] = 0.0
+                elif count == 0 or count + 1 < minimum:
+                    codes[slot] = 0
+                    values[slot] = 0.0 - revenues[task]
+                else:
+                    row_total = 0.0
+                    col_total = 0.0
+                    for position in range(mem_indptr[task], mem_indptr[task + 1]):
+                        member = mem_flat[position]
+                        if member == worker:
+                            continue
+                        target = worker * size + member
+                        row_total += _sparse_pair_njit(
+                            row_keys, row_values, target, prior
+                        )
+                        col_total += _sparse_pair_njit(
+                            col_keys, col_values, target, prior
+                        )
+                    codes[slot] = 0
+                    values[slot] = (
+                        pair_sums[task] + (row_total + col_total)
+                    ) / count - revenues[task]
+
+
+#: One-off compile bookkeeping: numba compiles lazily on first call, so
+#: the first invocation's wall time includes compilation (or a disk
+#: cache load). Recorded once per process and surfaced through
+#: ``SolverStats.kernel_compile_seconds``.
+_compile_seconds_pending: dict[str, bool] = {"dense": True, "csr": True}
+
+
+def score_candidates(
+    buffers: KernelBuffers,
+    vp_indptr: np.ndarray,
+    vp_tasks: np.ndarray,
+    mem_indptr: np.ndarray,
+    mem_flat: np.ndarray,
+    pair_sums: np.ndarray,
+    revenues: np.ndarray,
+    capacities: np.ndarray,
+    minimum: int,
+    limit: int,
+    current_tasks: np.ndarray,
+    stats=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Score every (worker, candidate-task) slot of the validity CSR.
+
+    Returns ``(values, codes)`` — one float and one classification code
+    (:data:`CODE_VALUE` / :data:`CODE_SCALAR` / :data:`CODE_CURRENT`)
+    per slot of ``vp_tasks``. Values for non-``CODE_VALUE`` slots are
+    placeholders the caller must fill (scalar peel / ``leave_delta``).
+
+    Dispatches to the compiled numba kernel when available, else to the
+    vectorized numpy fallback; both produce bit-identical floats. The
+    optional ``stats`` (a :class:`~repro.core.stats.SolverStats`) counts
+    dispatches and the one-off compile time.
+    """
+    if NUMBA_AVAILABLE:
+        slots = vp_tasks.size
+        values = np.zeros(slots, dtype=np.float64)
+        codes = np.zeros(slots, dtype=np.uint8)
+        variant = "dense" if buffers.is_dense else "csr"
+        started = time.perf_counter()
+        if buffers.is_dense:
+            _score_dense_njit(
+                np.ascontiguousarray(buffers.dense, dtype=np.float64),
+                vp_indptr,
+                vp_tasks,
+                mem_indptr,
+                mem_flat,
+                pair_sums,
+                revenues,
+                capacities,
+                np.int64(minimum),
+                np.int64(limit),
+                current_tasks,
+                values,
+                codes,
+            )
+        else:
+            _score_csr_njit(
+                np.int64(buffers.size),
+                buffers.row_keys,
+                buffers.row_values,
+                buffers.col_keys,
+                buffers.col_values,
+                np.float64(buffers.prior),
+                vp_indptr,
+                vp_tasks,
+                mem_indptr,
+                mem_flat,
+                pair_sums,
+                revenues,
+                capacities,
+                np.int64(minimum),
+                np.int64(limit),
+                current_tasks,
+                values,
+                codes,
+            )
+        if stats is not None:
+            stats.kernel_compiled_calls += 1
+            if _compile_seconds_pending[variant]:
+                stats.kernel_compile_seconds += time.perf_counter() - started
+        _compile_seconds_pending[variant] = False
+        return values, codes
+
+    values, codes = _score_candidates_numpy(
+        buffers,
+        vp_indptr,
+        vp_tasks,
+        mem_indptr,
+        mem_flat,
+        pair_sums,
+        revenues,
+        capacities,
+        minimum,
+        limit,
+        current_tasks,
+    )
+    if stats is not None:
+        stats.kernel_fallback_calls += 1
+    return values, codes

@@ -360,6 +360,14 @@ class CooperationMatrix:
         index = np.asarray(members, dtype=np.intp)
         return float(self._q[worker, index].sum() + self._q[index, worker].sum())
 
+    def as_kernel_buffers(self):
+        """Zero-copy dense export for the batched best-response kernels
+        (:mod:`repro.core.kernels`); shared-memory subclasses inherit
+        this verbatim, so their exported buffer aliases the segment."""
+        from repro.core.kernels import KernelBuffers
+
+        return KernelBuffers.from_dense(self._q)
+
     def top_qualities(self, worker: int, count: int) -> np.ndarray:
         """The worker's ``count`` largest qualities toward others, sorted
         descending. Used by the UPPER bound (Lemma V.2)."""

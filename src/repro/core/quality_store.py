@@ -108,6 +108,8 @@ class QualityStore(Protocol):
 
     def to_dense(self) -> CooperationMatrix: ...
 
+    def as_kernel_buffers(self): ...
+
 
 #: The dense backend is the existing matrix, verbatim.
 DenseQualityStore = CooperationMatrix
@@ -208,6 +210,7 @@ class SparseQualityStore:
         "_symmetric",
         "_row_cache",
         "_col_cache",
+        "_kernel_buffers",
     )
 
     def __init__(
@@ -276,6 +279,7 @@ class SparseQualityStore:
         )
         self._row_cache = _RowLRU(row_cache_size)
         self._col_cache = self._row_cache if self._symmetric else _RowLRU(row_cache_size)
+        self._kernel_buffers = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -504,6 +508,36 @@ class SparseQualityStore:
         col_part = _sorted_lookup(cidx, cvals, index, self._prior)
         col_part[index == worker] = 0.0
         return float(row_part.sum() + col_part.sum())
+
+    def as_kernel_buffers(self):
+        """Flat CSR/CSC key-array export for the batched kernels.
+
+        Keys are globally sorted ordered-pair codes (``row * size + col``
+        for the row orientation, ``col * size + row`` for the column
+        orientation) so one binary search answers any lookup; absent
+        pairs default to the prior and the diagonal to 0 — exactly the
+        floats :meth:`q_row`/:meth:`q_col` materialize. Built lazily and
+        cached (the deviation arrays are immutable).
+        """
+        from repro.core.kernels import KernelBuffers
+
+        if self._kernel_buffers is None:
+            size = self._size
+            row_owner = np.repeat(
+                np.arange(size, dtype=np.int64), np.diff(self._indptr)
+            )
+            col_owner = np.repeat(
+                np.arange(size, dtype=np.int64), np.diff(self._col_indptr)
+            )
+            self._kernel_buffers = KernelBuffers.from_csr(
+                size=size,
+                row_keys=row_owner * size + self._indices,
+                row_values=self._data,
+                col_keys=col_owner * size + self._col_indices,
+                col_values=self._col_data,
+                prior=self._prior,
+            )
+        return self._kernel_buffers
 
     def top_qualities(self, worker: int, count: int) -> np.ndarray:
         row = np.delete(self.q_row(worker), worker)

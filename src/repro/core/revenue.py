@@ -259,6 +259,28 @@ class RevenueCache:
             self._member_arrays[task] = array
         return array
 
+    def members_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """All memberships as one flat CSR pair ``(indptr, members)``.
+
+        Segment ``indptr[j]:indptr[j+1]`` lists task ``j``'s members in
+        insertion order — the exact gather order the scalar ``cross_sum``
+        sums in, which the batched kernels must reproduce bit-for-bit.
+        Rebuilt on demand (the kernel prepass snapshots it once per
+        round, stamped by :attr:`versions`).
+        """
+        task_count = len(self._members)
+        counts = np.fromiter(
+            (len(members) for members in self._members),
+            dtype=np.int64,
+            count=task_count,
+        )
+        indptr = np.zeros(task_count + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        for task, members in enumerate(self._members):
+            flat[indptr[task] : indptr[task + 1]] = members
+        return indptr, flat
+
     def revenue(self, task: int) -> float:
         """Cached ``Q(W_j)``."""
         return float(self.revenues[task])

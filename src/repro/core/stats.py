@@ -77,6 +77,14 @@ class SolverStats:
     fallback_answers:
         Per-tier answer counts of a fallback chain (empty for unwrapped
         solvers); sums to ``runs`` when every call went through a chain.
+    kernel_compiled_calls / kernel_fallback_calls:
+        Batched best-response kernel dispatches (``kernel="native"``):
+        compiled numba invocations vs. pure-numpy fallback passes (numba
+        absent). Both zero for ``kernel="python"`` solves.
+    kernel_compile_seconds:
+        Wall-clock of the first compiled invocation per kernel variant —
+        numba's lazy JIT compile (or on-disk cache load) cost, recorded
+        once per process rather than spread over later calls.
     """
 
     solver: str = ""
@@ -92,6 +100,9 @@ class SolverStats:
     runs: int = 1
     degraded_solves: int = 0
     fallback_answers: dict[str, int] = field(default_factory=dict)
+    kernel_compiled_calls: int = 0
+    kernel_fallback_calls: int = 0
+    kernel_compile_seconds: float = 0.0
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another run's counters into this object (in place).
@@ -115,6 +126,9 @@ class SolverStats:
             self.fallback_answers[tier] = (
                 self.fallback_answers.get(tier, 0) + count
             )
+        self.kernel_compiled_calls += other.kernel_compiled_calls
+        self.kernel_fallback_calls += other.kernel_fallback_calls
+        self.kernel_compile_seconds += other.kernel_compile_seconds
         self.rounds.extend(other.rounds)
         # ``runs`` adds like every other counter: an incoming object that
         # itself aggregates k runs contributes exactly k. (A previous
@@ -167,6 +181,9 @@ class SolverStats:
             "runs": self.runs,
             "degraded_solves": self.degraded_solves,
             "fallback_answers": dict(self.fallback_answers),
+            "kernel_compiled_calls": self.kernel_compiled_calls,
+            "kernel_fallback_calls": self.kernel_fallback_calls,
+            "kernel_compile_seconds": self.kernel_compile_seconds,
         }
 
     @classmethod
@@ -197,6 +214,15 @@ class SolverStats:
                 for tier, count in sorted(self.fallback_answers.items())
             )
             parts.append(f"degraded={self.degraded_solves} via={answers}")
+        if self.kernel_compiled_calls or self.kernel_fallback_calls:
+            parts.append(
+                f"kernel={self.kernel_compiled_calls}c"
+                f"/{self.kernel_fallback_calls}f"
+            )
+            if self.kernel_compile_seconds:
+                parts.append(
+                    f"compile={self.kernel_compile_seconds * 1e3:.1f}ms"
+                )
         for name, seconds in self.phase_seconds.items():
             parts.append(f"{name}={seconds * 1e3:.1f}ms")
         parts.append(f"total={self.total_seconds * 1e3:.1f}ms")

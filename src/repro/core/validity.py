@@ -24,13 +24,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.model import Instance
+from repro.core.model import Instance, Task
 from repro.spatial.geometry import pairwise_distances
 from repro.spatial.grid import GridIndex
 from repro.spatial.kdtree import KDTree
 from repro.spatial.rtree import RTree
 
-__all__ = ["ValidPairs", "compute_valid_pairs", "STRATEGIES"]
+__all__ = [
+    "ValidPairs",
+    "compute_valid_pairs",
+    "IncrementalValidityIndex",
+    "STRATEGIES",
+]
 
 #: The interchangeable validity strategies (all produce identical
 #: results; the audit harness cross-checks them on every instance).
@@ -202,6 +207,124 @@ def _deadline_ok(instance: Instance, worker_index: int, task_index: int) -> bool
     if worker.speed <= 0:
         return distance == 0.0
     return distance / worker.speed <= remaining
+
+
+class IncrementalValidityIndex:
+    """Task-side validity state maintained *across* batch rounds.
+
+    The batch simulator's task pool evolves by small deltas — arrivals,
+    served/cancelled departures, deadline expiries — while the historical
+    path rebuilt the whole spatial index from scratch every round. This
+    class keeps one :class:`~repro.spatial.grid.GridIndex` alive and
+    applies the pool's deltas via ``insert``/``delete`` (keyed by the
+    stable ``task_id``), so per-round cost is proportional to the churn,
+    not the pool size.
+
+    Results are *identical* to ``compute_valid_pairs(strategy="grid")``:
+    candidate order cannot matter (``ValidPairs.from_worker_lists``
+    sorts), the range query filters by exact distance, and every
+    candidate passes the exact per-task ``_deadline_ok`` check — so the
+    outcome is invariant to the index's cell size, which here is fixed
+    at construction instead of re-derived from each round's mean worker
+    radius. The equivalence is asserted round-by-round by the test
+    suite.
+
+    Stale-deadline contract: the reach bound's ``max_remaining`` is
+    re-derived from the *live* task set on every delta — an expired or
+    departed task can never widen a worker's candidate radius. (The
+    cached maximum is invalidated whenever the task holding it leaves;
+    keeping it would only cost query time, not correctness, but the
+    bound-tightness invariant is pinned by a regression test.)
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        self._index = GridIndex(cell_size=max(float(cell_size), 1e-6))
+        self._tasks: dict[int, Task] = {}
+        self._max_deadline = -np.inf
+        self._max_stale = False
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def sync(self, tasks: "list[Task] | tuple[Task, ...]") -> tuple[int, int]:
+        """Apply the pool's deltas: insert arrivals, drop departures.
+
+        ``tasks`` is the current live pool (any order, unique
+        ``task_id``s). Returns ``(added, removed)`` for observability.
+        """
+        current = {task.task_id: task for task in tasks}
+        if len(current) != len(tasks):
+            raise ValueError("duplicate task_id in the live pool")
+        removed = [key for key in self._tasks if key not in current]
+        for key in removed:
+            task = self._tasks.pop(key)
+            self._index.delete(key, task.location)
+            if task.deadline == self._max_deadline:
+                self._max_stale = True
+        added = 0
+        for key, task in current.items():
+            if key in self._tasks:
+                continue
+            self._tasks[key] = task
+            self._index.insert(key, task.location)
+            added += 1
+            if task.deadline > self._max_deadline and not self._max_stale:
+                self._max_deadline = task.deadline
+        return added, len(removed)
+
+    def max_remaining(self, now: float) -> float:
+        """Longest remaining deadline over the *live* tasks (>= 0).
+
+        Bit-identical to :func:`_max_remaining` on an instance holding
+        the same tasks: the maximizing task is the same either way, and
+        ``max(deadline) - now`` is the same subtraction of the same two
+        floats as ``max(deadline - now)``.
+        """
+        if not self._tasks:
+            return 0.0
+        if self._max_stale:
+            self._max_deadline = max(
+                task.deadline for task in self._tasks.values()
+            )
+            self._max_stale = False
+        return max(0.0, self._max_deadline - now)
+
+    def compute(self, instance: Instance) -> ValidPairs:
+        """This round's :class:`ValidPairs` from the maintained index.
+
+        ``instance.tasks`` must be exactly the pool last passed to
+        :meth:`sync` (positions may differ from insertion order; the
+        query is mapped back through ``task_id``).
+        """
+        if instance.task_count == 0 or instance.worker_count == 0:
+            return ValidPairs.from_worker_lists(
+                [[] for _ in range(instance.worker_count)], instance.task_count
+            )
+        position_of = {
+            task.task_id: position
+            for position, task in enumerate(instance.tasks)
+        }
+        if position_of.keys() != self._tasks.keys():
+            raise ValueError(
+                "instance task pool is out of sync with the index; "
+                "call sync() with the live pool first"
+            )
+        max_remaining = self.max_remaining(instance.now)
+        tasks_for_worker: list[list[int]] = []
+        for worker_index, worker in enumerate(instance.workers):
+            limit = min(
+                worker.radius, worker.speed * max_remaining * _REACH_SLACK
+            )
+            candidates = self._index.query_circle(worker.location, limit)
+            valid = [
+                position
+                for position in (position_of[key] for key in candidates)
+                if _deadline_ok(instance, worker_index, position)
+            ]
+            tasks_for_worker.append(valid)
+        return ValidPairs.from_worker_lists(
+            tasks_for_worker, instance.task_count
+        )
 
 
 def _compute_with_travel_model(instance: Instance, travel_model) -> ValidPairs:

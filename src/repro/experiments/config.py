@@ -19,6 +19,7 @@ from repro.core.baselines.random_assign import solve_random
 from repro.core.baselines.wflow import solve_wflow
 from repro.core.online import solve_online_greedy
 from repro.core.game import solve_game_theoretic
+from repro.core.kernels import DEFAULT_KERNEL, resolve_kernel
 from repro.core.model import Instance
 from repro.core.tpg import solve_tpg_with_stats
 from repro.core.validity import ValidPairs
@@ -106,6 +107,12 @@ class ExperimentSettings:
     #: :class:`~repro.experiments.parallel.SweepExecutor` moves it into
     #: shared memory — so it is configured on the executor, not here.
     quality_backend: str = "dense"
+    #: Best-response kernel for the GT variants: ``"python"`` (the
+    #: historical per-worker scan) or ``"native"`` (the batched per-round
+    #: prepass of :mod:`repro.core.kernels`; numba-compiled when numba is
+    #: importable, bit-identical numpy fallback otherwise). Results are
+    #: identical either way — the knob trades wall-clock only.
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.quality_backend not in ("dense", "sparse"):
@@ -113,6 +120,7 @@ class ExperimentSettings:
                 f"unknown quality_backend {self.quality_backend!r}; "
                 "expected 'dense' or 'sparse'"
             )
+        resolve_kernel(self.kernel)
 
     def to_batch_config(self) -> BatchConfig:
         return BatchConfig(
@@ -145,10 +153,17 @@ class ExperimentSettings:
 SolverFn = Callable[[Instance, ValidPairs], Assignment]
 
 
-def make_solver(name: str, epsilon: float = DEFAULT_EPSILON, seed=None) -> SolverFn:
+def make_solver(
+    name: str,
+    epsilon: float = DEFAULT_EPSILON,
+    seed=None,
+    kernel: str = DEFAULT_KERNEL,
+) -> SolverFn:
     """Instantiate an approach by its paper name.
 
-    ``epsilon`` only affects the TSI variants; ``seed`` only affects RAND.
+    ``epsilon`` only affects the TSI variants; ``seed`` only affects
+    RAND; ``kernel`` only affects the GT variants (and never their
+    results — see :mod:`repro.core.kernels`).
 
     Instrumented approaches (TPG and the GT variants) expose a
     ``stats_log`` attribute on the returned callable: one
@@ -157,10 +172,10 @@ def make_solver(name: str, epsilon: float = DEFAULT_EPSILON, seed=None) -> Solve
     """
     if name not in APPROACHES:
         raise ValueError(f"unknown approach {name!r}; known: {sorted(APPROACHES)}")
-    return APPROACHES[name](epsilon, seed)
+    return APPROACHES[name](epsilon, seed, resolve_kernel(kernel))
 
 
-def _rand_factory(epsilon: float, seed) -> SolverFn:
+def _rand_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     rng = ensure_rng(seed)
 
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
@@ -169,14 +184,14 @@ def _rand_factory(epsilon: float, seed) -> SolverFn:
     return solver
 
 
-def _mflow_factory(epsilon: float, seed) -> SolverFn:
+def _mflow_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
         return solve_mflow(instance, valid_pairs)
 
     return solver
 
 
-def _tpg_factory(epsilon: float, seed) -> SolverFn:
+def _tpg_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
         result = solve_tpg_with_stats(instance, valid_pairs)
         if result.stats is not None:
@@ -188,7 +203,9 @@ def _tpg_factory(epsilon: float, seed) -> SolverFn:
 
 
 def _gt_factory(use_epsilon: bool, lazy_update: bool, label: str):
-    def factory(epsilon: float, seed) -> SolverFn:
+    def factory(
+        epsilon: float, seed, kernel: str = DEFAULT_KERNEL
+    ) -> SolverFn:
         effective_epsilon = epsilon if use_epsilon else 0.0
 
         def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
@@ -197,6 +214,7 @@ def _gt_factory(use_epsilon: bool, lazy_update: bool, label: str):
                 valid_pairs,
                 epsilon=effective_epsilon,
                 lazy_update=lazy_update,
+                kernel=kernel,
             )
             if result.stats is not None:
                 result.stats.solver = label
@@ -209,28 +227,30 @@ def _gt_factory(use_epsilon: bool, lazy_update: bool, label: str):
     return factory
 
 
-def _wflow_factory(epsilon: float, seed) -> SolverFn:
+def _wflow_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
         return solve_wflow(instance, valid_pairs)
 
     return solver
 
 
-def _pair_greedy_factory(epsilon: float, seed) -> SolverFn:
+def _pair_greedy_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
         return solve_pair_greedy(instance, valid_pairs)
 
     return solver
 
 
-def _online_factory(epsilon: float, seed) -> SolverFn:
+def _online_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
         return solve_online_greedy(instance, valid_pairs)
 
     return solver
 
 
-def _local_search_factory(epsilon: float, seed) -> SolverFn:
+def _local_search_factory(
+    epsilon: float, seed, kernel: str = DEFAULT_KERNEL
+) -> SolverFn:
     from repro.core.local_search import solve_local_search
 
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
@@ -239,7 +259,7 @@ def _local_search_factory(epsilon: float, seed) -> SolverFn:
     return solver
 
 
-APPROACHES: dict[str, Callable[[float, object], SolverFn]] = {
+APPROACHES: dict[str, Callable[[float, object, str], SolverFn]] = {
     "RAND": _rand_factory,
     "MFLOW": _mflow_factory,
     "TPG": _tpg_factory,

@@ -185,7 +185,9 @@ def run_single_approach(
     ``compute_upper`` is set (``None`` otherwise).
     """
     config = settings.to_batch_config()
-    solver = make_solver(name, epsilon=settings.epsilon, seed=seed + 1)
+    solver = make_solver(
+        name, epsilon=settings.epsilon, seed=seed + 1, kernel=settings.kernel
+    )
     upper_accumulator = [0.0]
     hook = None
     if compute_upper:

@@ -321,3 +321,68 @@ class TestVectorizedScan:
         misses_before = dynamics.stats.cache_misses
         dynamics._best_alternative(worker, UNASSIGNED, 0.0)
         assert dynamics.stats.cache_misses == misses_before + 1
+
+
+class TestVectorGroupBoundary:
+    """Regression pins for the batch/scalar boundary at sizes 7, 8, 9.
+
+    The size-7 row qualities are adversarial: ``np.add.reduceat`` — which
+    the batch path historically used for its segment sums — reorders
+    their sum on current numpy (3.8759979999999996 instead of the
+    sequential 3.875998), so the size-7 case fails on any revision whose
+    batch reduction is not order-exact with the scalar ``join_gain``
+    oracle. Sizes 8 and 9 pin the ``_VECTOR_GROUP_LIMIT`` guard: from
+    eight members on, ``ndarray.sum()`` itself reorders, so those groups
+    must keep going through the scalar path.
+    """
+
+    _ADVERSARIAL = [
+        0.706547, 0.539262, 0.891565, 0.784268, 0.052465, 0.821664,
+        0.080227, 0.613511, 0.442957,
+    ]
+
+    def _scan_instance(self, size):
+        from repro.core.model import Instance, Task, Worker
+        from repro.core.quality import CooperationMatrix
+        from repro.spatial.geometry import Point
+
+        count = size + 1
+        # Only worker 0's row toward the members is non-zero: the
+        # members' mutual qualities (hence pair_sums and the revenue) are
+        # 0, so the scanned utility is exactly cross / size and a last-bit
+        # error in the cross sum cannot be masked downstream.
+        q = np.zeros((count, count))
+        q[0, 1:] = self._ADVERSARIAL[:size]
+        quality = CooperationMatrix(q)
+        origin = Point(0.0, 0.0)
+        workers = [
+            Worker(worker_id=i, location=origin, speed=1.0, radius=10.0)
+            for i in range(count)
+        ]
+        tasks = [
+            Task(task_id=0, location=origin, capacity=count, deadline=100.0)
+        ]
+        return Instance(
+            workers=workers, tasks=tasks, quality=quality, min_group_size=3
+        )
+
+    @pytest.mark.parametrize("size", [7, 8, 9])
+    def test_boundary_sizes_bit_identical(self, size):
+        from repro.core.game import _BestResponseDynamics
+
+        instance = self._scan_instance(size)
+        pairs = compute_valid_pairs(instance)
+        assignment = Assignment(instance, pairs, allow_overflow=True)
+        for member in range(1, size + 1):
+            assignment.assign(member, 0)
+        dynamics = _BestResponseDynamics(
+            instance, pairs, assignment, tolerance=1e-9, lazy_update=False
+        )
+        vector_task, vector_utility = dynamics._best_alternative(
+            0, UNASSIGNED, 0.0
+        )
+        ref_task, ref_utility = dynamics._best_alternative_reference(
+            0, UNASSIGNED, 0.0
+        )
+        assert vector_task == ref_task == 0
+        assert repr(float(vector_utility)) == repr(float(ref_utility))

@@ -1,0 +1,223 @@
+"""Kernel parity suite — ``python`` vs ``native`` must be repr-identical.
+
+The contract under test (``repro.core.kernels`` module docstring): the
+choice of best-response kernel never changes an assignment — not its
+pairs, not its score repr, not its string form — on any quality-store
+backend, with or without numba installed. The suite runs in full on
+both configurations: when numba is absent the ``native`` kernel
+exercises the numpy fallback (and the counters prove which path ran);
+the numba-specific compile test skips gracefully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit.corpus import load_corpus_entry
+from repro.audit.fuzzer import _KERNEL_SHAPES, fuzz_instance
+from repro.core.fallback import FallbackSolver
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    NUMBA_AVAILABLE,
+    KernelBuffers,
+    resolve_kernel,
+    segment_sums_ordered,
+)
+from repro.core.model import Instance
+from repro.core.quality_store import (
+    SharedDenseQualityStore,
+    SparseQualityStore,
+)
+from repro.core.stats import SolverStats
+from repro.core.validity import compute_valid_pairs
+from repro.experiments.config import make_solver
+from tests.conftest import make_dense_instance
+
+CORPUS_DIR = "tests/data/audit_corpus"
+BACKENDS = ("dense", "sparse", "shared")
+#: TPG ignores the kernel knob entirely — it rides along to prove the
+#: flag is inert outside the GT family.
+PARITY_APPROACHES = ("GT", "GT+ALL", "TPG")
+
+
+def _with_backend(instance: Instance, backend: str):
+    """``(instance on backend, cleanup-or-None)`` — audit-runner idiom."""
+    dense = instance.quality.to_dense()
+    if backend == "dense":
+        return instance, None
+    if backend == "sparse":
+        store = SparseQualityStore.from_dense(dense, prior=0.0)
+    else:
+        store = SharedDenseQualityStore.create(dense)
+    swapped = Instance(
+        workers=instance.workers,
+        tasks=instance.tasks,
+        quality=store,
+        min_group_size=instance.min_group_size,
+        now=instance.now,
+    )
+    if backend == "shared":
+        def cleanup() -> None:
+            store.close()
+            store.unlink()
+
+        return swapped, cleanup
+    return swapped, None
+
+
+def _signature(assignment) -> tuple:
+    return (
+        tuple(assignment.to_pairs()),
+        repr(assignment.total_score()),
+        repr(assignment),
+    )
+
+
+def _solve(instance, approach: str, kernel: str):
+    pairs = compute_valid_pairs(instance)
+    solver = make_solver(approach, epsilon=0.01, seed=5, kernel=kernel)
+    assignment = solver(instance, pairs)
+    log = getattr(solver, "stats_log", None)
+    stats = SolverStats.merged(log) if log else None
+    return _signature(assignment), stats
+
+
+class TestResolveKernel:
+    def test_known_names_pass_through(self):
+        for name in KERNELS:
+            assert resolve_kernel(name) == name
+        assert DEFAULT_KERNEL in KERNELS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("fortran")
+
+
+class TestSegmentSumsOrdered:
+    def test_matches_sequential_python_sum_bitwise(self):
+        rng = np.random.default_rng(9)
+        values = rng.uniform(0.0, 1.0, size=64)
+        lengths = np.array([0, 1, 2, 3, 7, 8, 9, 16, 18], dtype=np.intp)
+        starts = np.zeros_like(lengths)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        sums = segment_sums_ordered(values, starts, lengths)
+        for i, (start, length) in enumerate(zip(starts, lengths)):
+            expected = 0.0
+            for value in values[start : start + length]:
+                expected = expected + float(value)
+            assert repr(float(sums[i])) == repr(expected), f"segment {i}"
+
+    def test_empty_input(self):
+        empty = np.array([], dtype=np.intp)
+        assert segment_sums_ordered(np.array([]), empty, empty).size == 0
+
+
+class TestKernelBuffers:
+    def test_dense_and_csr_agree(self, dense_instance):
+        sparse = SparseQualityStore.from_dense(
+            dense_instance.quality.to_dense(), prior=0.0
+        )
+        dense_buffers = dense_instance.quality.as_kernel_buffers()
+        csr_buffers = sparse.as_kernel_buffers()
+        assert dense_buffers.is_dense and not csr_buffers.is_dense
+        size = dense_instance.worker_count
+        assert dense_buffers.size == csr_buffers.size == size
+        assert dense_buffers.dense.shape == (size, size)
+        # Rebuild the dense matrix from the CSR key/value arrays.
+        rebuilt = np.full((size, size), csr_buffers.prior)
+        np.fill_diagonal(rebuilt, 0.0)
+        rows, cols = np.divmod(csr_buffers.row_keys, size)
+        rebuilt[rows, cols] = csr_buffers.row_values
+        assert np.array_equal(rebuilt, dense_buffers.dense)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("approach", PARITY_APPROACHES)
+class TestKernelParity:
+    def test_native_matches_python_repr_exactly(self, approach, backend):
+        base = make_dense_instance(30, 6, seed=2)
+        instance, cleanup = _with_backend(base, backend)
+        try:
+            python_sig, _ = _solve(instance, approach, "python")
+            native_sig, native_stats = _solve(instance, approach, "native")
+        finally:
+            if cleanup is not None:
+                cleanup()
+        assert native_sig == python_sig
+        if approach != "TPG":
+            assert native_stats is not None
+            ran = (
+                native_stats.kernel_compiled_calls
+                + native_stats.kernel_fallback_calls
+            )
+            assert ran > 0, "native solve never entered the kernel"
+            if not NUMBA_AVAILABLE:
+                assert native_stats.kernel_compiled_calls == 0
+
+
+class TestFallbackChainParity:
+    def test_budgetless_fallback_wrapper_is_kernel_invariant(self):
+        instance = make_dense_instance(25, 5, seed=4)
+        pairs = compute_valid_pairs(instance)
+        signatures = []
+        for kernel in KERNELS:
+            primary = make_solver("GT+ALL", epsilon=0.01, seed=5, kernel=kernel)
+            wrapped = FallbackSolver(primary, budget=None, label="GT+ALL")
+            signatures.append(_signature(wrapped(instance, pairs)))
+            assert not wrapped.degradation_log[-1].degraded
+        assert signatures[0] == signatures[1]
+
+
+class TestKernelBoundaryShapes:
+    """The fuzzer's kernel-boundary layouts and their committed repros."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["kernel_group8", "kernel_solo_worker", "kernel_zero_pairs"],
+    )
+    def test_corpus_entry_is_kernel_invariant(self, name):
+        instance, metadata = load_corpus_entry(f"{CORPUS_DIR}/{name}.json")
+        assert metadata["findings"] == []
+        python_sig, _ = _solve(instance, "GT", "python")
+        native_sig, _ = _solve(instance, "GT", "native")
+        assert native_sig == python_sig
+
+    def test_group8_saturates_vector_limit(self):
+        from repro.core.game import _VECTOR_GROUP_LIMIT
+
+        instance, _ = load_corpus_entry(f"{CORPUS_DIR}/kernel_group8.json")
+        assert instance.worker_count == _VECTOR_GROUP_LIMIT + 1
+        assert instance.tasks[0].capacity == _VECTOR_GROUP_LIMIT
+
+    def test_fuzzer_emits_every_shape_deterministically(self):
+        seen = {}
+        for index in range(400):
+            seed = (606, index)
+            instance = fuzz_instance(seed)
+            if instance.worker_count == 1:
+                seen.setdefault("solo", seed)
+            elif instance.worker_count == 9 and instance.task_count == 1 and (
+                instance.tasks[0].capacity == 8
+            ):
+                seen.setdefault("group8", seed)
+            elif not any(compute_valid_pairs(instance).tasks_for_worker):
+                seen.setdefault("nopairs", seed)
+            if len(seen) == len(_KERNEL_SHAPES):
+                break
+        assert set(seen) == set(_KERNEL_SHAPES)
+        for seed in seen.values():
+            first = fuzz_instance(seed)
+            second = fuzz_instance(seed)
+            assert repr(first.workers) == repr(second.workers)
+            assert repr(first.tasks) == repr(second.tasks)
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestCompiledKernels:
+    def test_compiled_path_reports_compiled_calls(self):
+        instance = make_dense_instance(20, 4, seed=6)
+        _, stats = _solve(instance, "GT", "native")
+        assert stats is not None and stats.kernel_compiled_calls > 0
+        assert stats.kernel_fallback_calls == 0

@@ -181,3 +181,134 @@ class TestReachLimitRegression:
             reference = compute_valid_pairs(instance, strategy="matrix")
             for strategy in ("rtree", "grid", "kdtree"):
                 assert compute_valid_pairs(instance, strategy=strategy) == reference
+
+
+class TestIncrementalValidityIndex:
+    """The delta-maintained task index must match the full rebuild
+    round-by-round, and its reach bound must tighten when the task that
+    carries the longest deadline leaves the pool."""
+
+    @staticmethod
+    def _instance(workers, tasks, now):
+        import numpy as np
+
+        from repro.core.model import Instance
+        from repro.core.quality import CooperationMatrix
+
+        count = len(workers)
+        q = np.full((count, count), 0.5)
+        return Instance(
+            workers=workers,
+            tasks=tasks,
+            quality=CooperationMatrix(q),
+            min_group_size=2,
+            now=now,
+        )
+
+    def test_matches_full_rebuild_across_evolving_pool(self):
+        import numpy as np
+
+        from repro.core.model import Task, Worker
+        from repro.core.validity import IncrementalValidityIndex
+        from repro.spatial.geometry import Point
+
+        rng = np.random.default_rng(11)
+        index = IncrementalValidityIndex(cell_size=0.2)
+        pool: list[Task] = []
+        next_id = 0
+        for round_index in range(6):
+            now = float(round_index)
+            # Expiries leave, a few arrivals join, one random departure
+            # (a served task) leaves.
+            pool = [task for task in pool if task.deadline >= now]
+            if pool and round_index % 2:
+                pool.pop(int(rng.integers(len(pool))))
+            for _ in range(4):
+                x, y = rng.random(2)
+                pool.append(
+                    Task(
+                        task_id=next_id,
+                        location=Point(float(x), float(y)),
+                        capacity=3,
+                        deadline=now + float(rng.uniform(0.5, 3.0)),
+                        created_time=now,
+                    )
+                )
+                next_id += 1
+            workers = [
+                Worker(
+                    worker_id=i,
+                    location=Point(float(rng.random()), float(rng.random())),
+                    speed=float(rng.uniform(0.05, 0.3)),
+                    radius=float(rng.uniform(0.1, 0.4)),
+                )
+                for i in range(12)
+            ]
+            instance = self._instance(workers, list(pool), now)
+            index.sync(instance.tasks)
+            assert len(index) == len(pool)
+            incremental = index.compute(instance)
+            rebuilt = compute_valid_pairs(instance, strategy="grid")
+            assert incremental == rebuilt, f"round {round_index}"
+
+    def test_expired_candidate_tightens_reach_bound(self):
+        from repro.core.model import Task, Worker
+        from repro.core.validity import (
+            IncrementalValidityIndex,
+            _max_remaining,
+        )
+        from repro.spatial.geometry import Point
+
+        # Round 0: the worker's only candidate is a long-deadline task
+        # 0.2 away. Round 1: it has expired; the surviving task's
+        # deadline is much shorter. A bound cached from round 0 would
+        # still cover distance speed * ~2.0 — wide enough to (wrongly)
+        # keep scanning the far cell — so the pin is that the index's
+        # max_remaining re-derives from the live pool.
+        worker = Worker(
+            worker_id=0, location=Point(0.0, 0.0), speed=0.1, radius=1.0
+        )
+        only_candidate = Task(
+            task_id=0, location=Point(0.2, 0.0), capacity=3, deadline=2.0
+        )
+        far_short = Task(
+            task_id=1, location=Point(0.9, 0.0), capacity=3,
+            deadline=2.5, created_time=0.0,
+        )
+        index = IncrementalValidityIndex(cell_size=0.2)
+
+        index.sync([only_candidate, far_short])
+        first = self._instance([worker], [only_candidate, far_short], now=0.0)
+        assert index.max_remaining(0.0) == _max_remaining(first)
+        pairs = index.compute(first)
+        assert pairs.tasks_for_worker[0] == (0,)
+
+        # Between rounds both tasks' deadlines pass; a new nearby task
+        # with a short fuse arrives.
+        fresh = Task(
+            task_id=2, location=Point(0.01, 0.0), capacity=3,
+            deadline=3.2, created_time=3.0,
+        )
+        index.sync([fresh])
+        second = self._instance([worker], [fresh], now=3.0)
+        # The bound tightened: 0.2 (remaining) not 2.0 (stale round-0).
+        assert index.max_remaining(3.0) == _max_remaining(second)
+        assert index.max_remaining(3.0) == pytest.approx(0.2)
+        incremental = index.compute(second)
+        assert incremental == compute_valid_pairs(second, strategy="grid")
+        # Positional index 0 — the fresh task is reachable (0.1 travel).
+        assert incremental.tasks_for_worker[0] == (0,)
+
+    def test_sync_rejects_duplicate_ids_and_unsynced_compute(self):
+        from repro.core.model import Task, Worker
+        from repro.core.validity import IncrementalValidityIndex
+        from repro.spatial.geometry import Point
+
+        task = Task(task_id=0, location=Point(0.5, 0.5), capacity=3, deadline=2.0)
+        index = IncrementalValidityIndex(cell_size=0.25)
+        with pytest.raises(ValueError):
+            index.sync([task, task])
+        worker = Worker(worker_id=0, location=Point(0.5, 0.5), speed=0.1, radius=1.0)
+        instance = self._instance([worker], [task], now=0.0)
+        with pytest.raises(ValueError):
+            index.compute(instance)
