@@ -47,6 +47,24 @@ to ``BENCH_pr4.json``:
   per-worker zero-copy attach, against the per-process rebuild and
   memcpy costs it replaces.
 
+A fifth section — the geo-sharded scale record — is written to
+``BENCH_pr7.json``:
+
+* **shard_scaling** — per worker count (default 20 000 / 100 000),
+  spawns one child process per leg (monolithic GT, sharded GT twice)
+  on a sparse-geometry synthetic population with the sparse quality
+  backend, and records wall-clock, peak RSS, the revenue gap, the
+  sharded pipeline's phase breakdown, and a *critical-path concurrency
+  estimate* (what the sharded wall would be if the per-shard solves
+  ran concurrently: partition + carve + slowest shard + reconcile).
+  Gates: the two sharded runs must be **bit-identical** (same pairs,
+  same repr'd score); at the largest size with a monolithic leg the
+  revenue gap must stay <= 1% and the better of measured / estimated
+  speedup must reach >= 3x (on a 1-core container the estimate is the
+  honest number — recorded alongside ``cpu_count`` like the parallel
+  sweep); the largest size runs sharded-only — the monolithic solve is
+  not affordable there, completing it *is* the result.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_guard.py              # everything
@@ -55,6 +73,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_guard.py --skip-sweep
     PYTHONPATH=src python benchmarks/bench_guard.py --only-scale \\
         --scale-sizes 2000 8000 20000
+    PYTHONPATH=src python benchmarks/bench_guard.py --only-shards \\
+        --shard-sizes 20000 100000
 
 Exit status is non-zero when an incremental score deviates from the
 oracle or a parallel sweep result deviates from serial — both are
@@ -101,6 +121,18 @@ RSS_RATIO_SIZE = 20000
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 SCALE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 KERNEL_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
+SHARD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
+
+#: Geo-sharded scale record: sizes, geometry and the acceptance bars.
+#: The population is sparse-geometry (small working radii) with the
+#: sparse quality backend — the regime sharding exists for; n tasks is
+#: workers // 4. Monolithic legs only run up to SHARD_MONO_CAP (beyond
+#: it the monolithic solve is the thing being avoided).
+DEFAULT_SHARD_SIZES = (20000, 100000)
+SHARD_MONO_CAP = 20000
+SHARD_RADIUS_RANGE = (0.01, 0.02)
+SHARD_SPEEDUP_FLOOR = 3.0
+SHARD_GAP_CEILING = 0.01
 
 #: Mean per-batch wall-clock of the pre-incremental-engine code at the
 #: same scale and seeds, measured as min-of-4 repeats on the machine
@@ -650,6 +682,209 @@ def run_attach_benchmark(
     return record, failures
 
 
+def _shard_instance_pairs(worker_count: int):
+    """The shard-benchmark population: sparse geometry, sparse store.
+
+    Deterministic in ``worker_count`` alone so every child process of
+    one benchmark run (and every future run) solves the same instance.
+    Small working radii keep each worker's candidate set local — the
+    regime the spatial partition exists for — and the grid validity
+    strategy avoids the O(m x n) distance matrix at these sizes.
+    """
+    instance = generate_instance(
+        worker_count,
+        worker_count // 4,
+        seed=0,
+        radius_range=SHARD_RADIUS_RANGE,
+        quality_backend="sparse",
+    )
+    return instance, compute_valid_pairs(instance, "grid")
+
+
+def _measure_shard_child(leg: str, worker_count: int) -> int:
+    """Child-process mode: run one shard-benchmark leg, print JSON.
+
+    ``leg`` is ``mono`` (monolithic GT) or ``sharded`` (auto-sharded
+    GT). A fresh process per leg keeps ``ru_maxrss`` honest and the
+    monolithic leg's memory from flattering the sharded one.
+    """
+    import hashlib
+    import resource
+
+    from repro.core.sharding import solve_sharded
+    from repro.experiments.config import make_solver
+
+    instance, valid_pairs = _shard_instance_pairs(worker_count)
+
+    started = time.perf_counter()
+    if leg == "mono":
+        assignment = make_solver("GT", seed=0)(instance, valid_pairs)
+        extra: dict = {}
+    elif leg == "sharded":
+        result = solve_sharded(
+            instance, valid_pairs, approach="GT", seed=0, shards="auto"
+        )
+        assignment = result.assignment
+        extra = {
+            # stats carry the counters on the passthrough path too,
+            # where plan is None (auto collapsed to one shard)
+            "shard_count": result.stats.shard_count,
+            "border_workers": result.stats.border_workers,
+            "shard_seconds": result.shard_seconds
+            or [result.stats.total_seconds],
+            "halo_rounds_run": result.halo_rounds_run,
+            "halo_moves": result.halo_moves,
+            "phase_seconds": dict(result.stats.phase_seconds),
+        }
+    else:
+        raise ValueError(f"unknown leg {leg!r}")
+    seconds = time.perf_counter() - started
+
+    print(
+        json.dumps(
+            {
+                "leg": leg,
+                "workers": worker_count,
+                "seconds": seconds,
+                "score": repr(assignment.recompute_total()),
+                "pairs_sha256": hashlib.sha256(
+                    repr(sorted(assignment.to_pairs())).encode()
+                ).hexdigest(),
+                "assigned_workers": len(assignment.to_pairs()),
+                "peak_rss_kb": resource.getrusage(
+                    resource.RUSAGE_SELF
+                ).ru_maxrss,
+                **extra,
+            }
+        )
+    )
+    return 0
+
+
+def _run_shard_leg(leg: str, worker_count: int) -> tuple[dict | None, str | None]:
+    """Spawn one shard-benchmark leg; (payload, error) — one is None."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--measure-shard",
+            leg,
+            str(worker_count),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        tail = result.stderr.strip().splitlines()[-1:]
+        return None, f"shard leg {leg} n={worker_count} failed: {tail}"
+    return json.loads(result.stdout.strip().splitlines()[-1]), None
+
+
+def run_shard_benchmark(
+    sizes=DEFAULT_SHARD_SIZES,
+    mono_cap: int = SHARD_MONO_CAP,
+) -> tuple[dict, list[str]]:
+    """Monolithic vs geo-sharded GT at large m: walls, gap, parity.
+
+    Per size: one monolithic leg (skipped above ``mono_cap`` — there
+    the point is that the monolithic solve is not affordable, so the
+    sharded leg completing *is* the result) and two sharded legs whose
+    assignments must be bit-identical (the determinism contract).
+    Alongside the measured 1-process wall-clock ratio, the record
+    keeps a critical-path concurrency estimate — the sharded wall with
+    the per-shard solves overlapped perfectly (partition + carve +
+    slowest shard + reconcile) — which is the honest speedup figure on
+    a core-starved container, same convention as ``parallel_sweep``.
+    """
+    failures: list[str] = []
+    record: dict = {
+        "geometry": {
+            "radius_range": list(SHARD_RADIUS_RANGE),
+            "tasks_per_worker": 0.25,
+            "quality_backend": "sparse",
+            "validity_strategy": "grid",
+            "approach": "GT",
+            "shards": "auto",
+        },
+        "cpu_count": os.cpu_count(),
+        "mono_cap": mono_cap,
+        "speedup_floor": SHARD_SPEEDUP_FLOOR,
+        "gap_ceiling": SHARD_GAP_CEILING,
+        "sizes": {},
+    }
+    for worker_count in sizes:
+        entry: dict = {}
+        sharded_runs = []
+        for repeat in range(2):
+            payload, error = _run_shard_leg("sharded", worker_count)
+            if error:
+                failures.append(error)
+                break
+            sharded_runs.append(payload)
+        if len(sharded_runs) < 2:
+            record["sizes"][str(worker_count)] = entry
+            continue
+        first, second = sharded_runs
+        reproducible = (
+            first["pairs_sha256"] == second["pairs_sha256"]
+            and first["score"] == second["score"]
+        )
+        if not reproducible:
+            failures.append(
+                f"sharded GT n={worker_count} is not bit-reproducible: "
+                f"{first['score']} vs {second['score']}"
+            )
+        entry["sharded"] = first
+        entry["sharded_repeat_seconds"] = second["seconds"]
+        entry["bit_reproducible"] = reproducible
+        phases = first["phase_seconds"]
+        critical_path = (
+            phases.get("partition", 0.0)
+            + phases.get("carve", 0.0)
+            + max(first["shard_seconds"])
+            + phases.get("reconcile", 0.0)
+        )
+        entry["critical_path_seconds"] = critical_path
+
+        if worker_count <= mono_cap:
+            payload, error = _run_shard_leg("mono", worker_count)
+            if error:
+                failures.append(error)
+            else:
+                entry["mono"] = payload
+                mono_score = float(payload["score"])
+                sharded_score = float(first["score"])
+                gap = abs(mono_score - sharded_score) / max(
+                    abs(mono_score), 1e-12
+                )
+                entry["revenue_gap"] = gap
+                entry["measured_speedup"] = payload["seconds"] / first["seconds"]
+                entry["concurrency_estimate"] = (
+                    payload["seconds"] / critical_path
+                )
+                if gap > SHARD_GAP_CEILING:
+                    failures.append(
+                        f"sharded GT n={worker_count} revenue gap "
+                        f"{gap:.4%} exceeds {SHARD_GAP_CEILING:.0%}"
+                    )
+                if (
+                    max(
+                        entry["measured_speedup"],
+                        entry["concurrency_estimate"],
+                    )
+                    < SHARD_SPEEDUP_FLOOR
+                ):
+                    failures.append(
+                        f"sharded GT n={worker_count}: neither measured "
+                        f"({entry['measured_speedup']:.2f}x) nor "
+                        f"critical-path "
+                        f"({entry['concurrency_estimate']:.2f}x) speedup "
+                        f"reaches {SHARD_SPEEDUP_FLOOR:g}x"
+                    )
+        record["sizes"][str(worker_count)] = entry
+    return record, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
@@ -711,9 +946,41 @@ def main(argv: list[str] | None = None) -> int:
         help="matrix size of the shared-memory attach measurement",
     )
     parser.add_argument(
+        "--skip-shards",
+        action="store_true",
+        help="skip the geo-sharded scale record (BENCH_pr7.json)",
+    )
+    parser.add_argument(
+        "--only-shards",
+        action="store_true",
+        help="run only the geo-sharded scale record",
+    )
+    parser.add_argument(
+        "--shard-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SHARD_SIZES),
+        metavar="N",
+        help="worker counts of the monolithic-vs-sharded GT measurement "
+        f"(monolithic legs run up to n = {SHARD_MONO_CAP})",
+    )
+    parser.add_argument(
+        "--shard-mono-cap",
+        type=int,
+        default=SHARD_MONO_CAP,
+        help="largest worker count that still gets a monolithic GT leg",
+    )
+    parser.add_argument(
         "--measure-rss",
         nargs=2,
         metavar=("BACKEND", "N"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal child-process mode
+    )
+    parser.add_argument(
+        "--measure-shard",
+        nargs=2,
+        metavar=("LEG", "N"),
         default=None,
         help=argparse.SUPPRESS,  # internal child-process mode
     )
@@ -732,15 +999,29 @@ def main(argv: list[str] | None = None) -> int:
         default=KERNEL_OUTPUT,
         help="kernel-record JSON path",
     )
+    parser.add_argument(
+        "--shard-out",
+        type=Path,
+        default=SHARD_OUTPUT,
+        help="shard-record JSON path",
+    )
     args = parser.parse_args(argv)
 
     if args.measure_rss:
         backend, worker_count = args.measure_rss
         return _measure_rss_child(backend, int(worker_count))
+    if args.measure_shard:
+        leg, worker_count = args.measure_shard
+        return _measure_shard_child(leg, int(worker_count))
+
+    if args.only_shards:
+        args.skip_kernel = True
+        args.skip_scale = True
 
     failures: list[str] = []
     guard_record = None
     kernel_record = None
+    shard_record = None
     if not args.skip_kernel:
         kernel_record, kernel_failures = run_kernel_benchmark(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
@@ -753,7 +1034,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.kernel_out}")
     if args.only_kernel:
         args.skip_scale = True
-    if not args.only_scale and not args.only_kernel:
+        args.skip_shards = True
+    if args.only_scale:
+        args.skip_shards = True
+    if not args.only_scale and not args.only_kernel and not args.only_shards:
         guard_record, failures = run_guard(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
         )
@@ -793,6 +1077,17 @@ def main(argv: list[str] | None = None) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.scale_out}")
+
+    if not args.skip_shards:
+        shard_record, shard_failures = run_shard_benchmark(
+            sizes=args.shard_sizes, mono_cap=args.shard_mono_cap
+        )
+        failures += shard_failures
+        args.shard_out.write_text(
+            json.dumps({"shard_scaling": shard_record}, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.shard_out}")
 
     if kernel_record is not None:
         for solver, summary in kernel_record["summary"].items():
@@ -849,6 +1144,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{attach_record['rebuild_seconds'] * 1e3:.0f} ms "
             f"({attach_record['attach_speedup_vs_rebuild']:.0f}x)"
         )
+    if shard_record is not None:
+        for size, entry in shard_record["sizes"].items():
+            sharded = entry.get("sharded")
+            if sharded is None:
+                continue
+            line = (
+                f"shards n={size}: sharded {sharded['seconds']:.1f}s "
+                f"({sharded['shard_count']} shards, "
+                f"{sharded['border_workers']} border, critical path "
+                f"{entry['critical_path_seconds']:.1f}s), reproducible: "
+                f"{entry['bit_reproducible']}"
+            )
+            if "mono" in entry:
+                line += (
+                    f"; mono {entry['mono']['seconds']:.1f}s -> "
+                    f"{entry['measured_speedup']:.2f}x measured / "
+                    f"{entry['concurrency_estimate']:.2f}x critical-path, "
+                    f"gap {entry['revenue_gap']:.4%}"
+                )
+            else:
+                line += "; monolithic leg skipped (above mono cap)"
+            print(line)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -862,6 +1179,10 @@ def main(argv: list[str] | None = None) -> int:
             checks.append("parallel sweep bit-identical")
     if not args.skip_scale:
         checks.append("quality-store backends repr-identical")
+    if shard_record is not None:
+        checks.append(
+            "sharded GT bit-reproducible, gap and speedup within bars"
+        )
     print("all checks passed: " + "; ".join(checks))
     return 0
 

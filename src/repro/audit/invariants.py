@@ -26,8 +26,12 @@ pairwise reductions, so revenues are compared within a relative
 far below any genuine accounting bug). The fuzzer keeps qualities on a
 dyadic grid, making its oracle comparisons exact in practice. Cache
 *drift* — the incremental total diverging from
-:meth:`~repro.core.assignment.Assignment.recompute_total`, which shares
-the cache's reduction order — is checked bit-exactly.
+:meth:`~repro.core.assignment.Assignment.recompute_total` — is held to
+the same tolerance: the incremental pair sum adds one ``cross_sum`` per
+join while the recompute reduces the gathered submatrix in one pass, so
+the two association orders differ and identical state can still disagree
+by an ulp (dyadic qualities shrink but do not eliminate the noise, since
+partial sums leave the grid).
 """
 
 from __future__ import annotations
@@ -286,10 +290,16 @@ def audit_assignment(
             )
         )
 
-    # Cache drift — recompute_total shares the cache's reduction order,
-    # so any inequality here is incremental-state drift, bit-exactly.
+    # Cache drift — the incremental per-task pair sum accumulates one
+    # cross_sum per join (grouped by the joining worker), while
+    # recompute_total reduces each task's gathered submatrix in a single
+    # numpy pass. Same state, different association: totals can disagree
+    # by ulp-level noise (observed: exactly one ulp on a three-member
+    # group under join-order-randomizing RAND). A genuine state bug — a
+    # stale member, a double-counted pair — shifts the total by a whole
+    # pair quality, orders of magnitude above the tolerance.
     recomputed = assignment.recompute_total()
-    if total != recomputed:
+    if not _relative_close(total, recomputed, tolerance):
         findings.append(
             AuditFinding(
                 check="revenue-drift",

@@ -26,7 +26,11 @@ from repro.core.model import Instance
 from repro.core.revenue import RevenueCache
 from repro.core.validity import STRATEGIES
 from repro.audit.corpus import iter_corpus, save_corpus_entry
-from repro.audit.differential import BACKENDS, run_differential
+from repro.audit.differential import (
+    BACKENDS,
+    run_differential,
+    run_sharded_check,
+)
 from repro.core.kernels import KERNELS
 from repro.audit.fuzzer import FuzzConfig, fuzz_instance
 from repro.audit.invariants import AuditFinding
@@ -72,6 +76,12 @@ class AuditOutcome:
         )
 
 
+#: The approaches the sharded-vs-monolithic check exercises: exactly
+#: the family whose zero-border solves are bit-identical (see
+#: :func:`repro.audit.differential.run_sharded_check`).
+SHARDED_CHECK_APPROACHES = ("GT", "TPG")
+
+
 def audit_instance(
     instance: Instance,
     approaches=None,
@@ -80,10 +90,23 @@ def audit_instance(
     kernels=KERNELS,
     seed: int = 0,
     tolerance: float = 1e-9,
+    sharded: bool = True,
+    sharded_gap_tolerance: float | None = None,
 ) -> list[AuditFinding]:
     """Differential + invariant audit of one instance (see
-    :func:`repro.audit.differential.run_differential`)."""
-    return run_differential(
+    :func:`repro.audit.differential.run_differential`).
+
+    ``sharded=True`` additionally cross-checks the geo-sharded solver
+    against the monolithic one for GT/TPG (restricted to the requested
+    ``approaches`` when given): exact equality on zero-border
+    partitions always, plus a relative revenue-gap bound when
+    ``sharded_gap_tolerance`` is set. The fuzz loop leaves the
+    tolerance ``None`` — a fuzzed instance may place a whole potential
+    group across a shard boundary, where best-response reconciliation
+    legitimately cannot assemble it — while curated corpus entries
+    assert the gap.
+    """
+    findings = run_differential(
         instance,
         approaches=approaches,
         backends=backends,
@@ -92,6 +115,23 @@ def audit_instance(
         seed=seed,
         tolerance=tolerance,
     )
+    if sharded:
+        checked = tuple(
+            name
+            for name in SHARDED_CHECK_APPROACHES
+            if approaches is None or name in approaches
+        )
+        if checked:
+            findings.extend(
+                run_sharded_check(
+                    instance,
+                    approaches=checked,
+                    gap_tolerance=sharded_gap_tolerance,
+                    seed=seed,
+                    tolerance=tolerance,
+                )
+            )
+    return findings
 
 
 def run_audit(
@@ -134,7 +174,9 @@ def run_audit(
     outcome = AuditOutcome()
     say = log if log is not None else (lambda message: None)
 
-    def audit(instance: Instance) -> list[AuditFinding]:
+    def audit(
+        instance: Instance, sharded_gap_tolerance: float | None = None
+    ) -> list[AuditFinding]:
         return audit_instance(
             instance,
             approaches=approaches,
@@ -143,11 +185,15 @@ def run_audit(
             kernels=kernels,
             seed=seed,
             tolerance=tolerance,
+            sharded_gap_tolerance=sharded_gap_tolerance,
         )
 
     if corpus_dir is not None:
         for path, instance, metadata in iter_corpus(corpus_dir):
-            findings = audit(instance)
+            # Curated entries additionally assert the sharded revenue
+            # gap; fuzzed instances below only get the exact-equality
+            # regime (see audit_instance).
+            findings = audit(instance, sharded_gap_tolerance=0.01)
             outcome.corpus_replayed += 1
             if findings:
                 say(f"corpus entry {path.name}: {len(findings)} finding(s)")
@@ -274,6 +320,7 @@ def run_self_test(
                 strategies=strategies,
                 kernels=kernels,
                 seed=seed,
+                sharded=False,
             )
 
         for index in range(max_instances):

@@ -139,7 +139,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     pairs = compute_valid_pairs(instance)
     solver = make_solver(
-        args.approach, epsilon=args.epsilon, seed=args.seed, kernel=args.kernel
+        args.approach,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        kernel=args.kernel,
+        shards=args.shards,
+        halo_rounds=args.halo_rounds,
     )
     solver = _wrap_budget(solver, args)
 
@@ -221,13 +226,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         quality_backend=args.quality_backend,
         kernel=args.kernel,
+        shards=args.shards,
+        halo_rounds=args.halo_rounds,
     )
     population = build_population(settings, seed=args.seed)
     config: BatchConfig = settings.to_batch_config()
     if args.faults:
         config = replace(config, faults=_parse_faults(args.faults))
     solver = make_solver(
-        args.approach, epsilon=args.epsilon, seed=args.seed, kernel=settings.kernel
+        args.approach,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        kernel=settings.kernel,
+        shards=settings.shards,
+        halo_rounds=settings.halo_rounds,
     )
     solver = _wrap_budget(solver, args)
     report = BatchSimulator(population, config, solver, seed=args.seed).run()
@@ -271,6 +283,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         checkpoint=args.resume,
         quality_backend=args.quality_backend,
+        shards=args.shards,
+        halo_rounds=args.halo_rounds,
     )
     elapsed = time.perf_counter() - started
     print(format_figure(result))
@@ -319,6 +333,26 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     )
     print(format_audit_outcome(outcome))
     return 0 if outcome.ok else 1
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    """The geo-sharding knobs, shared by solve/simulate/sweep."""
+    parser.add_argument(
+        "--shards",
+        default="1",
+        metavar="{auto,N}",
+        help="geo-sharded solving for the GT/TPG family: 'auto' targets "
+        "~2500 workers per spatial shard, N pins the shard count, 1 "
+        "(default) keeps the monolithic solver with repr-identical "
+        "results (see docs/PERFORMANCE.md, 'Geo-sharded solving')",
+    )
+    parser.add_argument(
+        "--halo-rounds",
+        type=int,
+        default=2,
+        help="bound on the boundary-reconcile best-response passes over "
+        "border workers after the per-shard solves (default 2)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/ROBUSTNESS.md)",
     )
     solve.add_argument("--out", default=None, help="write assignment JSON here")
+    _add_shard_arguments(solve)
     solve.set_defaults(handler=_cmd_solve)
 
     evaluate = commands.add_parser(
@@ -430,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")
+    _add_shard_arguments(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     sweep = commands.add_parser(
@@ -475,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--out", default=None, help="markdown output file (appended)"
     )
+    _add_shard_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     audit = commands.add_parser(

@@ -414,18 +414,97 @@ class _BestResponseDynamics:
         )
         self._prepass = (stamps, values, codes)
 
+    def _kernel_rescan(
+        self, worker: int, tasks: list[int], current_task: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score one worker's candidate row through the batched kernel.
+
+        Builds a single-row CSR over the worker's candidate tasks
+        (member lists gathered in cache order, per-task state gathered by
+        global task id) and dispatches the same
+        :func:`~repro.core.kernels.score_candidates` the round-start
+        prepass uses — ``worker_ids`` carries the real worker id for the
+        quality lookups. Slot order equals ``tasks`` order, so the
+        returned ``(values, codes)`` align with the scan positions.
+        """
+        cache = self.cache
+        member_array = cache.member_array
+        count = len(tasks)
+        arrays = [member_array(task) for task in tasks]
+        lengths = np.fromiter((a.size for a in arrays), dtype=np.int64, count=count)
+        mem_indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths, out=mem_indptr[1:])
+        mem_flat = np.concatenate(arrays).astype(np.int64, copy=False)
+        task_index = np.asarray(tasks, dtype=np.intp)
+        try:
+            current_position = tasks.index(current_task)
+        except ValueError:  # unassigned (or an invalid current task)
+            current_position = -1
+        return score_candidates(
+            self._kernel_buffers,
+            np.array([0, count], dtype=np.int64),
+            np.arange(count, dtype=np.int64),
+            mem_indptr,
+            mem_flat,
+            cache.pair_sums[task_index],
+            cache.revenues[task_index],
+            self._capacities_array[task_index],
+            self._minimum,
+            _VECTOR_GROUP_LIMIT,
+            np.array([current_position], dtype=np.int64),
+            stats=self.stats,
+            worker_ids=np.array([worker], dtype=np.int64),
+        )
+
+    def _fill_deferred_slots(
+        self,
+        worker: int,
+        tasks: list[int],
+        utilities: np.ndarray,
+        codes: np.ndarray,
+        current_utility: float,
+    ) -> None:
+        """Fill the slots a kernel pass deferred to the caller, in place:
+        overflow/oversized joins via the (memoized) scalar peel and the
+        worker's own task via the already-computed ``leave_delta``."""
+        cache = self.cache
+        versions = cache.versions
+        memo = self._overflow_memo
+        for position in np.flatnonzero(codes == CODE_SCALAR):
+            position = int(position)
+            task = tasks[position]
+            key = (worker, task)
+            version = versions[task]
+            entry = memo.get(key)
+            if entry is not None and entry[0] == version:
+                utilities[position] = entry[1]
+            else:
+                gain = cache.join_gain(worker, task)
+                memo[key] = (version, gain)
+                utilities[position] = gain
+        for position in np.flatnonzero(codes == CODE_CURRENT):
+            utilities[int(position)] = current_utility
+
     # ------------------------------------------------------------------
-    def run_round(self) -> tuple[int, float]:
+    def run_round(self, players=None) -> tuple[int, float]:
         """One Algorithm 3 round: every worker plays its best response.
 
+        ``players`` restricts the round to the given workers, in the
+        given order — the sharded solver's halo-reconcile passes play
+        border workers only. ``None`` (the default) plays everyone.
         Returns ``(moves, score_gain)``; the gain equals the potential
         increase of the round (Theorem V.1).
         """
-        if self.kernel == "native":
+        if self.kernel == "native" and players is None:
+            # Restricted rounds skip the all-workers prepass: with few
+            # players the per-worker kernel rescan is cheaper than
+            # scoring every worker's candidates up front.
             self._run_prepass()
         moves = 0
         gain = 0.0
-        if self.order_rng is None:
+        if players is not None:
+            order = players
+        elif self.order_rng is None:
             order = range(self.instance.worker_count)
         else:
             order = self.order_rng.permutation(self.instance.worker_count)
@@ -539,21 +618,26 @@ class _BestResponseDynamics:
             end = int(self._vp_indptr[worker + 1])
             utilities = prepass[1][start:end].copy()
             codes = prepass[2][start:end]
-            memo = self._overflow_memo
-            for position in np.flatnonzero(codes == CODE_SCALAR):
-                position = int(position)
-                task = tasks[position]
-                key = (worker, task)
-                version = versions[task]
-                entry = memo.get(key)
-                if entry is not None and entry[0] == version:
-                    utilities[position] = entry[1]
-                else:
-                    gain = cache.join_gain(worker, task)
-                    memo[key] = (version, gain)
-                    utilities[position] = gain
-            for position in np.flatnonzero(codes == CODE_CURRENT):
-                utilities[int(position)] = current_utility
+            self._fill_deferred_slots(worker, tasks, utilities, codes, current_utility)
+            best_position = int(np.argmax(utilities))
+            best_task = tasks[best_position]
+            best_utility = float(utilities[best_position])
+            self._scan_memo[worker] = (
+                stamp, current_task, current_utility, best_task, best_utility
+            )
+            self._cached_best[worker] = best_task
+            self._dirty[worker] = False
+            return best_task, best_utility
+
+        if self.kernel == "native":
+            # Mid-round rescan: the worker's neighbourhood moved since
+            # the round-start prepass (or no prepass ran — restricted
+            # reconcile rounds). Re-score just this worker's candidate
+            # row through the same batched kernel instead of the
+            # interpreted python scan below; the kernel reproduces the
+            # scalar summation order, so the floats are identical.
+            utilities, codes = self._kernel_rescan(worker, tasks, current_task)
+            self._fill_deferred_slots(worker, tasks, utilities, codes, current_utility)
             best_position = int(np.argmax(utilities))
             best_task = tasks[best_position]
             best_utility = float(utilities[best_position])

@@ -188,6 +188,7 @@ def _score_candidates_numpy(
     minimum: int,
     limit: int,
     current_tasks: np.ndarray,
+    worker_ids: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     slots = vp_tasks.size
     values = np.zeros(slots, dtype=np.float64)
@@ -197,10 +198,14 @@ def _score_candidates_numpy(
 
     counts = mem_indptr[1:] - mem_indptr[:-1]
     slot_counts = counts[vp_tasks]
-    workers = np.repeat(
+    rows = np.repeat(
         np.arange(vp_indptr.size - 1, dtype=np.int64), np.diff(vp_indptr)
     )
-    is_current = current_tasks[workers] == vp_tasks
+    # ``rows`` indexes the CSR rows of this call; ``workers`` are the
+    # matching quality-store ids (identical unless the caller scores a
+    # row subset, e.g. the per-worker mid-round rescan).
+    workers = rows if worker_ids is None else worker_ids[rows]
+    is_current = current_tasks[rows] == vp_tasks
     needs_scalar = (slot_counts + 1 > capacities[vp_tasks]) | (slot_counts >= limit)
     is_zero = ~needs_scalar & ((slot_counts == 0) | (slot_counts + 1 < minimum))
     batchable = ~(needs_scalar | is_zero) & ~is_current
@@ -266,13 +271,15 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
         minimum,
         limit,
         current_tasks,
+        worker_ids,
         values,
         codes,
     ):
         worker_count = vp_indptr.size - 1
-        for worker in range(worker_count):
-            current = current_tasks[worker]
-            for slot in range(vp_indptr[worker], vp_indptr[worker + 1]):
+        for row in range(worker_count):
+            worker = worker_ids[row]
+            current = current_tasks[row]
+            for slot in range(vp_indptr[row], vp_indptr[row + 1]):
                 task = vp_tasks[slot]
                 count = mem_indptr[task + 1] - mem_indptr[task]
                 if task == current:
@@ -328,13 +335,15 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
         minimum,
         limit,
         current_tasks,
+        worker_ids,
         values,
         codes,
     ):
         worker_count = vp_indptr.size - 1
-        for worker in range(worker_count):
-            current = current_tasks[worker]
-            for slot in range(vp_indptr[worker], vp_indptr[worker + 1]):
+        for row in range(worker_count):
+            worker = worker_ids[row]
+            current = current_tasks[row]
+            for slot in range(vp_indptr[row], vp_indptr[row + 1]):
                 task = vp_tasks[slot]
                 count = mem_indptr[task + 1] - mem_indptr[task]
                 if task == current:
@@ -386,6 +395,7 @@ def score_candidates(
     limit: int,
     current_tasks: np.ndarray,
     stats=None,
+    worker_ids: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Score every (worker, candidate-task) slot of the validity CSR.
 
@@ -393,6 +403,11 @@ def score_candidates(
     (:data:`CODE_VALUE` / :data:`CODE_SCALAR` / :data:`CODE_CURRENT`)
     per slot of ``vp_tasks``. Values for non-``CODE_VALUE`` slots are
     placeholders the caller must fill (scalar peel / ``leave_delta``).
+
+    ``worker_ids`` maps CSR rows to quality-store worker ids when the
+    call covers a subset of workers (one row per rescanned worker, as in
+    the mid-round rescan path); by default row ``i`` *is* worker ``i``.
+    ``current_tasks`` is always indexed by row.
 
     Dispatches to the compiled numba kernel when available, else to the
     vectorized numpy fallback; both produce bit-identical floats. The
@@ -404,6 +419,11 @@ def score_candidates(
         values = np.zeros(slots, dtype=np.float64)
         codes = np.zeros(slots, dtype=np.uint8)
         variant = "dense" if buffers.is_dense else "csr"
+        row_workers = (
+            np.arange(vp_indptr.size - 1, dtype=np.int64)
+            if worker_ids is None
+            else np.ascontiguousarray(worker_ids, dtype=np.int64)
+        )
         started = time.perf_counter()
         if buffers.is_dense:
             _score_dense_njit(
@@ -418,6 +438,7 @@ def score_candidates(
                 np.int64(minimum),
                 np.int64(limit),
                 current_tasks,
+                row_workers,
                 values,
                 codes,
             )
@@ -439,6 +460,7 @@ def score_candidates(
                 np.int64(minimum),
                 np.int64(limit),
                 current_tasks,
+                row_workers,
                 values,
                 codes,
             )
@@ -461,6 +483,7 @@ def score_candidates(
         minimum,
         limit,
         current_tasks,
+        worker_ids=worker_ids,
     )
     if stats is not None:
         stats.kernel_fallback_calls += 1

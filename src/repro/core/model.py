@@ -19,6 +19,37 @@ from repro.utils.errors import InvalidInstanceError
 __all__ = ["Worker", "Task", "Instance"]
 
 
+def _validate_carved_copies(workers, originals_w, tasks, originals_t) -> None:
+    """Reject carves whose records alias the parent's objects.
+
+    A carved shard must own its ``Worker``/``Task`` records outright:
+    although the dataclasses are frozen, downstream code holds them in
+    mutable containers and compares them by identity in places, and a
+    future field (or an ``object.__setattr__`` escape hatch) mutating a
+    shared record would silently corrupt *sibling* shards. The check is
+    O(m + n) identity comparisons plus field-equality spot checks on the
+    solver-critical ``deadline``/``capacity`` fields.
+    """
+    for carved, original in zip(workers, originals_w):
+        if carved is original or carved.location is original.location:
+            raise InvalidInstanceError(
+                f"carved worker {original.worker_id} aliases the parent "
+                "instance's record; carve must copy"
+            )
+    for carved, original in zip(tasks, originals_t):
+        if carved is original or carved.location is original.location:
+            raise InvalidInstanceError(
+                f"carved task {original.task_id} aliases the parent "
+                "instance's record; carve must copy"
+            )
+        if carved.deadline != original.deadline or carved.capacity != original.capacity:
+            raise InvalidInstanceError(
+                f"carved task {original.task_id} drifted from the parent "
+                f"(deadline {carved.deadline} vs {original.deadline}, "
+                f"capacity {carved.capacity} vs {original.capacity})"
+            )
+
+
 @dataclass(frozen=True, slots=True)
 class Worker:
     """A cooperation-aware moving worker (Definition 1).
@@ -180,6 +211,65 @@ class Instance:
 
     def capacities(self) -> np.ndarray:
         return np.array([task.capacity for task in self.tasks], dtype=int)
+
+    def carve(self, worker_indices, task_indices) -> "Instance":
+        """A shard-local sub-instance over the given *global* indices.
+
+        ``worker_indices``/``task_indices`` are positional indices into
+        this instance, sorted ascending (order-preserving remaps keep
+        argmax tie-breaks identical between the carved and the global
+        solve). Every carved :class:`Worker`/:class:`Task` is a *fresh
+        copy* — no carved object (or its location) aliases an original,
+        so shard-local mutation of one sub-instance can never leak into
+        a sibling shard or back into the parent. The quality store is
+        carved through :meth:`QualityStore.restricted_to` (O(nnz) for
+        the sparse backend).
+
+        Capacities are *not* re-validated against ``min_group_size``
+        beyond the parent's own invariant — they are copied verbatim, so
+        the carved instance satisfies the same ``capacity >= B`` rule.
+        """
+        worker_index = np.asarray(worker_indices, dtype=np.intp)
+        task_index = np.asarray(task_indices, dtype=np.intp)
+        if worker_index.size and np.any(np.diff(worker_index) <= 0):
+            raise InvalidInstanceError(
+                "carve requires strictly ascending worker indices"
+            )
+        if task_index.size and np.any(np.diff(task_index) <= 0):
+            raise InvalidInstanceError(
+                "carve requires strictly ascending task indices"
+            )
+        originals_w = [self.workers[int(i)] for i in worker_index]
+        originals_t = [self.tasks[int(i)] for i in task_index]
+        workers = tuple(
+            Worker(
+                worker_id=w.worker_id,
+                location=Point(float(w.location.x), float(w.location.y)),
+                speed=float(w.speed),
+                radius=float(w.radius),
+                arrival_time=float(w.arrival_time),
+            )
+            for w in originals_w
+        )
+        tasks = tuple(
+            Task(
+                task_id=t.task_id,
+                location=Point(float(t.location.x), float(t.location.y)),
+                capacity=int(t.capacity),
+                deadline=float(t.deadline),
+                created_time=float(t.created_time),
+            )
+            for t in originals_t
+        )
+        _validate_carved_copies(workers, originals_w, tasks, originals_t)
+        quality = self.quality.restricted_to(worker_index)
+        return Instance(
+            workers=workers,
+            tasks=tasks,
+            quality=quality,
+            min_group_size=self.min_group_size,
+            now=self.now,
+        )
 
     def is_pair_valid(self, worker_index: int, task_index: int) -> bool:
         """Definition 3 check for a single worker-task pair.

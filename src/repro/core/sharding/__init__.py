@@ -1,0 +1,37 @@
+"""Geo-sharded solving: partition -> solve-per-shard -> reconcile.
+
+See :mod:`repro.core.sharding.solver` for the entry point and
+``docs/PERFORMANCE.md`` ("Geo-sharded solving") for the architecture
+and halo-exchange semantics.
+"""
+
+from repro.core.sharding.partition import (
+    ShardPlan,
+    partition_instance,
+    resolve_shard_request,
+)
+from repro.core.sharding.reconcile import (
+    merge_shard_pairs,
+    reconcile_borders,
+    seed_border_groups,
+)
+from repro.core.sharding.solver import (
+    SHARDABLE_APPROACHES,
+    ShardedSolveResult,
+    solve_sharded,
+)
+from repro.core.sharding.subinstance import ShardInstance, carve_shard
+
+__all__ = [
+    "SHARDABLE_APPROACHES",
+    "ShardPlan",
+    "ShardInstance",
+    "ShardedSolveResult",
+    "carve_shard",
+    "merge_shard_pairs",
+    "partition_instance",
+    "reconcile_borders",
+    "resolve_shard_request",
+    "seed_border_groups",
+    "solve_sharded",
+]

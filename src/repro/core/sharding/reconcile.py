@@ -1,0 +1,184 @@
+"""Boundary reconciliation — merging shard solutions and halo re-solve.
+
+Per-shard solves are independent and tasks belong to exactly one shard,
+so the merged assignment is capacity-feasible by construction; what it
+can miss are *cross-shard* deviations of border workers (a border
+worker may prefer a task in a neighbouring shard it never saw during
+its shard-local solve). :func:`reconcile_borders` runs bounded
+best-response passes over exactly those workers against the *global*
+validity structure — the same :class:`~repro.core.game.
+_BestResponseDynamics` engine as the GT solver, so every move is a
+potential-increasing step (Theorem V.1) and the merged score is
+monotone non-decreasing through reconciliation. Passes stop early when
+a full border round makes no move (no cross-shard deviation improves
+any border worker's utility) or after ``halo_rounds`` passes.
+
+One class of loss best-response cannot repair on its own: a task whose
+*every* viable group mixes workers from different shards sits empty
+after the merge, and joining a below-minimum task has zero utility, so
+no single halo move starts one. :func:`seed_border_groups` bootstraps
+exactly those groups — TPG stage 1 replayed on the frontier of empty
+border tasks and still-unassigned border workers — before the halo
+passes grow and rebalance them.
+
+Border workers are played in ascending global index order — the same
+order the monolithic sequential dynamics would visit them — which keeps
+sharded runs bit-reproducible across same-seed invocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import UNASSIGNED, Assignment
+from repro.core.game import DEFAULT_TOLERANCE, _BestResponseDynamics
+from repro.core.kernels import DEFAULT_KERNEL
+from repro.core.model import Instance
+from repro.core.stats import SolverStats
+from repro.core.tpg import greedy_best_group
+from repro.core.validity import ValidPairs
+
+__all__ = ["merge_shard_pairs", "reconcile_borders", "seed_border_groups"]
+
+
+def merge_shard_pairs(
+    instance: Instance,
+    valid_pairs: ValidPairs,
+    shard_pairs,
+) -> Assignment:
+    """Replay per-shard ``(worker, task)`` pairs into one assignment.
+
+    ``shard_pairs`` is an iterable of global-id pair lists, one per
+    shard *in shard order* — together with each list being sorted
+    (``Assignment.to_pairs`` output), the replay order, and hence the
+    incremental revenue state, is deterministic. Overflow is enabled so
+    the reconcile dynamics can model crowd-out on the merged state.
+    """
+    assignment = Assignment(instance, valid_pairs, allow_overflow=True)
+    for pairs in shard_pairs:
+        for worker, task in pairs:
+            assignment.assign(int(worker), int(task))
+    return assignment
+
+
+def seed_border_groups(
+    instance: Instance,
+    valid_pairs: ValidPairs,
+    assignment: Assignment,
+    border_workers,
+    border_tasks,
+) -> int:
+    """Bootstrap the cross-shard groups best-response cannot form.
+
+    TPG stage 1 replayed on the boundary frontier: for every *empty*
+    border task, the best minimum-size group drawn from the
+    still-unassigned border workers; the highest-revenue group commits
+    first (lowest task id on exact ties), members leave the pool, and
+    stale cached groups recompute — exactly the stage-1 loop, restricted
+    to the entities the shard-local solves were blind to. Only strictly
+    positive-revenue groups commit, so the merged score is monotone
+    non-decreasing; the halo passes afterwards grow and rebalance the
+    new groups through ordinary best-response. Deterministic throughout
+    (sorted iteration, first-max commits), preserving sharded-run
+    bit-reproducibility. Returns the number of workers seeded.
+    """
+    minimum = instance.min_group_size
+    quality = instance.quality
+    available = np.zeros(instance.worker_count, dtype=bool)
+    for worker in border_workers:
+        worker = int(worker)
+        if assignment.task_of(worker) == UNASSIGNED:
+            available[worker] = True
+    if not available.any():
+        return 0
+    open_tasks = {
+        int(task)
+        for task in border_tasks
+        if not assignment.members(int(task))
+    }
+    seeded = 0
+    cache: dict[int, tuple[list[int], float]] = {}
+    while open_tasks:
+        best_task, best_group, best_score = -1, [], 0.0
+        dead_tasks: list[int] = []
+        for task in sorted(open_tasks):
+            if task not in cache:
+                candidates = [
+                    worker
+                    for worker in valid_pairs.workers_for_task[task]
+                    if available[worker]
+                ]
+                cache[task] = greedy_best_group(quality, candidates, minimum)
+            group, score = cache[task]
+            if not group:
+                dead_tasks.append(task)
+                continue
+            if score > best_score:
+                best_task, best_group, best_score = task, group, score
+        for task in dead_tasks:
+            open_tasks.discard(task)
+            cache.pop(task, None)
+        if best_task < 0:
+            break
+        for worker in best_group:
+            assignment.assign(worker, best_task)
+            available[worker] = False
+        seeded += len(best_group)
+        open_tasks.discard(best_task)
+        cache.pop(best_task, None)
+        taken = set(best_group)
+        stale = [
+            task
+            for task, (group, _) in cache.items()
+            if not taken.isdisjoint(group)
+        ]
+        for task in stale:
+            del cache[task]
+    return seeded
+
+
+def reconcile_borders(
+    instance: Instance,
+    valid_pairs: ValidPairs,
+    assignment: Assignment,
+    border_workers,
+    border_tasks=(),
+    halo_rounds: int = 2,
+    tolerance: float = DEFAULT_TOLERANCE,
+    kernel: str = DEFAULT_KERNEL,
+    stats: SolverStats | None = None,
+) -> tuple[int, int, int]:
+    """Boundary repair: seed stranded groups, then bounded halo passes.
+
+    Returns ``(rounds_run, total_moves, seeded_workers)``.
+    ``assignment`` is mutated in place (it must allow overflow; callers
+    clamp to capacity after). ``stats`` — when given — accumulates the
+    passes' evaluation counters alongside the shard solves' merged
+    numbers.
+    """
+    order = [int(worker) for worker in border_workers]
+    seeded = 0
+    if order and len(border_tasks):
+        seeded = seed_border_groups(
+            instance, valid_pairs, assignment, order, border_tasks
+        )
+    if not order or halo_rounds <= 0:
+        return 0, 0, seeded
+    dynamics = _BestResponseDynamics(
+        instance,
+        valid_pairs,
+        assignment,
+        tolerance,
+        lazy_update=False,
+        stats=stats,
+        kernel=kernel,
+    )
+    rounds_run = 0
+    total_moves = 0
+    for _ in range(halo_rounds):
+        moves, _gain = dynamics.run_round(players=order)
+        rounds_run += 1
+        total_moves += moves
+        if moves == 0:
+            break
+    return rounds_run, total_moves, seeded

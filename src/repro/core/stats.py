@@ -85,6 +85,17 @@ class SolverStats:
         Wall-clock of the first compiled invocation per kernel variant —
         numba's lazy JIT compile (or on-disk cache load) cost, recorded
         once per process rather than spread over later calls.
+    shard_count / border_workers / halo_rounds / halo_moves:
+        Geo-sharded solving (:mod:`repro.core.sharding`): number of
+        spatial shards the instance was split into (1 = monolithic or
+        ``--shards 1`` passthrough), workers classified as border (their
+        reach touches a differently-sharded cell), halo-reconcile
+        best-response rounds actually run, and strategy changes those
+        rounds made. All zero for unsharded solves.
+    border_seeded:
+        Workers placed by the boundary group-seeding pass (cross-shard
+        groups best-response alone cannot bootstrap; see
+        :func:`repro.core.sharding.reconcile.seed_border_groups`).
     """
 
     solver: str = ""
@@ -103,6 +114,11 @@ class SolverStats:
     kernel_compiled_calls: int = 0
     kernel_fallback_calls: int = 0
     kernel_compile_seconds: float = 0.0
+    shard_count: int = 0
+    border_workers: int = 0
+    halo_rounds: int = 0
+    halo_moves: int = 0
+    border_seeded: int = 0
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another run's counters into this object (in place).
@@ -129,6 +145,11 @@ class SolverStats:
         self.kernel_compiled_calls += other.kernel_compiled_calls
         self.kernel_fallback_calls += other.kernel_fallback_calls
         self.kernel_compile_seconds += other.kernel_compile_seconds
+        self.shard_count += other.shard_count
+        self.border_workers += other.border_workers
+        self.halo_rounds += other.halo_rounds
+        self.halo_moves += other.halo_moves
+        self.border_seeded += other.border_seeded
         self.rounds.extend(other.rounds)
         # ``runs`` adds like every other counter: an incoming object that
         # itself aggregates k runs contributes exactly k. (A previous
@@ -184,6 +205,11 @@ class SolverStats:
             "kernel_compiled_calls": self.kernel_compiled_calls,
             "kernel_fallback_calls": self.kernel_fallback_calls,
             "kernel_compile_seconds": self.kernel_compile_seconds,
+            "shard_count": self.shard_count,
+            "border_workers": self.border_workers,
+            "halo_rounds": self.halo_rounds,
+            "halo_moves": self.halo_moves,
+            "border_seeded": self.border_seeded,
         }
 
     @classmethod
@@ -223,6 +249,12 @@ class SolverStats:
                 parts.append(
                     f"compile={self.kernel_compile_seconds * 1e3:.1f}ms"
                 )
+        if self.shard_count > 1:
+            parts.append(
+                f"shards={self.shard_count} border={self.border_workers}"
+                f" halo={self.halo_rounds}r/{self.halo_moves}m"
+                f" seeded={self.border_seeded}"
+            )
         for name, seconds in self.phase_seconds.items():
             parts.append(f"{name}={seconds * 1e3:.1f}ms")
         parts.append(f"total={self.total_seconds * 1e3:.1f}ms")

@@ -21,6 +21,7 @@ from repro.core.online import solve_online_greedy
 from repro.core.game import solve_game_theoretic
 from repro.core.kernels import DEFAULT_KERNEL, resolve_kernel
 from repro.core.model import Instance
+from repro.core.sharding.partition import resolve_shard_request
 from repro.core.tpg import solve_tpg_with_stats
 from repro.core.validity import ValidPairs
 from repro.simulation.batch import BatchConfig
@@ -113,6 +114,14 @@ class ExperimentSettings:
     #: importable, bit-identical numpy fallback otherwise). Results are
     #: identical either way — the knob trades wall-clock only.
     kernel: str = DEFAULT_KERNEL
+    #: Geo-sharded solving (GT/TPG family only): ``1`` keeps the
+    #: monolithic solver, ``"auto"`` targets ~2500 workers per shard,
+    #: an explicit count pins the shard total. Flows into the sweep
+    #: journal key like every other field, so sharded and monolithic
+    #: runs never collide in a checkpoint.
+    shards: "int | str" = 1
+    #: Bound on the boundary-reconcile best-response passes.
+    halo_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.quality_backend not in ("dense", "sparse"):
@@ -121,6 +130,11 @@ class ExperimentSettings:
                 "expected 'dense' or 'sparse'"
             )
         resolve_kernel(self.kernel)
+        object.__setattr__(self, "shards", resolve_shard_request(self.shards))
+        if self.halo_rounds < 0:
+            raise ValueError(
+                f"halo_rounds must be >= 0, got {self.halo_rounds}"
+            )
 
     def to_batch_config(self) -> BatchConfig:
         return BatchConfig(
@@ -158,12 +172,21 @@ def make_solver(
     epsilon: float = DEFAULT_EPSILON,
     seed=None,
     kernel: str = DEFAULT_KERNEL,
+    shards: "int | str" = 1,
+    halo_rounds: int = 2,
 ) -> SolverFn:
     """Instantiate an approach by its paper name.
 
     ``epsilon`` only affects the TSI variants; ``seed`` only affects
     RAND; ``kernel`` only affects the GT variants (and never their
     results — see :mod:`repro.core.kernels`).
+
+    ``shards`` other than ``1`` routes the GT/TPG family through the
+    geo-sharded solver (:func:`repro.core.sharding.solve_sharded`):
+    partition, per-shard solves, then ``halo_rounds`` boundary
+    best-response passes. ``shards=1`` is the monolithic solver itself
+    — not a one-shard wrapper — so results are repr-identical to
+    historical runs.
 
     Instrumented approaches (TPG and the GT variants) expose a
     ``stats_log`` attribute on the returned callable: one
@@ -172,7 +195,37 @@ def make_solver(
     """
     if name not in APPROACHES:
         raise ValueError(f"unknown approach {name!r}; known: {sorted(APPROACHES)}")
-    return APPROACHES[name](epsilon, seed, resolve_kernel(kernel))
+    kernel = resolve_kernel(kernel)
+    request = resolve_shard_request(shards)
+    if request != 1:
+        from repro.core.sharding.solver import (
+            SHARDABLE_APPROACHES,
+            solve_sharded,
+        )
+
+        if name not in SHARDABLE_APPROACHES:
+            raise ValueError(
+                f"approach {name!r} does not support sharded solving "
+                f"(shards={request!r}); shardable: {SHARDABLE_APPROACHES}"
+            )
+
+        def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
+            result = solve_sharded(
+                instance,
+                valid_pairs,
+                approach=name,
+                epsilon=epsilon,
+                seed=seed,
+                kernel=kernel,
+                shards=request,
+                halo_rounds=halo_rounds,
+            )
+            solver.stats_log.append(result.stats)
+            return result.assignment
+
+        solver.stats_log = []
+        return solver
+    return APPROACHES[name](epsilon, seed, kernel)
 
 
 def _rand_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:

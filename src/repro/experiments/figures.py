@@ -75,6 +75,8 @@ def _sweep(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Expand the sweep into (value x approach) cells and execute them.
 
@@ -89,9 +91,17 @@ def _sweep(
     only), ``"shared"`` keeps a dense population but moves it into
     shared memory for the worker pool (also ignored when an explicit
     ``executor`` is passed).
+    ``shards``/``halo_rounds`` — when given — override the base
+    settings' geo-sharding knobs for every cell (the GT/TPG family
+    solves sharded; baselines stay monolithic), and flow into the
+    checkpoint journal key like every other setting.
     """
     if quality_backend == "sparse" and base.quality_backend != "sparse":
         base = replace(base, quality_backend="sparse")
+    if shards is not None:
+        base = replace(base, shards=shards)
+    if halo_rounds is not None:
+        base = replace(base, halo_rounds=halo_rounds)
     if executor is None:
         executor = SweepExecutor(
             n_jobs=n_jobs, checkpoint=checkpoint, quality_backend=quality_backend
@@ -122,6 +132,8 @@ def fig2_capacity(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -137,6 +149,8 @@ def fig2_capacity(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -150,6 +164,8 @@ def fig3_speed(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
 
@@ -171,6 +187,8 @@ def fig3_speed(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -184,6 +202,8 @@ def fig4_radius(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -201,6 +221,8 @@ def fig4_radius(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -214,6 +236,8 @@ def fig5_deadline(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -229,6 +253,8 @@ def fig5_deadline(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -242,6 +268,8 @@ def fig6_epsilon(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
 
@@ -261,6 +289,8 @@ def fig6_epsilon(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -274,6 +304,8 @@ def fig7_workers(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -291,6 +323,8 @@ def fig7_workers(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -304,6 +338,8 @@ def fig8_tasks(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -321,6 +357,8 @@ def fig8_tasks(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 
@@ -337,6 +375,8 @@ def fig9_extensions(
     n_jobs: int = 1,
     checkpoint: str | None = None,
     quality_backend: str = "dense",
+    shards: "int | str | None" = None,
+    halo_rounds: int | None = None,
 ) -> FigureResult:
     """Extension figure (not in the paper): the baseline ladder.
 
@@ -361,6 +401,8 @@ def fig9_extensions(
         n_jobs=n_jobs,
         checkpoint=checkpoint,
         quality_backend=quality_backend,
+        shards=shards,
+        halo_rounds=halo_rounds,
     )
 
 

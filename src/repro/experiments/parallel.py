@@ -39,12 +39,9 @@ historical serial behavior.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
@@ -63,6 +60,7 @@ from repro.experiments.runner import (
 from repro.simulation.batch import SimulationReport
 from repro.simulation.metrics import round_from_dict, round_to_dict
 from repro.simulation.population import Population
+from repro.utils.procpool import FanoutPool, PoolOutcome
 
 __all__ = [
     "CellSpec",
@@ -283,19 +281,6 @@ def _execute_cell(spec: CellSpec, submitted_at: float) -> dict:
         "queue_seconds": max(0.0, started_at - submitted_at),
         "worker_pid": os.getpid(),
     }
-
-
-class _Attempt:
-    """Parent-side bookkeeping for one in-flight cell attempt."""
-
-    __slots__ = ("index", "spec", "attempt", "submitted_at", "running_since")
-
-    def __init__(self, index: int, spec: CellSpec, attempt: int) -> None:
-        self.index = index
-        self.spec = spec
-        self.attempt = attempt
-        self.submitted_at = time.time()
-        self.running_since: float | None = None
 
 
 # --------------------------------------------------------------------------
@@ -556,8 +541,12 @@ class SweepExecutor:
         self.last_shared_segments = []
         try:
             if self.n_jobs == 1 or len(remaining) <= 1:
-                for index, spec in remaining:
-                    self._finish(index, self._run_inline(spec), results, journal)
+                self._run_fanout(
+                    FanoutPool(n_jobs=1, retries=self.retries),
+                    remaining,
+                    results,
+                    journal,
+                )
             else:
                 if self.quality_backend == "shared":
                     remaining = self._annotate_shared(remaining, shared_stores)
@@ -635,25 +624,7 @@ class SweepExecutor:
             annotated.append((index, spec))
         return annotated
 
-    # -- serial path -------------------------------------------------------
-
-    def _run_inline(self, spec: CellSpec) -> CellResult:
-        last_error: Exception | None = None
-        for attempt in range(1, self.retries + 2):
-            submitted_at = time.time()
-            try:
-                payload = _execute_cell(spec, submitted_at)
-            except Exception as error:  # noqa: BLE001 — converted to a record
-                last_error = error
-                continue
-            return CellResult(spec=spec, attempts=attempt, **payload)
-        return CellResult(
-            spec=spec,
-            attempts=self.retries + 1,
-            failure=self._failure(spec, last_error, self.retries + 1, False),
-        )
-
-    # -- pool path ---------------------------------------------------------
+    # -- execution (delegated to the generic fan-out pool) -----------------
 
     def _run_pool(
         self,
@@ -661,110 +632,58 @@ class SweepExecutor:
         results: dict[int, CellResult],
         journal: SweepJournal | None,
     ) -> None:
-        context = multiprocessing.get_context(self.mp_context)
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.n_jobs, len(remaining)), mp_context=context
+        pool = FanoutPool(
+            n_jobs=self.n_jobs,
+            timeout=self.timeout,
+            retries=self.retries,
+            mp_context=self.mp_context,
+            poll_seconds=self.poll_seconds,
         )
-        pending: dict = {}
-        abandoned = False
+        self._run_fanout(pool, remaining, results, journal)
 
-        def submit(index: int, spec: CellSpec, attempt: int) -> None:
-            info = _Attempt(index, spec, attempt)
-            try:
-                future = pool.submit(_execute_cell, spec, info.submitted_at)
-            except (BrokenProcessPool, RuntimeError) as error:
-                results[index] = CellResult(
-                    spec=spec,
-                    attempts=attempt,
-                    failure=self._failure(spec, error, attempt, False),
-                )
-            else:
-                pending[future] = info
+    def _run_fanout(
+        self,
+        pool: FanoutPool,
+        remaining: list[tuple[int, CellSpec]],
+        results: dict[int, CellResult],
+        journal: SweepJournal | None,
+    ) -> None:
+        """Drive the generic pool and translate outcomes to cell results.
 
-        def handle_failure(info: _Attempt, error, timed_out: bool) -> None:
-            if info.attempt <= self.retries:
-                submit(info.index, info.spec, info.attempt + 1)
-            else:
-                results[info.index] = CellResult(
-                    spec=info.spec,
-                    attempts=info.attempt,
-                    failure=self._failure(
-                        info.spec, error, info.attempt, timed_out
-                    ),
-                )
+        The ``on_result`` hook fires as cells finish (completion order),
+        so each cell is journaled before the next completes — the same
+        durability the historical inline/pool loops provided.
+        """
+        indices = [index for index, _ in remaining]
+        specs = [spec for _, spec in remaining]
 
-        try:
-            for index, spec in remaining:
-                submit(index, spec, attempt=1)
-            while pending:
-                done, _ = wait(
-                    set(pending),
-                    timeout=self.poll_seconds,
-                    return_when=FIRST_COMPLETED,
-                )
-                for future in done:
-                    info = pending.pop(future)
-                    try:
-                        payload = future.result()
-                    except Exception as error:  # noqa: BLE001
-                        handle_failure(info, error, timed_out=False)
-                    else:
-                        self._finish(
-                            info.index,
-                            CellResult(
-                                spec=info.spec,
-                                attempts=info.attempt,
-                                **payload,
-                            ),
-                            results,
-                            journal,
-                        )
-                if self.timeout is None:
-                    continue
-                now = time.monotonic()
-                for future, info in list(pending.items()):
-                    if info.running_since is None and future.running():
-                        info.running_since = now
-                    if (
-                        info.running_since is not None
-                        and now - info.running_since > self.timeout
-                    ):
-                        future.cancel()
-                        pending.pop(future)
-                        abandoned = True
-                        handle_failure(
-                            info,
-                            TimeoutError(
-                                f"cell exceeded {self.timeout:g}s wall-clock"
-                            ),
-                            timed_out=True,
-                        )
-        except KeyboardInterrupt:
-            # Don't wait for in-flight cells on a user interrupt; the
-            # journal is already durable, so just tear down and re-raise
-            # (``run`` reports partial telemetry and the journal path).
-            abandoned = True
-            raise
-        finally:
-            # Abandoned (timed-out or interrupted) cells are still
-            # running inside their workers; waiting on them would
-            # re-hang the sweep.
-            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        def on_result(outcome: PoolOutcome) -> None:
+            spec = specs[outcome.index]
+            self._finish(
+                indices[outcome.index],
+                self._cell_result(spec, outcome),
+                results,
+                journal,
+            )
 
-    # -- shared helpers ----------------------------------------------------
+        pool.run(_execute_cell, specs, on_result=on_result)
 
     @staticmethod
-    def _failure(
-        spec: CellSpec, error, attempts: int, timed_out: bool
-    ) -> CellFailure:
-        return CellFailure(
-            figure=spec.figure,
-            parameter=spec.parameter,
-            value=spec.value,
-            approach=spec.approach,
-            error=f"{type(error).__name__}: {error}" if error else "unknown error",
-            attempts=attempts,
-            timed_out=timed_out,
+    def _cell_result(spec: CellSpec, outcome: PoolOutcome) -> CellResult:
+        if outcome.succeeded:
+            return CellResult(spec=spec, attempts=outcome.attempts, **outcome.payload)
+        return CellResult(
+            spec=spec,
+            attempts=outcome.attempts,
+            failure=CellFailure(
+                figure=spec.figure,
+                parameter=spec.parameter,
+                value=spec.value,
+                approach=spec.approach,
+                error=outcome.error or "unknown error",
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+            ),
         )
 
     def _telemetry(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.bounds import upper_bound
+from repro.core.sharding.solver import SHARDABLE_APPROACHES
 from repro.core.stats import SolverStats
 from repro.experiments.config import (
     DEFAULT_APPROACH_ORDER,
@@ -185,8 +186,16 @@ def run_single_approach(
     ``compute_upper`` is set (``None`` otherwise).
     """
     config = settings.to_batch_config()
+    # Baselines outside the GT/TPG family have no sharded form; a
+    # sharded sweep runs them monolithically instead of failing.
+    shards = settings.shards if name in SHARDABLE_APPROACHES else 1
     solver = make_solver(
-        name, epsilon=settings.epsilon, seed=seed + 1, kernel=settings.kernel
+        name,
+        epsilon=settings.epsilon,
+        seed=seed + 1,
+        kernel=settings.kernel,
+        shards=shards,
+        halo_rounds=settings.halo_rounds,
     )
     upper_accumulator = [0.0]
     hook = None

@@ -1,0 +1,246 @@
+"""Generic deterministic process-pool fan-out.
+
+Extracted from the sweep executor so any subsystem with independent,
+picklable work items — sweep cells, shard sub-solves — can fan out over
+a :class:`concurrent.futures.ProcessPoolExecutor` with the same retry,
+timeout and interrupt semantics, without importing the experiments
+layer. The pool never reorders results: :meth:`FanoutPool.run` returns
+one :class:`PoolOutcome` per item, in item order, regardless of
+completion order, which is what keeps parallel runs bit-identical to
+serial ones when the work itself is deterministic.
+
+Contract for the worker callable: ``fn(item, submitted_at)`` where
+``submitted_at`` is the parent's ``time.time()`` at submission (workers
+that care measure queue latency from it; others ignore it). ``fn`` must
+be module-level (spawn-start pools pickle it by reference) and its
+return value must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+__all__ = ["PoolOutcome", "FanoutPool"]
+
+
+@dataclass
+class PoolOutcome:
+    """Result of one item's execution (or final failure).
+
+    ``payload`` is ``fn``'s return value when the item succeeded;
+    ``error`` is the formatted ``"Type: message"`` string of the last
+    attempt's exception otherwise. ``attempts`` counts every try,
+    including the successful one.
+    """
+
+    index: int
+    payload: object | None = None
+    error: str | None = None
+    attempts: int = 1
+    timed_out: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+def _format_error(error) -> str:
+    return f"{type(error).__name__}: {error}" if error else "unknown error"
+
+
+class _Attempt:
+    """Parent-side bookkeeping for one in-flight item attempt."""
+
+    __slots__ = ("index", "item", "attempt", "submitted_at", "running_since")
+
+    def __init__(self, index: int, item, attempt: int) -> None:
+        self.index = index
+        self.item = item
+        self.attempt = attempt
+        self.submitted_at = time.time()
+        self.running_since: float | None = None
+
+
+class FanoutPool:
+    """Deterministic fan-out of independent work items.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes. ``1`` runs every item inline in submission
+        order — no subprocess, no pickling.
+    timeout:
+        Per-item wall-clock budget in seconds, measured from when the
+        item is observed running (queue time never counts). ``None``
+        disables it; only enforced on the pool path — a timed-out future
+        is abandoned, its worker keeps the slot until the item ends.
+    retries:
+        Extra attempts after a raise/timeout before the item is recorded
+        as failed (default 1 → two attempts).
+    mp_context:
+        ``multiprocessing`` start method; ``"spawn"`` (default) is the
+        portable, thread-safe choice, ``"fork"`` exists for tests that
+        must inherit monkeypatched module state.
+    poll_seconds:
+        Wait granularity of the completion/timeout loop.
+
+    ``KeyboardInterrupt`` mid-run tears the pool down without waiting on
+    in-flight items and re-raises; outcomes delivered to ``on_result``
+    before the interrupt remain delivered.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 1,
+        mp_context: str = "spawn",
+        poll_seconds: float = 0.05,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.n_jobs = n_jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.mp_context = mp_context
+        self.poll_seconds = poll_seconds
+
+    def run(self, fn, items, on_result=None) -> list[PoolOutcome]:
+        """Execute ``fn(item, submitted_at)`` for every item.
+
+        Returns outcomes in item order. ``on_result(outcome)`` — when
+        given — fires once per item *as it finishes* (completion order),
+        which is where callers hook durable journaling.
+        """
+        items = list(items)
+        results: dict[int, PoolOutcome] = {}
+
+        def record(outcome: PoolOutcome) -> None:
+            results[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        if self.n_jobs == 1 or len(items) <= 1:
+            for index, item in enumerate(items):
+                record(self._run_inline(fn, index, item))
+        else:
+            self._run_pool(fn, items, record)
+        return [results[index] for index in range(len(items))]
+
+    # -- serial path -------------------------------------------------------
+
+    def _run_inline(self, fn, index: int, item) -> PoolOutcome:
+        last_error: Exception | None = None
+        for attempt in range(1, self.retries + 2):
+            submitted_at = time.time()
+            try:
+                payload = fn(item, submitted_at)
+            except Exception as error:  # noqa: BLE001 — converted to a record
+                last_error = error
+                continue
+            return PoolOutcome(index=index, payload=payload, attempts=attempt)
+        return PoolOutcome(
+            index=index,
+            error=_format_error(last_error),
+            attempts=self.retries + 1,
+        )
+
+    # -- pool path ---------------------------------------------------------
+
+    def _run_pool(self, fn, items, record) -> None:
+        context = multiprocessing.get_context(self.mp_context)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.n_jobs, len(items)), mp_context=context
+        )
+        pending: dict = {}
+        abandoned = False
+
+        def submit(index: int, item, attempt: int) -> None:
+            info = _Attempt(index, item, attempt)
+            try:
+                future = pool.submit(fn, item, info.submitted_at)
+            except (BrokenProcessPool, RuntimeError) as error:
+                record(
+                    PoolOutcome(
+                        index=index,
+                        error=_format_error(error),
+                        attempts=attempt,
+                    )
+                )
+            else:
+                pending[future] = info
+
+        def handle_failure(info: _Attempt, error, timed_out: bool) -> None:
+            if info.attempt <= self.retries:
+                submit(info.index, info.item, info.attempt + 1)
+            else:
+                record(
+                    PoolOutcome(
+                        index=info.index,
+                        error=_format_error(error),
+                        attempts=info.attempt,
+                        timed_out=timed_out,
+                    )
+                )
+
+        try:
+            for index, item in enumerate(items):
+                submit(index, item, attempt=1)
+            while pending:
+                done, _ = wait(
+                    set(pending),
+                    timeout=self.poll_seconds,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    info = pending.pop(future)
+                    try:
+                        payload = future.result()
+                    except Exception as error:  # noqa: BLE001
+                        handle_failure(info, error, timed_out=False)
+                    else:
+                        record(
+                            PoolOutcome(
+                                index=info.index,
+                                payload=payload,
+                                attempts=info.attempt,
+                            )
+                        )
+                if self.timeout is None:
+                    continue
+                now = time.monotonic()
+                for future, info in list(pending.items()):
+                    if info.running_since is None and future.running():
+                        info.running_since = now
+                    if (
+                        info.running_since is not None
+                        and now - info.running_since > self.timeout
+                    ):
+                        future.cancel()
+                        pending.pop(future)
+                        abandoned = True
+                        handle_failure(
+                            info,
+                            TimeoutError(
+                                f"item exceeded {self.timeout:g}s wall-clock"
+                            ),
+                            timed_out=True,
+                        )
+        except KeyboardInterrupt:
+            # Don't wait for in-flight items on a user interrupt; the
+            # caller's on_result hook already saw everything that
+            # finished, so just tear down and re-raise.
+            abandoned = True
+            raise
+        finally:
+            # Abandoned (timed-out or interrupted) items are still
+            # running inside their workers; waiting on them would hang.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
