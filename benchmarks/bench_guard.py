@@ -65,6 +65,18 @@ A fifth section — the geo-sharded scale record — is written to
   sweep); the largest size runs sharded-only — the monolithic solve is
   not affordable there, completing it *is* the result.
 
+A sixth section — the crash-recovery record — is written to
+``BENCH_pr8.json``:
+
+* **chaos_guard** — runs one small sweep three ways: serial (the
+  oracle), over a spawn pool with the retry/backoff policy threaded but
+  no chaos (must stay **repr-identical** to serial — the chaos-off
+  parity gate), and over the same pool under an activated
+  :class:`~repro.chaos.ChaosPolicy` SIGKILLing ~10% of first attempts
+  (must also recover to repr-identical results with zero failed cells).
+  Records cells/sec for the clean and chaotic legs plus the recovery
+  overhead ratio — the price of supervision when children actually die.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_guard.py              # everything
@@ -122,6 +134,12 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 SCALE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 KERNEL_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 SHARD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
+CHAOS_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
+#: Chaos-guard kill probability per first attempt (see run_chaos_benchmark).
+#: 0.2 is the smallest decade-ish rate whose seeded draws actually fire
+#: on the 6-cell guard sweep (at 0.1 no cell draws a kill, so the
+#: "chaotic" leg would measure nothing).
+CHAOS_KILL_RATE = 0.2
 
 #: Geo-sharded scale record: sizes, geometry and the acceptance bars.
 #: The population is sparse-geometry (small working radii) with the
@@ -885,6 +903,108 @@ def run_shard_benchmark(
     return record, failures
 
 
+def run_chaos_benchmark(
+    seed: int = 0,
+    jobs: int = 2,
+    kill_rate: float = CHAOS_KILL_RATE,
+) -> tuple[dict, list[str]]:
+    """Chaos-off parity + the wall-clock price of crash recovery.
+
+    Three legs over the same small sweep: a serial oracle, a clean
+    spawn-pool run with the retry/backoff policy threaded (the chaos-off
+    gate — supervision machinery must not change a single repr'd float),
+    and a run under an activated kill-injecting :class:`ChaosPolicy`
+    (children die on ~``kill_rate`` of first attempts; the supervisor
+    must rebuild, retry and still match the oracle with zero failed
+    cells). The recorded overhead ratio is chaotic wall / clean wall.
+    """
+    from dataclasses import replace
+
+    from repro.chaos.campaign import _fingerprint
+    from repro.chaos.policy import ChaosPolicy, activate
+    from repro.experiments.config import ExperimentSettings
+    from repro.experiments.parallel import SweepExecutor, build_cell_specs
+    from repro.utils.procpool import RetryPolicy
+
+    failures: list[str] = []
+    base = ExperimentSettings(
+        rounds=2,
+        workers_per_round=40,
+        tasks_per_round=10,
+        speed_range=(0.05, 0.2),
+        radius_range=(0.2, 0.4),
+        dataset="unif",
+    )
+    values = [30, 40, 50]
+    approaches = ("RAND", "GT")
+    specs = build_cell_specs(
+        figure="chaos-bench",
+        parameter="workers_per_round",
+        values=values,
+        settings_for_value=lambda b, v: replace(b, workers_per_round=v),
+        base=base,
+        approaches=approaches,
+        seed=seed,
+    )
+
+    serial_results, _ = SweepExecutor(n_jobs=1).run(specs)
+    oracle = _fingerprint(serial_results)
+
+    policy_kwargs = dict(
+        n_jobs=jobs,
+        timeout=60.0,
+        retries=1,
+        mp_context="spawn",
+        retry_policy=RetryPolicy(seed=seed),
+    )
+    started = time.perf_counter()
+    clean_results, clean_telemetry = SweepExecutor(**policy_kwargs).run(specs)
+    clean_seconds = time.perf_counter() - started
+    clean_identical = _fingerprint(clean_results) == oracle
+    if not clean_identical:
+        failures.append(
+            "chaos-off pool sweep with the retry policy threaded is not "
+            "repr-identical to serial"
+        )
+
+    policy = ChaosPolicy(kill_rate=kill_rate, max_attempt=1, seed=seed)
+    started = time.perf_counter()
+    with activate(policy):
+        chaos_results, chaos_telemetry = SweepExecutor(**policy_kwargs).run(
+            specs
+        )
+    chaos_seconds = time.perf_counter() - started
+    chaos_identical = _fingerprint(chaos_results) == oracle
+    if not chaos_identical:
+        failures.append(
+            f"sweep under kill_rate={kill_rate:g} chaos did not recover to "
+            "repr-identical results"
+        )
+    if chaos_telemetry.failed_cells:
+        failures.append(
+            f"sweep under chaos lost {chaos_telemetry.failed_cells} cell(s)"
+        )
+
+    cells = len(specs)
+    record = {
+        "cells": cells,
+        "jobs": jobs,
+        "seed": seed,
+        "kill_rate": kill_rate,
+        "cpu_count": os.cpu_count(),
+        "clean_seconds": clean_seconds,
+        "chaos_seconds": chaos_seconds,
+        "clean_cells_per_second": cells / clean_seconds,
+        "chaos_cells_per_second": cells / chaos_seconds,
+        "recovery_overhead_ratio": chaos_seconds / clean_seconds,
+        "chaos_off_identical": clean_identical,
+        "chaos_recovered_identical": chaos_identical,
+        "clean_telemetry": clean_telemetry.to_dict(),
+        "chaos_telemetry": chaos_telemetry.to_dict(),
+    }
+    return record, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
@@ -971,6 +1091,22 @@ def main(argv: list[str] | None = None) -> int:
         help="largest worker count that still gets a monolithic GT leg",
     )
     parser.add_argument(
+        "--skip-chaos",
+        action="store_true",
+        help="skip the crash-recovery record (BENCH_pr8.json)",
+    )
+    parser.add_argument(
+        "--only-chaos",
+        action="store_true",
+        help="run only the crash-recovery record",
+    )
+    parser.add_argument(
+        "--chaos-kill-rate",
+        type=float,
+        default=CHAOS_KILL_RATE,
+        help="per-first-attempt SIGKILL probability of the chaotic leg",
+    )
+    parser.add_argument(
         "--measure-rss",
         nargs=2,
         metavar=("BACKEND", "N"),
@@ -1005,6 +1141,12 @@ def main(argv: list[str] | None = None) -> int:
         default=SHARD_OUTPUT,
         help="shard-record JSON path",
     )
+    parser.add_argument(
+        "--chaos-out",
+        type=Path,
+        default=CHAOS_OUTPUT,
+        help="chaos-record JSON path",
+    )
     args = parser.parse_args(argv)
 
     if args.measure_rss:
@@ -1017,11 +1159,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.only_shards:
         args.skip_kernel = True
         args.skip_scale = True
+        args.skip_chaos = True
+    if args.only_chaos:
+        args.skip_kernel = True
+        args.skip_scale = True
+        args.skip_shards = True
 
     failures: list[str] = []
     guard_record = None
     kernel_record = None
     shard_record = None
+    chaos_record = None
     if not args.skip_kernel:
         kernel_record, kernel_failures = run_kernel_benchmark(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
@@ -1035,9 +1183,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.only_kernel:
         args.skip_scale = True
         args.skip_shards = True
+        args.skip_chaos = True
     if args.only_scale:
         args.skip_shards = True
-    if not args.only_scale and not args.only_kernel and not args.only_shards:
+        args.skip_chaos = True
+    if (
+        not args.only_scale
+        and not args.only_kernel
+        and not args.only_shards
+        and not args.only_chaos
+    ):
         guard_record, failures = run_guard(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
         )
@@ -1088,6 +1243,17 @@ def main(argv: list[str] | None = None) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.shard_out}")
+
+    if not args.skip_chaos:
+        chaos_record, chaos_failures = run_chaos_benchmark(
+            jobs=args.jobs, kill_rate=args.chaos_kill_rate
+        )
+        failures += chaos_failures
+        args.chaos_out.write_text(
+            json.dumps({"chaos_guard": chaos_record}, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.chaos_out}")
 
     if kernel_record is not None:
         for solver, summary in kernel_record["summary"].items():
@@ -1166,6 +1332,18 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 line += "; monolithic leg skipped (above mono cap)"
             print(line)
+    if chaos_record is not None:
+        print(
+            f"chaos guard ({chaos_record['cells']} cells, --jobs "
+            f"{chaos_record['jobs']}, kill_rate "
+            f"{chaos_record['kill_rate']:g}): clean "
+            f"{chaos_record['clean_cells_per_second']:.2f} cells/s vs "
+            f"chaotic {chaos_record['chaos_cells_per_second']:.2f} cells/s "
+            f"({chaos_record['recovery_overhead_ratio']:.2f}x overhead), "
+            f"chaos-off identical: {chaos_record['chaos_off_identical']}, "
+            f"recovered identical: "
+            f"{chaos_record['chaos_recovered_identical']}"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -1182,6 +1360,10 @@ def main(argv: list[str] | None = None) -> int:
     if shard_record is not None:
         checks.append(
             "sharded GT bit-reproducible, gap and speedup within bars"
+        )
+    if chaos_record is not None:
+        checks.append(
+            "chaos-off pool repr-identical; chaotic run recovered exactly"
         )
     print("all checks passed: " + "; ".join(checks))
     return 0

@@ -1,0 +1,51 @@
+"""Process-level chaos injection and crash-recovery campaigns.
+
+PR 3's :mod:`repro.simulation.faults` injects *domain* faults (worker
+no-shows, task cancellations); this package injects *execution* faults —
+pool children that SIGKILL themselves mid-cell, sleep past their
+deadline, raise on unpickle, or exit hard during shared-memory attach —
+and drives seeded campaigns that assert the supervision machinery
+(:class:`~repro.utils.procpool.FanoutPool` pool rebuilds,
+:class:`~repro.experiments.parallel.SweepJournal` torn-write recovery,
+:func:`~repro.core.quality_store.reap_orphans`) recovers with results
+repr-identical to a clean run. See docs/ROBUSTNESS.md, "Process-level
+chaos & crash recovery".
+"""
+
+from repro.chaos.policy import (
+    CHAOS_ENV_VAR,
+    ChaosInjector,
+    ChaosPolicy,
+    ChaosUnpickleError,
+    activate,
+    attach_checkpoint,
+    chaos_context,
+    current_injector,
+)
+
+#: Campaign symbols are loaded lazily: pool children import
+#: ``repro.chaos.policy`` (which triggers this package) on every
+#: injected item, and must not pay for the whole experiments stack
+#: that :mod:`repro.chaos.campaign` pulls in.
+_CAMPAIGN_EXPORTS = ("ChaosCampaignReport", "run_campaign")
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.chaos import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosCampaignReport",
+    "ChaosInjector",
+    "ChaosPolicy",
+    "ChaosUnpickleError",
+    "activate",
+    "attach_checkpoint",
+    "chaos_context",
+    "current_injector",
+    "run_campaign",
+]

@@ -1,0 +1,256 @@
+"""Seeded chaos campaigns: prove recovery, not just survive it.
+
+A campaign runs the same small sweep twice: once clean and serial (the
+oracle), then N times under an activated :class:`ChaosPolicy` — pool
+children SIGKILLing themselves, hanging past the cell timeout, raising
+on unpickle, exiting hard inside shared-memory attach — with a
+checkpoint journal and the shared quality backend, i.e. every recovery
+path at once. After each chaotic sweep it additionally *tears* the
+journal's trailing line mid-record (the torn-write signature of a hard
+kill) and resumes from it.
+
+The assertions are exact, not statistical: every sweep's results must be
+repr-identical to the clean oracle, every injected failure must be
+visible in structured telemetry (retries, pool rebuilds, quarantines,
+recovered journal lines), and no shared-memory segment may outlive its
+sweep (verified against the :func:`~repro.core.quality_store.reap_orphans`
+registry). ``repro chaos`` drives this from the CLI and CI runs it as a
+gate.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
+from pathlib import Path
+
+from repro.chaos.policy import ChaosPolicy, activate
+from repro.core.quality_store import reap_orphans
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.parallel import (
+    SweepExecutor,
+    build_cell_specs,
+)
+from repro.utils.procpool import RetryPolicy
+
+__all__ = ["ChaosCampaignReport", "run_campaign"]
+
+
+@dataclass
+class ChaosCampaignReport:
+    """Aggregate outcome of one :func:`run_campaign` call."""
+
+    seed: int
+    sweeps: int
+    cells_per_sweep: int
+    #: One flag per chaotic sweep: results repr-identical to the oracle.
+    parity: list[bool] = field(default_factory=list)
+    #: One flag per sweep: the torn-journal resume matched the oracle too.
+    resume_parity: list[bool] = field(default_factory=list)
+    failed_cells: int = 0
+    quarantined_cells: int = 0
+    retried_cells: int = 0
+    pool_rebuilds: int = 0
+    journal_recovered_lines: int = 0
+    #: Segments still attachable after their sweep finished (must be []).
+    leaked_segments: list[str] = field(default_factory=list)
+    #: Orphans the closing registry scan actually unlinked (must be []).
+    reaped_segments: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance gate: identical results, nothing lost, nothing
+        leaked."""
+        return (
+            all(self.parity)
+            and all(self.resume_parity)
+            and self.failed_cells == 0
+            and not self.leaked_segments
+            and not self.reaped_segments
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "sweeps": self.sweeps,
+            "cells_per_sweep": self.cells_per_sweep,
+            "parity": list(self.parity),
+            "resume_parity": list(self.resume_parity),
+            "failed_cells": self.failed_cells,
+            "quarantined_cells": self.quarantined_cells,
+            "retried_cells": self.retried_cells,
+            "pool_rebuilds": self.pool_rebuilds,
+            "journal_recovered_lines": self.journal_recovered_lines,
+            "leaked_segments": list(self.leaked_segments),
+            "reaped_segments": list(self.reaped_segments),
+            "wall_seconds": self.wall_seconds,
+            "ok": self.ok,
+        }
+
+
+def _fingerprint(results) -> list:
+    """Exact per-cell identity of a sweep — repr-level floats."""
+    table = []
+    for result in sorted(
+        results, key=lambda r: (r.spec.value_index, r.spec.approach)
+    ):
+        if result.failure is not None or result.outcome is None:
+            table.append(
+                (result.spec.value_index, result.spec.approach, "FAILED")
+            )
+            continue
+        outcome = result.outcome
+        table.append(
+            (
+                result.spec.value_index,
+                result.spec.approach,
+                repr(outcome.total_score),
+                outcome.completed_tasks,
+                outcome.assigned_workers,
+                repr(result.upper),
+            )
+        )
+    return table
+
+
+def _tear_trailing_line(path: Path) -> bool:
+    """Cut the journal's last line in half, mid-record, no newline.
+
+    Reproduces what a SIGKILL between ``write()`` and ``fsync`` leaves
+    behind. Returns False when the file is too small to tear.
+    """
+    data = path.read_bytes()
+    if not data.endswith(b"\n"):
+        return False
+    body = data[:-1]
+    cut = body.rfind(b"\n") + 1  # start of the last record
+    line = body[cut:]
+    if len(line) < 2:
+        return False
+    path.write_bytes(data[: cut + len(line) // 2])
+    return True
+
+
+def _leaked(segment_names) -> list[str]:
+    """Names among ``segment_names`` still attachable (i.e. leaked)."""
+    leaked = []
+    for name in segment_names:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue  # properly unlinked
+        shm.close()
+        leaked.append(name)
+    return leaked
+
+
+def run_campaign(
+    seed: int = 0,
+    sweeps: int = 2,
+    n_jobs: int = 2,
+    kill_rate: float = 0.1,
+    hang_rate: float = 0.05,
+    raise_rate: float = 0.1,
+    attach_exit_rate: float = 0.05,
+    timeout: float = 30.0,
+    hang_seconds: float = 60.0,
+    workdir: "str | Path | None" = None,
+    approaches: tuple[str, ...] = ("RAND", "GT"),
+    values: tuple[int, ...] = (30, 40),
+    mp_context: str = "spawn",
+) -> ChaosCampaignReport:
+    """Run a seeded chaos campaign; see the module docstring.
+
+    Injection is bounded to each cell's *first* attempt
+    (``ChaosPolicy.max_attempt=1``), which is what turns "the sweep
+    should probably recover" into a provable contract: a retried attempt
+    always runs clean, so with one retry every cell must complete and
+    any deviation from the oracle is a real supervision bug. Each sweep
+    gets its own policy seed (``seed + sweep``) so the failure pattern
+    varies across sweeps but is identical across campaign re-runs.
+    """
+    started = time.perf_counter()
+    base = ExperimentSettings(
+        rounds=2,
+        workers_per_round=40,
+        tasks_per_round=10,
+        speed_range=(0.05, 0.2),
+        radius_range=(0.2, 0.4),
+        dataset="unif",
+    )
+    specs = build_cell_specs(
+        figure="chaos",
+        parameter="workers_per_round",
+        values=list(values),
+        settings_for_value=lambda b, v: replace(b, workers_per_round=v),
+        base=base,
+        approaches=approaches,
+        seed=seed,
+    )
+    report = ChaosCampaignReport(
+        seed=seed, sweeps=sweeps, cells_per_sweep=len(specs)
+    )
+
+    # The oracle: same cells, serial, no chaos, no journal.
+    oracle_results, _ = SweepExecutor(n_jobs=1).run(specs)
+    oracle = _fingerprint(oracle_results)
+
+    root = (
+        Path(workdir)
+        if workdir is not None
+        else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    )
+    root.mkdir(parents=True, exist_ok=True)
+
+    for sweep in range(sweeps):
+        journal = root / f"sweep{sweep}.jsonl"
+        policy = ChaosPolicy(
+            kill_rate=kill_rate,
+            hang_rate=hang_rate,
+            raise_rate=raise_rate,
+            attach_exit_rate=attach_exit_rate,
+            hang_seconds=hang_seconds,
+            max_attempt=1,
+            seed=seed + sweep,
+        )
+        executor = SweepExecutor(
+            n_jobs=n_jobs,
+            timeout=timeout,
+            retries=1,
+            mp_context=mp_context,
+            checkpoint=journal,
+            quality_backend="shared",
+            retry_policy=RetryPolicy(seed=seed),
+        )
+        with activate(policy):
+            results, telemetry = executor.run(specs)
+        report.parity.append(_fingerprint(results) == oracle)
+        report.failed_cells += telemetry.failed_cells
+        report.quarantined_cells += telemetry.quarantined_cells
+        report.retried_cells += telemetry.retried_cells
+        report.pool_rebuilds += telemetry.pool_rebuilds
+        report.leaked_segments.extend(_leaked(executor.last_shared_segments))
+
+        # Torn-write drill: shred the last journal record mid-line (as a
+        # hard kill would) and resume without chaos — the journal must
+        # self-repair and the resumed sweep must still match the oracle.
+        if _tear_trailing_line(journal):
+            resumer = SweepExecutor(n_jobs=1, checkpoint=journal)
+            resumed, resumed_telemetry = resumer.run(specs)
+            report.resume_parity.append(_fingerprint(resumed) == oracle)
+            report.journal_recovered_lines += (
+                resumed_telemetry.journal_recovered_lines
+            )
+        else:  # pragma: no cover - journal unexpectedly tiny
+            report.resume_parity.append(False)
+
+    # Closing scan: anything the registry still knows about with a dead
+    # owner is a leak the campaign caused (or inherited — either way it
+    # is reaped and reported).
+    reap = reap_orphans()
+    report.reaped_segments.extend(reap.reaped)
+    report.wall_seconds = time.perf_counter() - started
+    return report

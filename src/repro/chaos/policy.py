@@ -1,0 +1,272 @@
+"""Seeded process-chaos policy and injector.
+
+Mirrors the :class:`~repro.simulation.faults.FaultModel` API one layer
+down: where the fault model perturbs the *domain* (workers, tasks), the
+chaos policy perturbs the *execution substrate* — the pool children that
+run sweep cells and shard solves. Four failure modes, each drawn from a
+seeded RNG keyed on ``(policy seed, scope, item index, attempt)`` so an
+injection schedule is a pure function of the policy and reproduces
+across processes and runs:
+
+* **kill** — the child SIGKILLs itself mid-item (breaks the whole
+  ``ProcessPoolExecutor``; the supervisor must rebuild it);
+* **hang** — the child sleeps ``hang_seconds`` before doing the work
+  (trips the parent's per-item timeout);
+* **raise** — the child raises :class:`ChaosUnpickleError` (the
+  signature of a payload that fails to unpickle);
+* **attach-exit** — the child calls ``os._exit`` inside
+  :meth:`~repro.core.quality_store.SharedDenseQualityStore.attach`,
+  between opening the segment and mapping it.
+
+Activation travels through the :data:`CHAOS_ENV_VAR` environment
+variable (a JSON spec), which both ``spawn``- and ``fork``-start pool
+children inherit — the parent never has to plumb the policy through the
+picklable work items. With the variable unset every hook in
+:mod:`repro.utils.procpool` and :mod:`repro.core.quality_store` is a
+single dict lookup, so chaos-off runs stay bit-identical (and
+nanosecond-close) to builds without this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHAOS_ACTIONS",
+    "ChaosPolicy",
+    "ChaosInjector",
+    "ChaosUnpickleError",
+    "activate",
+    "current_injector",
+    "chaos_context",
+    "attach_checkpoint",
+]
+
+#: Environment variable carrying the JSON policy spec to pool children.
+CHAOS_ENV_VAR = "REPRO_CHAOS_SPEC"
+
+#: Injection kinds, in the order their probability bands are stacked.
+CHAOS_ACTIONS = ("kill", "hang", "raise", "attach_exit")
+
+
+class ChaosUnpickleError(RuntimeError):
+    """Injected stand-in for a work item that fails to unpickle.
+
+    Deliberately *not* a :class:`~repro.utils.errors.ReproError`: real
+    unpickle failures surface as raw exceptions from ``future.result()``
+    and must go through the generic retry path, not a domain handler.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Configuration of the injected process-failure modes.
+
+    Rates are per-(item, attempt) probabilities; the default instance
+    (all zeros) is inert. ``max_attempt`` bounds injection to early
+    attempts (default: only the first), which is what lets a campaign
+    guarantee eventual success — a retried attempt always runs clean.
+    ``only_indices`` restricts injection to specific item indices
+    (useful for pinning a deterministic single-victim scenario in
+    tests). ``hang_seconds`` should exceed the supervisor's per-item
+    timeout, otherwise a hang is merely a slow item.
+    """
+
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    raise_rate: float = 0.0
+    attach_exit_rate: float = 0.0
+    hang_seconds: float = 8.0
+    max_attempt: int = 1
+    only_indices: tuple[int, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("kill_rate", "hang_rate", "raise_rate", "attach_exit_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+            total += rate
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                f"chaos rates must sum to <= 1, got {total:g}"
+            )
+        if self.hang_seconds <= 0:
+            raise ValueError(
+                f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+        if self.max_attempt < 1:
+            raise ValueError(
+                f"max_attempt must be >= 1, got {self.max_attempt}"
+            )
+        if self.only_indices is not None:
+            object.__setattr__(
+                self, "only_indices", tuple(int(i) for i in self.only_indices)
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injection can actually fire."""
+        return (
+            self.kill_rate > 0
+            or self.hang_rate > 0
+            or self.raise_rate > 0
+            or self.attach_exit_rate > 0
+        )
+
+    def to_spec(self) -> str:
+        """Compact JSON spec for :data:`CHAOS_ENV_VAR` transport."""
+        payload = asdict(self)
+        if payload["only_indices"] is not None:
+            payload["only_indices"] = list(payload["only_indices"])
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosPolicy":
+        """Inverse of :meth:`to_spec` (round-trips exactly)."""
+        payload = json.loads(spec)
+        if payload.get("only_indices") is not None:
+            payload["only_indices"] = tuple(payload["only_indices"])
+        return cls(**payload)
+
+
+class ChaosInjector:
+    """Deterministic per-(scope, index, attempt) injection decisions.
+
+    Each decision draws one uniform from a fresh
+    ``np.random.default_rng`` seeded on ``(policy.seed, crc32(scope),
+    index, attempt)`` and maps it onto the stacked probability bands of
+    :data:`CHAOS_ACTIONS` — no shared stream, so decisions are identical
+    no matter which process asks, in which order.
+    """
+
+    def __init__(self, policy: ChaosPolicy) -> None:
+        self.policy = policy
+
+    def decide(self, scope: str, index: int, attempt: int) -> str | None:
+        """The action to inject for this attempt, or ``None``."""
+        policy = self.policy
+        if not policy.enabled:
+            return None
+        if attempt > policy.max_attempt:
+            return None
+        if policy.only_indices is not None and index not in policy.only_indices:
+            return None
+        rng = np.random.default_rng(
+            (policy.seed, zlib.crc32(scope.encode("utf-8")), index, attempt)
+        )
+        draw = float(rng.random())
+        edge = 0.0
+        for action, rate in zip(
+            CHAOS_ACTIONS,
+            (
+                policy.kill_rate,
+                policy.hang_rate,
+                policy.raise_rate,
+                policy.attach_exit_rate,
+            ),
+        ):
+            edge += rate
+            if draw < edge:
+                return action
+        return None
+
+
+# -- process-local activation ----------------------------------------------
+
+#: Cache of (spec string) -> injector, so hot paths pay one dict lookup.
+_INJECTOR_CACHE: dict[str, ChaosInjector] = {}
+
+#: Armed by a decided ``attach_exit`` action; consumed (and executed) by
+#: :func:`attach_checkpoint` inside shared-memory attach.
+_PENDING_ATTACH_EXIT = False
+
+
+def current_injector() -> ChaosInjector | None:
+    """The active injector of this process (from the env spec), if any."""
+    spec = os.environ.get(CHAOS_ENV_VAR)
+    if not spec:
+        return None
+    injector = _INJECTOR_CACHE.get(spec)
+    if injector is None:
+        injector = ChaosInjector(ChaosPolicy.from_spec(spec))
+        _INJECTOR_CACHE[spec] = injector
+    return injector
+
+
+@contextmanager
+def activate(policy: ChaosPolicy):
+    """Activate ``policy`` for this process and every child it starts.
+
+    Sets :data:`CHAOS_ENV_VAR` for the ``with`` body and restores the
+    previous value afterwards — pool children created inside the body
+    (``spawn`` or ``fork``) inherit the environment and therefore the
+    injection schedule.
+    """
+    previous = os.environ.get(CHAOS_ENV_VAR)
+    os.environ[CHAOS_ENV_VAR] = policy.to_spec()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV_VAR, None)
+        else:
+            os.environ[CHAOS_ENV_VAR] = previous
+
+
+@contextmanager
+def chaos_context(scope: str, index: int, attempt: int, inline: bool = False):
+    """Execute the decided injection around one work item.
+
+    ``kill``/``hang`` fire before the item runs; ``raise`` raises
+    :class:`ChaosUnpickleError`; ``attach_exit`` arms
+    :func:`attach_checkpoint` for the duration of the item (and is
+    disarmed on exit so an item that never attaches stays deterministic).
+    With ``inline=True`` — the caller *is* the supervising process —
+    only ``raise`` is honored: killing or hanging the supervisor would
+    turn an injected fault into a real outage.
+    """
+    global _PENDING_ATTACH_EXIT
+    injector = current_injector()
+    action = injector.decide(scope, index, attempt) if injector else None
+    if inline and action not in (None, "raise"):
+        action = None
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        time.sleep(injector.policy.hang_seconds)
+    elif action == "raise":
+        raise ChaosUnpickleError(
+            f"chaos: injected unpickle failure at {scope}[{index}] "
+            f"attempt {attempt}"
+        )
+    _PENDING_ATTACH_EXIT = action == "attach_exit"
+    try:
+        yield
+    finally:
+        _PENDING_ATTACH_EXIT = False
+
+
+def attach_checkpoint() -> None:
+    """Hard-exit if an ``attach_exit`` injection is armed.
+
+    Called by :meth:`SharedDenseQualityStore.attach
+    <repro.core.quality_store.SharedDenseQualityStore.attach>` between
+    opening the segment and building the store — ``os._exit(3)``
+    bypasses every ``finally``/atexit handler, exactly like a crash at
+    that point would.
+    """
+    global _PENDING_ATTACH_EXIT
+    if _PENDING_ATTACH_EXIT:
+        _PENDING_ATTACH_EXIT = False
+        os._exit(3)

@@ -1,8 +1,9 @@
 """Command-line interface for the CA-SC toolkit.
 
-Six subcommands cover the generate -> solve -> evaluate loop a
+Seven subcommands cover the generate -> solve -> evaluate loop a
 downstream user needs without writing Python, plus a multi-round
-simulation driver, a figure-sweep runner and a correctness auditor::
+simulation driver, a figure-sweep runner, a correctness auditor and a
+process-chaos campaign driver::
 
     python -m repro.cli generate --workers 200 --tasks 40 --out batch.json
     python -m repro.cli solve batch.json --approach GT+ALL --out assignment.json
@@ -10,6 +11,7 @@ simulation driver, a figure-sweep runner and a correctness auditor::
     python -m repro.cli simulate --approach GT+ALL --rounds 10 --csv rounds.csv
     python -m repro.cli sweep --figure fig7 --scale 0.2 --jobs 4
     python -m repro.cli audit --budget 60 --seed 0
+    python -m repro.cli chaos --sweeps 2 --kill-rate 0.1 --seed 0
 
 ``generate`` writes an instance as JSON (see ``repro.datasets.io``);
 ``solve`` runs any registered approach and prints score, upper bound and
@@ -21,7 +23,11 @@ figure, optionally fanned out over ``--jobs`` worker processes with
 bit-identical results (see docs/PERFORMANCE.md, "Parallel execution");
 ``audit`` replays the committed repro corpus and then fuzzes fresh
 boundary-biased instances through the differential harness, shrinking
-any failure to a minimal repro (see docs/AUDIT.md).
+any failure to a minimal repro (see docs/AUDIT.md); ``chaos`` runs a
+seeded process-chaos campaign — pool children killed, hung, or crashed
+mid-attach — asserting results stay repr-identical to a clean run and
+no shared-memory segment leaks (see docs/ROBUSTNESS.md), and its
+``--reap`` flag scans the shared-memory registry for orphaned segments.
 """
 
 from __future__ import annotations
@@ -145,6 +151,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         shards=args.shards,
         halo_rounds=args.halo_rounds,
+        shard_timeout=args.shard_timeout,
     )
     solver = _wrap_budget(solver, args)
 
@@ -228,6 +235,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         shards=args.shards,
         halo_rounds=args.halo_rounds,
+        shard_timeout=args.shard_timeout,
     )
     population = build_population(settings, seed=args.seed)
     config: BatchConfig = settings.to_batch_config()
@@ -240,6 +248,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         kernel=settings.kernel,
         shards=settings.shards,
         halo_rounds=settings.halo_rounds,
+        shard_timeout=settings.shard_timeout,
     )
     solver = _wrap_budget(solver, args)
     report = BatchSimulator(population, config, solver, seed=args.seed).run()
@@ -285,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         quality_backend=args.quality_backend,
         shards=args.shards,
         halo_rounds=args.halo_rounds,
+        shard_timeout=args.shard_timeout,
     )
     elapsed = time.perf_counter() - started
     print(format_figure(result))
@@ -335,6 +345,36 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.quality_store import reap_orphans
+    from repro.experiments.reporting import format_chaos_report
+
+    if args.reap:
+        report = reap_orphans(force=args.force)
+        print(report.summary())
+        return 0
+
+    from repro.chaos import run_campaign
+
+    campaign = run_campaign(
+        seed=args.seed,
+        sweeps=args.sweeps,
+        n_jobs=args.jobs,
+        kill_rate=args.kill_rate,
+        hang_rate=args.hang_rate,
+        raise_rate=args.raise_rate,
+        attach_exit_rate=args.attach_exit_rate,
+        timeout=args.timeout,
+        workdir=args.workdir,
+    )
+    print(format_chaos_report(campaign))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(campaign.to_dict(), handle, indent=2)
+        print(f"wrote campaign report to {args.out}")
+    return 0 if campaign.ok else 1
+
+
 def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
     """The geo-sharding knobs, shared by solve/simulate/sweep."""
     parser.add_argument(
@@ -352,6 +392,17 @@ def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="bound on the boundary-reconcile best-response passes over "
         "border workers after the per-shard solves (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per shard solve: a shard that exceeds it "
+        "(or whose worker process crashes) is failed over to an inline "
+        "fallback-ladder re-solve instead of aborting the batch, counted "
+        "in the stats line as shard_failures/failovers (default: "
+        "unbounded; see docs/ROBUSTNESS.md)",
     )
 
 
@@ -556,6 +607,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="per-entry progress lines"
     )
     audit.set_defaults(handler=_cmd_audit)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="seeded process-chaos campaign: crash children, prove "
+        "recovery is exact; or --reap orphaned shared memory",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--sweeps",
+        type=int,
+        default=2,
+        help="chaotic sweeps to run against the clean oracle (default 2)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes per chaotic sweep (default 2)",
+    )
+    chaos.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.1,
+        help="per-attempt probability a pool child SIGKILLs itself "
+        "mid-cell (default 0.1)",
+    )
+    chaos.add_argument(
+        "--hang-rate",
+        type=float,
+        default=0.05,
+        help="per-attempt probability a child sleeps past the cell "
+        "timeout (default 0.05)",
+    )
+    chaos.add_argument(
+        "--raise-rate",
+        type=float,
+        default=0.1,
+        help="per-attempt probability a child raises a poison-pill "
+        "unpickle error (default 0.1)",
+    )
+    chaos.add_argument(
+        "--attach-exit-rate",
+        type=float,
+        default=0.05,
+        help="per-attempt probability a child exits hard inside the "
+        "shared-memory attach (default 0.05)",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-cell timeout the hang injection must exceed (default 30)",
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the per-sweep checkpoint journals "
+        "(default: a fresh temp directory)",
+    )
+    chaos.add_argument(
+        "--out", default=None, help="write the campaign report JSON here"
+    )
+    chaos.add_argument(
+        "--reap",
+        action="store_true",
+        help="skip the campaign: scan the shared-memory registry and "
+        "unlink segments whose owner process is dead",
+    )
+    chaos.add_argument(
+        "--force",
+        action="store_true",
+        help="with --reap: unlink registered segments even when their "
+        "owner is still alive",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

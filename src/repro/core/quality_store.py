@@ -37,10 +37,14 @@ serves sums from gathered submatrices instead (see
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -60,6 +64,11 @@ __all__ = [
     "SharedDenseQualityStore",
     "RowCacheInfo",
     "QUALITY_BACKENDS",
+    "REGISTRY_ENV_VAR",
+    "ReapReport",
+    "reap_orphans",
+    "registered_segments",
+    "shm_registry_dir",
 ]
 
 #: CLI / settings names of the available backends.
@@ -603,6 +612,144 @@ class SparseQualityStore:
 _OWNED_SEGMENT_NAMES: set[str] = set()
 
 
+# --------------------------------------------------------------------------
+# Segment name registry + orphan reaping.
+#
+# Python's resource tracker cleans up a crashed creator's segments only on
+# a best-effort basis — SIGKILL the creator *and* its tracker (or kill the
+# creator before the tracker registered the name) and the segment outlives
+# everything, invisibly eating /dev/shm until reboot. The registry is the
+# belt-and-braces answer: every create() drops one small JSON sidecar file
+# (name, owner pid, size) into a well-known directory, every unlink()
+# removes it, and reap_orphans() scans the directory on the next run,
+# unlinking any segment whose owner pid is dead.
+
+#: Environment variable overriding the registry directory (tests point it
+#: at a tmp dir; deployments may point it at a persistent spool).
+REGISTRY_ENV_VAR = "REPRO_SHM_REGISTRY"
+
+
+def shm_registry_dir() -> Path:
+    """The directory holding one JSON sidecar per live segment."""
+    override = os.environ.get(REGISTRY_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-shm-registry"
+
+
+def _registry_entry(name: str) -> Path:
+    return shm_registry_dir() / f"{name}.json"
+
+
+def register_segment(name: str, size: int) -> None:
+    """Record a created segment in the on-disk registry (best effort)."""
+    try:
+        directory = shm_registry_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        _registry_entry(name).write_text(
+            json.dumps({"name": name, "pid": os.getpid(), "size": int(size)}),
+            encoding="utf-8",
+        )
+    except OSError:  # pragma: no cover - registry is advisory, never fatal
+        pass
+
+
+def unregister_segment(name: str) -> None:
+    """Drop a segment's registry sidecar (no-op if absent)."""
+    try:
+        _registry_entry(name).unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - registry is advisory, never fatal
+        pass
+
+
+def registered_segments() -> list[dict]:
+    """All registry entries, sorted by segment name."""
+    directory = shm_registry_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(entry, dict) and "name" in entry:
+            entries.append(entry)
+    return entries
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, other user
+        return True
+    except (OverflowError, ValueError):  # pragma: no cover - garbage pid
+        return False
+    return True
+
+
+@dataclass
+class ReapReport:
+    """Outcome of one :func:`reap_orphans` scan.
+
+    ``scanned`` registry entries were examined; ``live`` belong to
+    still-running owners (left alone unless ``force``), ``reaped`` were
+    orphaned segments actually unlinked, ``stale`` were registry entries
+    whose segment no longer exists (sidecar removed, nothing to unlink).
+    """
+
+    scanned: int = 0
+    reaped: list[str] = field(default_factory=list)
+    live: list[str] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"scanned {self.scanned} registered segment(s): "
+            f"reaped {len(self.reaped)}, stale {len(self.stale)}, "
+            f"live {len(self.live)}"
+        )
+
+
+def reap_orphans(force: bool = False) -> ReapReport:
+    """Unlink shared-memory segments whose owning process died.
+
+    Scans the registry; for every entry whose owner pid no longer exists
+    (or unconditionally with ``force=True``) the segment is attached and
+    unlinked, and the sidecar removed. Entries whose segment is already
+    gone are treated as stale bookkeeping and also removed. Safe to run
+    concurrently with healthy sweeps: live owners' segments are not
+    touched unless forced.
+    """
+    report = ReapReport()
+    for entry in registered_segments():
+        report.scanned += 1
+        name = str(entry["name"])
+        pid = int(entry.get("pid", -1))
+        if not force and _pid_alive(pid):
+            report.live.append(name)
+            continue
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            # Tracker (or a previous reap) already removed the segment;
+            # only the sidecar is left.
+            unregister_segment(name)
+            report.stale.append(name)
+            continue
+        _unregister_attached_segment(shm)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            pass
+        unregister_segment(name)
+        report.reaped.append(name)
+    return report
+
+
 def _unregister_attached_segment(shm: shared_memory.SharedMemory) -> None:
     """Detach a segment from this process's resource tracker.
 
@@ -656,6 +803,7 @@ class SharedDenseQualityStore(CooperationMatrix):
         view = np.ndarray((size, size), dtype=np.float64, buffer=shm.buf)
         view[:] = validated
         _OWNED_SEGMENT_NAMES.add(shm.name)
+        register_segment(shm.name, size)
         return cls(shm, size, owner=True)
 
     @classmethod
@@ -663,6 +811,13 @@ class SharedDenseQualityStore(CooperationMatrix):
         """Attach read-only to an existing segment (zero-copy)."""
         shm = shared_memory.SharedMemory(name=name)
         _unregister_attached_segment(shm)
+        if os.environ.get("REPRO_CHAOS_SPEC"):
+            # Chaos hook: an armed attach_exit injection hard-exits here,
+            # between opening the segment and building the store — the
+            # crash window the orphan registry exists for.
+            from repro.chaos.policy import attach_checkpoint
+
+            attach_checkpoint()
         return cls(shm, size, owner=False)
 
     @property
@@ -691,6 +846,7 @@ class SharedDenseQualityStore(CooperationMatrix):
         if self._owner and self._shm is not None:
             self._shm.unlink()
             _OWNED_SEGMENT_NAMES.discard(self._shm.name)
+            unregister_segment(self._shm.name)
             self._owner = False
 
     def __repr__(self) -> str:

@@ -55,9 +55,19 @@ def merge_shard_pairs(
     the reconcile dynamics can model crowd-out on the merged state.
     """
     assignment = Assignment(instance, valid_pairs, allow_overflow=True)
-    for pairs in shard_pairs:
+    for shard, pairs in enumerate(shard_pairs):
         for worker, task in pairs:
-            assignment.assign(int(worker), int(task))
+            try:
+                assignment.assign(int(worker), int(task))
+            except Exception as error:
+                # A bad pair here means a shard produced (or a failover
+                # re-solve returned) an assignment that does not map back
+                # into the global instance — name the shard so the repro
+                # is findable instead of surfacing a bare index error.
+                raise RuntimeError(
+                    f"shard {shard} merge failed replaying pair "
+                    f"(worker={worker}, task={task}): {error}"
+                ) from error
     return assignment
 
 

@@ -77,6 +77,43 @@ def _base_solver(approach: str, epsilon: float, seed, kernel: str):
     return make_solver(approach, epsilon=epsilon, seed=seed, kernel=kernel)
 
 
+def _failover_shard(
+    piece: ShardInstance, payload: dict, shard_timeout: float | None
+) -> dict:
+    """Re-solve a crashed/hung/quarantined shard inline, in the parent.
+
+    Goes through the anytime :class:`~repro.core.fallback.FallbackSolver`
+    ladder with the shard timeout as its budget: the primary approach
+    gets one more chance with real wall-clock room, and a shard whose
+    primary genuinely cannot finish degrades to a cheaper tier instead
+    of sinking the whole solve. With ``shard_timeout=None`` the ladder
+    is a bit-identical passthrough — the failover is then simply an
+    inline re-run of the primary.
+    """
+    # Deferred like _base_solver: fallback sits above the experiments
+    # layer from this package's point of view.
+    from repro.core.fallback import FallbackSolver
+
+    started = time.perf_counter()
+    primary = _base_solver(
+        payload["approach"], payload["epsilon"], payload["seed"], payload["kernel"]
+    )
+    solver = FallbackSolver(
+        primary,
+        budget=shard_timeout,
+        label=f"{payload['approach']}/shard{piece.shard}",
+        seed=payload["seed"],
+    )
+    assignment = solver(piece.instance, piece.valid_pairs)
+    stats_log = getattr(solver, "stats_log", None)
+    stats = stats_log[-1].to_dict() if stats_log else None
+    return {
+        "pairs": assignment.to_pairs(),
+        "stats": stats,
+        "seconds": time.perf_counter() - started,
+    }
+
+
 def _solve_shard_payload(payload: dict, submitted_at: float) -> dict:
     """Solve one carved shard; module-level for spawn-pool pickling.
 
@@ -128,6 +165,7 @@ def solve_sharded(
     halo_rounds: int = 2,
     n_jobs: int = 1,
     target_workers_per_shard: int = 2500,
+    shard_timeout: float | None = None,
 ) -> ShardedSolveResult:
     """Solve a batch by spatial shards with boundary reconciliation.
 
@@ -136,6 +174,12 @@ def solve_sharded(
     count (``1`` = monolithic passthrough), ``halo_rounds`` bounds the
     border best-response passes, ``n_jobs`` fans shard solves out over
     a process pool (``1`` solves them inline, in shard order).
+
+    ``shard_timeout`` bounds each shard solve's wall-clock on the pool
+    path; a shard that times out — or whose worker crashes/kills the
+    pool — is re-solved inline via :func:`_failover_shard` instead of
+    failing the whole batch, counted in ``stats.shard_failures`` /
+    ``stats.shard_failovers``.
     """
     if approach not in SHARDABLE_APPROACHES:
         raise ValueError(
@@ -145,6 +189,10 @@ def solve_sharded(
     kernel = resolve_kernel(kernel)
     if halo_rounds < 0:
         raise ValueError(f"halo_rounds must be >= 0, got {halo_rounds}")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError(
+            f"shard_timeout must be positive, got {shard_timeout}"
+        )
     started = time.perf_counter()
     if valid_pairs is None:
         valid_pairs = compute_valid_pairs(instance)
@@ -185,21 +233,35 @@ def solve_sharded(
         }
         for piece in pieces
     ]
+    shard_failures = 0
+    shard_failovers = 0
     if n_jobs <= 1 or len(payloads) <= 1:
-        outcomes = [
-            _solve_shard_payload(payload, time.time()) for payload in payloads
-        ]
+        outcomes = []
+        for piece, payload in zip(pieces, payloads):
+            try:
+                outcomes.append(_solve_shard_payload(payload, time.time()))
+            except Exception:  # noqa: BLE001 — failed over, counted
+                shard_failures += 1
+                outcomes.append(_failover_shard(piece, payload, shard_timeout))
+                shard_failovers += 1
     else:
-        pool = FanoutPool(n_jobs=min(n_jobs, len(payloads)))
+        pool = FanoutPool(
+            n_jobs=min(n_jobs, len(payloads)),
+            timeout=shard_timeout,
+            retries=0,
+            chaos_scope="shard",
+        )
         results = pool.run(_solve_shard_payload, payloads)
-        failed = [outcome for outcome in results if not outcome.succeeded]
-        if failed:
-            worst = failed[0]
-            raise RuntimeError(
-                f"shard solve failed for shard "
-                f"{pieces[worst.index].shard}: {worst.error}"
-            )
-        outcomes = [outcome.payload for outcome in results]
+        outcomes = []
+        for piece, payload, result in zip(pieces, payloads, results):
+            if result.succeeded:
+                outcomes.append(result.payload)
+                continue
+            # A crashed, hung or quarantined shard never aborts the
+            # batch: re-solve it inline via the fallback ladder.
+            shard_failures += 1
+            outcomes.append(_failover_shard(piece, payload, shard_timeout))
+            shard_failovers += 1
 
     stats = SolverStats.merged(
         SolverStats.from_dict(outcome["stats"])
@@ -239,6 +301,8 @@ def solve_sharded(
     stats.halo_rounds = halo_rounds_run
     stats.halo_moves = halo_moves
     stats.border_seeded = border_seeded
+    stats.shard_failures = shard_failures
+    stats.shard_failovers = shard_failovers
     stats.phase_seconds["partition"] = partition_seconds
     stats.phase_seconds["carve"] = carve_seconds
     stats.phase_seconds["shard_solve"] = float(np.sum(shard_seconds))

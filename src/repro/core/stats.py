@@ -96,6 +96,11 @@ class SolverStats:
         Workers placed by the boundary group-seeding pass (cross-shard
         groups best-response alone cannot bootstrap; see
         :func:`repro.core.sharding.reconcile.seed_border_groups`).
+    shard_failures / shard_failovers:
+        Shard solves that crashed, hung past ``shard_timeout`` or were
+        quarantined (failures), and how many of those were recovered by
+        the inline fallback-ladder re-solve (failovers). Both zero on a
+        healthy run.
     """
 
     solver: str = ""
@@ -119,6 +124,8 @@ class SolverStats:
     halo_rounds: int = 0
     halo_moves: int = 0
     border_seeded: int = 0
+    shard_failures: int = 0
+    shard_failovers: int = 0
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another run's counters into this object (in place).
@@ -150,6 +157,8 @@ class SolverStats:
         self.halo_rounds += other.halo_rounds
         self.halo_moves += other.halo_moves
         self.border_seeded += other.border_seeded
+        self.shard_failures += other.shard_failures
+        self.shard_failovers += other.shard_failovers
         self.rounds.extend(other.rounds)
         # ``runs`` adds like every other counter: an incoming object that
         # itself aggregates k runs contributes exactly k. (A previous
@@ -210,6 +219,8 @@ class SolverStats:
             "halo_rounds": self.halo_rounds,
             "halo_moves": self.halo_moves,
             "border_seeded": self.border_seeded,
+            "shard_failures": self.shard_failures,
+            "shard_failovers": self.shard_failovers,
         }
 
     @classmethod
@@ -254,6 +265,11 @@ class SolverStats:
                 f"shards={self.shard_count} border={self.border_workers}"
                 f" halo={self.halo_rounds}r/{self.halo_moves}m"
                 f" seeded={self.border_seeded}"
+            )
+        if self.shard_failures or self.shard_failovers:
+            parts.append(
+                f"shard_failures={self.shard_failures}"
+                f" failovers={self.shard_failovers}"
             )
         for name, seconds in self.phase_seconds.items():
             parts.append(f"{name}={seconds * 1e3:.1f}ms")

@@ -122,6 +122,11 @@ class ExperimentSettings:
     shards: "int | str" = 1
     #: Bound on the boundary-reconcile best-response passes.
     halo_rounds: int = 2
+    #: Wall-clock budget (seconds) for each shard solve on the pool
+    #: path; a shard that exceeds it (or crashes) is failed over to the
+    #: inline fallback ladder instead of aborting the batch. ``None``
+    #: (the default) keeps shard solves unbounded and bit-identical.
+    shard_timeout: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.quality_backend not in ("dense", "sparse"):
@@ -134,6 +139,10 @@ class ExperimentSettings:
         if self.halo_rounds < 0:
             raise ValueError(
                 f"halo_rounds must be >= 0, got {self.halo_rounds}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
             )
 
     def to_batch_config(self) -> BatchConfig:
@@ -174,6 +183,7 @@ def make_solver(
     kernel: str = DEFAULT_KERNEL,
     shards: "int | str" = 1,
     halo_rounds: int = 2,
+    shard_timeout: "float | None" = None,
 ) -> SolverFn:
     """Instantiate an approach by its paper name.
 
@@ -186,7 +196,10 @@ def make_solver(
     partition, per-shard solves, then ``halo_rounds`` boundary
     best-response passes. ``shards=1`` is the monolithic solver itself
     — not a one-shard wrapper — so results are repr-identical to
-    historical runs.
+    historical runs. ``shard_timeout`` bounds each shard solve's
+    wall-clock (crashed/hung shards fail over to the inline fallback
+    ladder; see :func:`repro.core.sharding.solve_sharded`); ``None``
+    keeps solves unbounded and bit-identical.
 
     Instrumented approaches (TPG and the GT variants) expose a
     ``stats_log`` attribute on the returned callable: one
@@ -219,6 +232,7 @@ def make_solver(
                 kernel=kernel,
                 shards=request,
                 halo_rounds=halo_rounds,
+                shard_timeout=shard_timeout,
             )
             solver.stats_log.append(result.stats)
             return result.assignment

@@ -77,6 +77,7 @@ def _sweep(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Expand the sweep into (value x approach) cells and execute them.
 
@@ -91,10 +92,10 @@ def _sweep(
     only), ``"shared"`` keeps a dense population but moves it into
     shared memory for the worker pool (also ignored when an explicit
     ``executor`` is passed).
-    ``shards``/``halo_rounds`` — when given — override the base
-    settings' geo-sharding knobs for every cell (the GT/TPG family
-    solves sharded; baselines stay monolithic), and flow into the
-    checkpoint journal key like every other setting.
+    ``shards``/``halo_rounds``/``shard_timeout`` — when given —
+    override the base settings' geo-sharding knobs for every cell (the
+    GT/TPG family solves sharded; baselines stay monolithic), and flow
+    into the checkpoint journal key like every other setting.
     """
     if quality_backend == "sparse" and base.quality_backend != "sparse":
         base = replace(base, quality_backend="sparse")
@@ -102,6 +103,8 @@ def _sweep(
         base = replace(base, shards=shards)
     if halo_rounds is not None:
         base = replace(base, halo_rounds=halo_rounds)
+    if shard_timeout is not None:
+        base = replace(base, shard_timeout=shard_timeout)
     if executor is None:
         executor = SweepExecutor(
             n_jobs=n_jobs, checkpoint=checkpoint, quality_backend=quality_backend
@@ -134,6 +137,7 @@ def fig2_capacity(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 2 — effect of the capacity ``a_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -151,6 +155,7 @@ def fig2_capacity(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -166,6 +171,7 @@ def fig3_speed(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 3 — effect of the worker speed range ``[v-, v+]`` (Meetup).
 
@@ -189,6 +195,7 @@ def fig3_speed(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -204,6 +211,7 @@ def fig4_radius(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 4 — effect of the working-area range ``[r-, r+]`` (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -223,6 +231,7 @@ def fig4_radius(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -238,6 +247,7 @@ def fig5_deadline(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 5 — effect of the remaining time ``tau_j`` of tasks (Meetup)."""
     base = (base or ExperimentSettings(dataset="meetup")).scaled(scale)
@@ -255,6 +265,7 @@ def fig5_deadline(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -270,6 +281,7 @@ def fig6_epsilon(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 6 — effect of the TSI threshold ``epsilon`` (synthetic).
 
@@ -291,6 +303,7 @@ def fig6_epsilon(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -306,6 +319,7 @@ def fig7_workers(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 7 — effect of the number of workers ``m`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -325,6 +339,7 @@ def fig7_workers(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -340,6 +355,7 @@ def fig8_tasks(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Figure 8 — effect of the number of tasks ``n`` (synthetic)."""
     base = base or ExperimentSettings(dataset="unif")
@@ -359,6 +375,7 @@ def fig8_tasks(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -377,6 +394,7 @@ def fig9_extensions(
     quality_backend: str = "dense",
     shards: "int | str | None" = None,
     halo_rounds: int | None = None,
+    shard_timeout: float | None = None,
 ) -> FigureResult:
     """Extension figure (not in the paper): the baseline ladder.
 
@@ -403,6 +421,7 @@ def fig9_extensions(
         quality_backend=quality_backend,
         shards=shards,
         halo_rounds=halo_rounds,
+        shard_timeout=shard_timeout,
     )
 
 

@@ -42,6 +42,7 @@ import json
 import os
 import sys
 import time
+import zlib
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
@@ -60,7 +61,7 @@ from repro.experiments.runner import (
 from repro.simulation.batch import SimulationReport
 from repro.simulation.metrics import round_from_dict, round_to_dict
 from repro.simulation.population import Population
-from repro.utils.procpool import FanoutPool, PoolOutcome
+from repro.utils.procpool import FanoutPool, PoolOutcome, RetryPolicy
 
 __all__ = [
     "CellSpec",
@@ -77,7 +78,10 @@ __all__ = [
 
 #: Bumped whenever the journal record layout changes; records with a
 #: different version are ignored on resume (the cell simply re-runs).
-JOURNAL_SCHEMA_VERSION = 1
+#: v2: every line is ``{"crc": crc32(record_json), "record": {...}}`` —
+#: a per-line integrity check that catches torn or bit-rotted lines
+#: anywhere in the file, not just a truncated tail.
+JOURNAL_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -108,7 +112,14 @@ class CellSpec:
 
 @dataclass(frozen=True)
 class CellFailure:
-    """Structured record of a cell that kept failing after its retry."""
+    """Structured record of a cell that kept failing after its retry.
+
+    ``kind`` mirrors :attr:`~repro.utils.procpool.PoolOutcome.kind`:
+    ``"error"`` (the cell raised), ``"timeout"``, ``"poison"`` (the cell
+    repeatedly killed its worker pool and was quarantined so the rest of
+    the sweep could finish) or ``"crash"`` (pool kept breaking for
+    reasons the cell was never blamed for).
+    """
 
     figure: str
     parameter: str
@@ -117,6 +128,7 @@ class CellFailure:
     error: str
     attempts: int
     timed_out: bool = False
+    kind: str = "error"
 
 
 @dataclass
@@ -159,6 +171,9 @@ class ExecutorTelemetry:
     worker_utilization: float = 0.0
     speedup_vs_serial_estimate: float = 0.0
     distinct_workers: int = 0
+    pool_rebuilds: int = 0
+    quarantined_cells: int = 0
+    journal_recovered_lines: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready representation (used by ``bench_guard``)."""
@@ -174,6 +189,9 @@ class ExecutorTelemetry:
             "worker_utilization": self.worker_utilization,
             "speedup_vs_serial_estimate": self.speedup_vs_serial_estimate,
             "distinct_workers": self.distinct_workers,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined_cells": self.quarantined_cells,
+            "journal_recovered_lines": self.journal_recovered_lines,
         }
 
     def summary(self) -> str:
@@ -191,6 +209,12 @@ class ExecutorTelemetry:
             parts.append(f"resumed {self.resumed_cells}")
         if self.retried_cells:
             parts.append(f"retried {self.retried_cells}")
+        if self.pool_rebuilds:
+            parts.append(f"pool rebuilt {self.pool_rebuilds}x")
+        if self.journal_recovered_lines:
+            parts.append(f"journal recovered {self.journal_recovered_lines}")
+        if self.quarantined_cells:
+            parts.append(f"QUARANTINED {self.quarantined_cells}")
         if self.failed_cells:
             parts.append(f"FAILED {self.failed_cells}")
         return ", ".join(parts)
@@ -380,22 +404,87 @@ def _payload_to_result(payload: dict, spec: CellSpec) -> CellResult:
     )
 
 
+def _journal_line(payload: dict) -> str:
+    """One journal line: the record JSON wrapped with its CRC32.
+
+    The CRC is computed over the sorted-keys rendering of the record, so
+    verification re-serializes the parsed record the same way — Python's
+    shortest-repr floats round-trip exactly, making the check stable.
+    """
+    body = json.dumps(payload, sort_keys=True)
+    return json.dumps(
+        {"crc": zlib.crc32(body.encode("utf-8")), "record": payload},
+        sort_keys=True,
+    )
+
+
+def _verify_line(wrapper: dict) -> dict | None:
+    """CRC-check one parsed journal wrapper; the record or ``None``."""
+    payload = wrapper.get("record")
+    if not isinstance(payload, dict):
+        return None
+    body = json.dumps(payload, sort_keys=True)
+    if zlib.crc32(body.encode("utf-8")) != wrapper["crc"]:
+        return None
+    return payload
+
+
 class SweepJournal:
     """Append-only JSONL checkpoint of finished sweep cells.
 
-    Each line is one schema-versioned JSON record of a successful cell,
-    written atomically from the appender's view: append + flush +
-    ``os.fsync`` per record, so a kill between cells loses at most the
-    cell in flight. :meth:`load` tolerates a truncated final line (the
-    signature of a hard kill) and skips records from other schema
-    versions — those cells simply re-run.
+    Each line wraps one schema-versioned record of a successful cell
+    with its CRC32 (:func:`_journal_line`), written atomically from the
+    appender's view: append + flush + ``os.fsync`` per record, so a kill
+    between cells loses at most the cell in flight.
+
+    A hard kill *mid-write* leaves a torn trailing line with no
+    newline — and a later append would glue its record onto that
+    fragment, silently losing both. :meth:`recover` therefore physically
+    truncates the file back to its last complete line; both :meth:`load`
+    and the first :meth:`append` run it, and every dropped line (torn
+    tail, CRC mismatch, unparseable) is counted in
+    :attr:`recovered_lines` so telemetry can surface the repair.
+    Records from other schema versions are skipped silently — those
+    cells simply re-run.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: Lines dropped (torn tail truncated, CRC-mismatch skipped)
+        #: while loading/repairing this journal.
+        self.recovered_lines = 0
+        self._tail_checked = False
+
+    def recover(self) -> int:
+        """Truncate a torn trailing line in place; returns bytes cut.
+
+        Idempotent and cheap (seeks from the end); a no-op on a missing,
+        empty or newline-terminated file.
+        """
+        self._tail_checked = True
+        if not self.path.exists():
+            return 0
+        with open(self.path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return 0
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return 0
+            # Walk back to the last newline (or file start) and cut.
+            handle.seek(0)
+            data = handle.read(size)
+            keep = data.rfind(b"\n") + 1
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.recovered_lines += 1
+        return size - keep
 
     def load(self) -> dict[str, dict]:
         """Finished-cell records keyed by :func:`_spec_key` string."""
+        self.recover()
         records: dict[str, dict] = {}
         if not self.path.exists():
             return records
@@ -405,21 +494,37 @@ class SweepJournal:
                 if not line:
                     continue
                 try:
-                    payload = json.loads(line)
+                    wrapper = json.loads(line)
                 except ValueError:
-                    continue  # truncated tail from a mid-write kill
+                    # Torn or bit-rotted line — drop it; the cell re-runs.
+                    self.recovered_lines += 1
+                    continue
+                if not isinstance(wrapper, dict):
+                    self.recovered_lines += 1
+                    continue
+                if "crc" not in wrapper:
+                    # Pre-CRC (v1) record: a version mismatch, not
+                    # corruption — skip silently, the cell re-runs.
+                    continue
+                payload = _verify_line(wrapper)
+                if payload is None:
+                    self.recovered_lines += 1
+                    continue
                 if (
-                    not isinstance(payload, dict)
-                    or payload.get("schema") != JOURNAL_SCHEMA_VERSION
+                    payload.get("schema") != JOURNAL_SCHEMA_VERSION
                     or "key" not in payload
                 ):
-                    continue
+                    continue  # other schema version: re-run, not corrupt
                 records[payload["key"]] = payload
         return records
 
     def append(self, result: CellResult) -> None:
         """Durably journal one successful cell."""
-        line = json.dumps(_result_to_payload(result))
+        if not self._tail_checked:
+            # First append of this run: make sure we never glue a record
+            # onto a torn line a killed predecessor left behind.
+            self.recover()
+        line = _journal_line(_result_to_payload(result))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
@@ -482,6 +587,7 @@ class SweepExecutor:
         poll_seconds: float = 0.05,
         checkpoint: str | Path | None = None,
         quality_backend: str = "dense",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -501,6 +607,9 @@ class SweepExecutor:
         self.poll_seconds = poll_seconds
         self.checkpoint = checkpoint
         self.quality_backend = quality_backend
+        #: Backoff/jitter/timeout-escalation knobs for retries and pool
+        #: rebuilds; ``None`` uses the :class:`RetryPolicy` defaults.
+        self.retry_policy = retry_policy
         self.partial_telemetry: ExecutorTelemetry | None = None
         #: Names of the shared-memory segments the most recent
         #: :meth:`run` created (all unlinked by the time run returns).
@@ -524,10 +633,13 @@ class SweepExecutor:
             if self.checkpoint is not None
             else None
         )
+        self._last_rebuilds = 0
+        self._journal_recovered = 0
         results: dict[int, CellResult] = {}
         remaining: list[tuple[int, CellSpec]] = []
         if journal is not None:
             finished = journal.load()
+            self._journal_recovered = journal.recovered_lines
             for index, spec in enumerate(specs):
                 payload = finished.get(_spec_key(spec))
                 if payload is not None:
@@ -542,7 +654,12 @@ class SweepExecutor:
         try:
             if self.n_jobs == 1 or len(remaining) <= 1:
                 self._run_fanout(
-                    FanoutPool(n_jobs=1, retries=self.retries),
+                    FanoutPool(
+                        n_jobs=1,
+                        retries=self.retries,
+                        retry_policy=self.retry_policy,
+                        chaos_scope="cell",
+                    ),
                     remaining,
                     results,
                     journal,
@@ -638,6 +755,8 @@ class SweepExecutor:
             retries=self.retries,
             mp_context=self.mp_context,
             poll_seconds=self.poll_seconds,
+            retry_policy=self.retry_policy,
+            chaos_scope="cell",
         )
         self._run_fanout(pool, remaining, results, journal)
 
@@ -667,6 +786,7 @@ class SweepExecutor:
             )
 
         pool.run(_execute_cell, specs, on_result=on_result)
+        self._last_rebuilds = getattr(self, "_last_rebuilds", 0) + pool.last_rebuilds
 
     @staticmethod
     def _cell_result(spec: CellSpec, outcome: PoolOutcome) -> CellResult:
@@ -683,6 +803,7 @@ class SweepExecutor:
                 error=outcome.error or "unknown error",
                 attempts=outcome.attempts,
                 timed_out=outcome.timed_out,
+                kind=outcome.kind if outcome.kind != "ok" else "error",
             ),
         )
 
@@ -705,6 +826,15 @@ class SweepExecutor:
             wall_seconds=wall_seconds,
             cell_seconds=cell_seconds,
             distinct_workers=len({r.worker_pid for r in executed}),
+            # getattr defaults: _telemetry is also exercised standalone
+            # (property tests bind it to a bare namespace with n_jobs).
+            pool_rebuilds=getattr(self, "_last_rebuilds", 0),
+            quarantined_cells=sum(
+                1
+                for r in results
+                if r.failure is not None and r.failure.kind == "poison"
+            ),
+            journal_recovered_lines=getattr(self, "_journal_recovered", 0),
         )
         if executed:
             telemetry.mean_queue_seconds = sum(

@@ -24,6 +24,7 @@ __all__ = [
     "format_failures",
     "format_fault_summary",
     "format_audit_outcome",
+    "format_chaos_report",
 ]
 
 
@@ -155,13 +156,61 @@ def format_audit_outcome(outcome) -> str:
 
 
 def format_failures(failures: list[CellFailure]) -> str:
-    """Render a sweep's failed cells, one line each (empty when none)."""
+    """Render a sweep's failed cells, one line each (empty when none).
+
+    The verb reflects the structured failure ``kind``: quarantined
+    (``"poison"`` — the cell killed its shared pool twice and then a
+    solo-retrial pool), crashed (``"crash"`` — pool rebuild budget
+    exhausted), timed out, or plain failed.
+    """
+    verbs = {
+        "poison": "was quarantined",
+        "crash": "crashed",
+        "timeout": "timed out",
+    }
     lines = []
     for failure in failures:
-        kind = "timed out" if failure.timed_out else "failed"
+        kind = getattr(failure, "kind", "error")
+        verb = verbs.get(kind, "timed out" if failure.timed_out else "failed")
         lines.append(
             f"FAILED cell: {failure.approach} at {failure.parameter}="
-            f"{_format_value(failure.value)} ({failure.figure}) {kind} "
+            f"{_format_value(failure.value)} ({failure.figure}) {verb} "
             f"after {failure.attempts} attempt(s): {failure.error}"
+        )
+    return "\n".join(lines)
+
+
+def format_chaos_report(report) -> str:
+    """Render a :class:`~repro.chaos.ChaosCampaignReport` for the CLI.
+
+    A PASS/FAIL verdict line, the per-sweep parity flags, then the
+    recovery telemetry the campaign accumulated.
+    """
+    verdict = "PASS" if report.ok else "FAIL"
+    flag = lambda ok: "ok" if ok else "MISMATCH"  # noqa: E731
+    lines = [
+        f"chaos campaign {verdict}: {report.sweeps} sweep(s) x "
+        f"{report.cells_per_sweep} cell(s), seed {report.seed}, "
+        f"{report.wall_seconds:.1f}s",
+        "parity vs clean oracle:   "
+        + " ".join(flag(ok) for ok in report.parity),
+        "torn-journal resume:      "
+        + " ".join(flag(ok) for ok in report.resume_parity),
+        f"recovered from: {report.retried_cells} retried cell(s), "
+        f"{report.pool_rebuilds} pool rebuild(s), "
+        f"{report.journal_recovered_lines} torn journal line(s)",
+    ]
+    if report.failed_cells:
+        lines.append(f"FAILED cells: {report.failed_cells}")
+    if report.quarantined_cells:
+        lines.append(f"quarantined cells: {report.quarantined_cells}")
+    if report.leaked_segments:
+        lines.append(
+            "LEAKED shared-memory segments: "
+            + ", ".join(report.leaked_segments)
+        )
+    if report.reaped_segments:
+        lines.append(
+            "reaped orphaned segments: " + ", ".join(report.reaped_segments)
         )
     return "\n".join(lines)

@@ -196,6 +196,7 @@ def run_single_approach(
         kernel=settings.kernel,
         shards=shards,
         halo_rounds=settings.halo_rounds,
+        shard_timeout=settings.shard_timeout,
     )
     upper_accumulator = [0.0]
     hook = None

@@ -1,4 +1,4 @@
-"""Generic deterministic process-pool fan-out.
+"""Generic deterministic process-pool fan-out with crash supervision.
 
 Extracted from the sweep executor so any subsystem with independent,
 picklable work items — sweep cells, shard sub-solves — can fan out over
@@ -9,22 +9,53 @@ one :class:`PoolOutcome` per item, in item order, regardless of
 completion order, which is what keeps parallel runs bit-identical to
 serial ones when the work itself is deterministic.
 
+On top of the original raise/timeout retries, the pool now *supervises*
+its executor: a child that dies hard (SIGKILL, ``os._exit``) breaks the
+whole ``ProcessPoolExecutor`` and every pending future raises
+``BrokenProcessPool`` — the supervisor rebuilds the pool, re-enqueues
+the in-flight items (with capped exponential backoff + deterministic
+jitter from :class:`RetryPolicy`) and keeps going. Blame for a break is
+assigned to the attempts that were *observed running* when it happened
+(or to every pending attempt, when the break landed before any of them
+was observed running — a child can die within one poll interval); an
+item blamed twice is re-tried **alone** in a fresh single-worker
+pool — if it breaks that one too it is provably the culprit and is
+quarantined as a ``kind="poison"`` outcome, while an innocent bystander
+(blamed only because it shared the pool with the real killer) clears
+its name by completing. The run as a whole therefore survives any
+number of crashing items without aborting, and without false
+quarantines.
+
 Contract for the worker callable: ``fn(item, submitted_at)`` where
 ``submitted_at`` is the parent's ``time.time()`` at submission (workers
 that care measure queue latency from it; others ignore it). ``fn`` must
 be module-level (spawn-start pools pickle it by reference) and its
 return value must be picklable.
+
+Chaos injection (:mod:`repro.chaos`) hooks in here: when the
+``REPRO_CHAOS_SPEC`` environment variable is set, items are submitted
+through :func:`_chaos_invoke`, which consults the injector before
+running ``fn``. With the variable unset the clean path is untouched —
+``fn`` is submitted directly, no chaos import ever happens, and results
+stay bit-identical to builds without the chaos layer.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-__all__ = ["PoolOutcome", "FanoutPool"]
+import numpy as np
+
+__all__ = ["PoolOutcome", "RetryPolicy", "FanoutPool"]
+
+#: Mirror of :data:`repro.chaos.policy.CHAOS_ENV_VAR`. Duplicated as a
+#: plain string so the clean path never imports the chaos package.
+_CHAOS_ENV = "REPRO_CHAOS_SPEC"
 
 
 @dataclass
@@ -34,7 +65,11 @@ class PoolOutcome:
     ``payload`` is ``fn``'s return value when the item succeeded;
     ``error`` is the formatted ``"Type: message"`` string of the last
     attempt's exception otherwise. ``attempts`` counts every try,
-    including the successful one.
+    including the successful one. ``kind`` classifies the outcome:
+    ``"ok"``, ``"error"`` (fn raised), ``"timeout"`` (wall-clock budget
+    exceeded), ``"poison"`` (the item broke a pool it had to itself —
+    quarantined), ``"crash"`` (gave up after the pool kept breaking for
+    reasons this item was never blamed for).
     """
 
     index: int
@@ -42,14 +77,98 @@ class PoolOutcome:
     error: str | None = None
     attempts: int = 1
     timed_out: bool = False
+    kind: str = "ok"
 
     @property
     def succeeded(self) -> bool:
         return self.error is None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff, jitter and timeout-escalation knobs for retries.
+
+    ``delay(index, attempt)`` is the pause before re-running ``index``
+    after its ``attempt``-th try failed: ``min(cap, base * 2^(attempt-1))``
+    stretched by up to ``jitter`` of itself. The jitter fraction is drawn
+    from a ``default_rng`` seeded on ``(seed, stream, index, attempt)``,
+    so it is deterministic per (policy, item, attempt) — two same-seed
+    runs back off identically, yet distinct items never thunder in herd.
+    ``timeout_for`` escalates the per-item budget geometrically per
+    attempt (a cell that timed out once gets more room, not the same
+    guillotine); ``rebuild_delay`` paces pool reconstruction after a
+    break the same way. ``backoff_base=0`` disables all sleeping.
+    """
+
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    timeout_escalation: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap must be >= backoff_base, got {self.backoff_cap}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_escalation < 1.0:
+            raise ValueError(
+                f"timeout_escalation must be >= 1, got {self.timeout_escalation}"
+            )
+
+    def _jittered(self, raw: float, stream: int, index: int, attempt: int) -> float:
+        if raw <= 0:
+            return 0.0
+        if self.jitter <= 0:
+            return raw
+        draw = float(
+            np.random.default_rng((self.seed, stream, index, attempt)).random()
+        )
+        return raw * (1.0 + self.jitter * draw)
+
+    def delay(self, index: int, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt + 1`` of ``index``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = min(self.backoff_cap, self.backoff_base * 2.0 ** (attempt - 1))
+        return self._jittered(raw, 1, index, attempt)
+
+    def timeout_for(self, base_timeout: float | None, attempt: int) -> float | None:
+        """The per-item wall-clock budget for a given attempt number."""
+        if base_timeout is None:
+            return None
+        return base_timeout * self.timeout_escalation ** (attempt - 1)
+
+    def rebuild_delay(self, rebuilds: int) -> float:
+        """Seconds to pause before bringing up replacement pool #n."""
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = min(self.backoff_cap, self.backoff_base * 2.0 ** (rebuilds - 1))
+        return self._jittered(raw, 2, 0, rebuilds)
+
+
 def _format_error(error) -> str:
     return f"{type(error).__name__}: {error}" if error else "unknown error"
+
+
+def _chaos_invoke(payload: tuple, submitted_at: float):
+    """Run one item under the ambient chaos injector.
+
+    Module-level so spawn-start pools pickle it by reference. The chaos
+    import is deferred: this function is only ever submitted when the
+    spec env var is set, so clean runs never touch the chaos package.
+    """
+    fn, scope, index, attempt, item, inline = payload
+    from repro.chaos.policy import chaos_context
+
+    with chaos_context(scope, index, attempt, inline=inline):
+        return fn(item, submitted_at)
 
 
 class _Attempt:
@@ -78,15 +197,34 @@ class FanoutPool:
         item is observed running (queue time never counts). ``None``
         disables it; only enforced on the pool path — a timed-out future
         is abandoned, its worker keeps the slot until the item ends.
+        Retried attempts get an escalated budget
+        (:meth:`RetryPolicy.timeout_for`).
     retries:
         Extra attempts after a raise/timeout before the item is recorded
-        as failed (default 1 → two attempts).
+        as failed (default 1 → two attempts). Crash re-runs (the item
+        was in flight when the pool broke) are supervision, not retries,
+        and do not consume this budget.
     mp_context:
         ``multiprocessing`` start method; ``"spawn"`` (default) is the
         portable, thread-safe choice, ``"fork"`` exists for tests that
         must inherit monkeypatched module state.
     poll_seconds:
         Wait granularity of the completion/timeout loop.
+    retry_policy:
+        Backoff/jitter/escalation knobs; ``None`` uses the default
+        :class:`RetryPolicy`.
+    chaos_scope:
+        Label mixed into the chaos injector's RNG key so different
+        fan-out layers (sweep cells vs. shard solves) draw independent
+        injection schedules.
+    max_rebuilds:
+        Pool reconstructions to tolerate before giving up and failing
+        all outstanding items as ``kind="crash"``. ``None`` derives
+        ``2 * len(items) + 4`` — far above what quarantine-bound items
+        can cause, a backstop against environmental crash loops.
+
+    After :meth:`run`, ``last_rebuilds`` reports how many times the pool
+    had to be rebuilt (0 on a healthy run).
 
     ``KeyboardInterrupt`` mid-run tears the pool down without waiting on
     in-flight items and re-raises; outcomes delivered to ``on_result``
@@ -100,6 +238,9 @@ class FanoutPool:
         retries: int = 1,
         mp_context: str = "spawn",
         poll_seconds: float = 0.05,
+        retry_policy: RetryPolicy | None = None,
+        chaos_scope: str = "pool",
+        max_rebuilds: int | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -107,11 +248,17 @@ class FanoutPool:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if max_rebuilds is not None and max_rebuilds < 0:
+            raise ValueError(f"max_rebuilds must be >= 0, got {max_rebuilds}")
         self.n_jobs = n_jobs
         self.timeout = timeout
         self.retries = retries
         self.mp_context = mp_context
         self.poll_seconds = poll_seconds
+        self.retry_policy = retry_policy
+        self.chaos_scope = chaos_scope
+        self.max_rebuilds = max_rebuilds
+        self.last_rebuilds = 0
 
     def run(self, fn, items, on_result=None) -> list[PoolOutcome]:
         """Execute ``fn(item, submitted_at)`` for every item.
@@ -122,6 +269,7 @@ class FanoutPool:
         """
         items = list(items)
         results: dict[int, PoolOutcome] = {}
+        self.last_rebuilds = 0
 
         def record(outcome: PoolOutcome) -> None:
             results[outcome.index] = outcome
@@ -135,14 +283,32 @@ class FanoutPool:
             self._run_pool(fn, items, record)
         return [results[index] for index in range(len(items))]
 
+    def _policy(self) -> RetryPolicy:
+        return self.retry_policy if self.retry_policy is not None else RetryPolicy()
+
     # -- serial path -------------------------------------------------------
 
     def _run_inline(self, fn, index: int, item) -> PoolOutcome:
+        policy = self._policy()
+        chaos_active = bool(os.environ.get(_CHAOS_ENV))
         last_error: Exception | None = None
         for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                delay = policy.delay(index, attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
             submitted_at = time.time()
             try:
-                payload = fn(item, submitted_at)
+                if chaos_active:
+                    # inline=True: the injector only honors "raise" here —
+                    # killing or hanging the caller is a real outage, not
+                    # an injected one.
+                    payload = _chaos_invoke(
+                        (fn, self.chaos_scope, index, attempt, item, True),
+                        submitted_at,
+                    )
+                else:
+                    payload = fn(item, submitted_at)
             except Exception as error:  # noqa: BLE001 — converted to a record
                 last_error = error
                 continue
@@ -151,36 +317,53 @@ class FanoutPool:
             index=index,
             error=_format_error(last_error),
             attempts=self.retries + 1,
+            kind="error",
         )
 
     # -- pool path ---------------------------------------------------------
 
+    def _submit(self, pool, fn, info: _Attempt, chaos_active: bool):
+        if chaos_active:
+            return pool.submit(
+                _chaos_invoke,
+                (fn, self.chaos_scope, info.index, info.attempt, info.item, False),
+                info.submitted_at,
+            )
+        return pool.submit(fn, info.item, info.submitted_at)
+
     def _run_pool(self, fn, items, record) -> None:
         context = multiprocessing.get_context(self.mp_context)
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.n_jobs, len(items)), mp_context=context
+        policy = self._policy()
+        chaos_active = bool(os.environ.get(_CHAOS_ENV))
+        max_rebuilds = (
+            self.max_rebuilds
+            if self.max_rebuilds is not None
+            else 2 * len(items) + 4
         )
-        pending: dict = {}
-        abandoned = False
 
-        def submit(index: int, item, attempt: int) -> None:
-            info = _Attempt(index, item, attempt)
-            try:
-                future = pool.submit(fn, item, info.submitted_at)
-            except (BrokenProcessPool, RuntimeError) as error:
-                record(
-                    PoolOutcome(
-                        index=index,
-                        error=_format_error(error),
-                        attempts=attempt,
-                    )
-                )
-            else:
-                pending[future] = info
+        #: (index, item, attempt) triples ready to submit now.
+        ready: list[tuple[int, object, int]] = [
+            (index, item, 1) for index, item in enumerate(items)
+        ]
+        #: (not_before_monotonic, index, item, attempt) — backoff holds.
+        deferred: list[tuple[float, int, object, int]] = []
+        #: Attempts blamed for two pool breaks, awaiting a solo retrial.
+        suspects: list[_Attempt] = []
+        crash_counts: dict[int, int] = {}
+        pending: dict = {}
+        pool = None
+        abandoned = False
 
         def handle_failure(info: _Attempt, error, timed_out: bool) -> None:
             if info.attempt <= self.retries:
-                submit(info.index, info.item, info.attempt + 1)
+                deferred.append(
+                    (
+                        time.monotonic() + policy.delay(info.index, info.attempt),
+                        info.index,
+                        info.item,
+                        info.attempt + 1,
+                    )
+                )
             else:
                 record(
                     PoolOutcome(
@@ -188,52 +371,179 @@ class FanoutPool:
                         error=_format_error(error),
                         attempts=info.attempt,
                         timed_out=timed_out,
+                        kind="timeout" if timed_out else "error",
                     )
                 )
 
         try:
-            for index, item in enumerate(items):
-                submit(index, item, attempt=1)
-            while pending:
-                done, _ = wait(
-                    set(pending),
-                    timeout=self.poll_seconds,
-                    return_when=FIRST_COMPLETED,
-                )
-                for future in done:
-                    info = pending.pop(future)
-                    try:
-                        payload = future.result()
-                    except Exception as error:  # noqa: BLE001
-                        handle_failure(info, error, timed_out=False)
-                    else:
-                        record(
-                            PoolOutcome(
-                                index=info.index,
-                                payload=payload,
-                                attempts=info.attempt,
-                            )
-                        )
-                if self.timeout is None:
-                    continue
+            while pending or ready or deferred:
+                broken = False
                 now = time.monotonic()
-                for future, info in list(pending.items()):
-                    if info.running_since is None and future.running():
-                        info.running_since = now
-                    if (
-                        info.running_since is not None
-                        and now - info.running_since > self.timeout
-                    ):
-                        future.cancel()
-                        pending.pop(future)
-                        abandoned = True
-                        handle_failure(
-                            info,
-                            TimeoutError(
-                                f"item exceeded {self.timeout:g}s wall-clock"
-                            ),
-                            timed_out=True,
+                held = []
+                for entry in deferred:
+                    if entry[0] <= now:
+                        ready.append(entry[1:])
+                    else:
+                        held.append(entry)
+                deferred = held
+
+                while ready:
+                    index, item, attempt = ready[0]
+                    if pool is None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(self.n_jobs, len(items)),
+                            mp_context=context,
                         )
+                    info = _Attempt(index, item, attempt)
+                    try:
+                        future = self._submit(pool, fn, info, chaos_active)
+                    except (BrokenProcessPool, RuntimeError):
+                        broken = True
+                        break
+                    ready.pop(0)
+                    pending[future] = info
+
+                if not broken and pending:
+                    done, _ = wait(
+                        set(pending),
+                        timeout=self.poll_seconds,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    now = time.monotonic()
+                    # Mark running unconditionally (not just under a
+                    # timeout): crash blame needs to know which attempts
+                    # were on a worker when the pool broke.
+                    for future, info in pending.items():
+                        if info.running_since is None and future.running():
+                            info.running_since = now
+                    for future in done:
+                        info = pending.pop(future)
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool:
+                            # Every pending future is now dead; put this
+                            # one back so the rebuild block below blames
+                            # and re-enqueues them all uniformly.
+                            pending[future] = info
+                            broken = True
+                            break
+                        except Exception as error:  # noqa: BLE001
+                            handle_failure(info, error, timed_out=False)
+                        else:
+                            record(
+                                PoolOutcome(
+                                    index=info.index,
+                                    payload=payload,
+                                    attempts=info.attempt,
+                                )
+                            )
+                    if not broken and self.timeout is not None:
+                        now = time.monotonic()
+                        for future, info in list(pending.items()):
+                            budget = policy.timeout_for(self.timeout, info.attempt)
+                            if (
+                                info.running_since is not None
+                                and now - info.running_since > budget
+                            ):
+                                future.cancel()
+                                pending.pop(future)
+                                abandoned = True
+                                handle_failure(
+                                    info,
+                                    TimeoutError(
+                                        f"item exceeded {budget:g}s wall-clock"
+                                    ),
+                                    timed_out=True,
+                                )
+                elif not broken:
+                    # Nothing in flight; sleep toward the earliest
+                    # backoff release instead of spinning.
+                    if deferred:
+                        pause = min(e[0] for e in deferred) - time.monotonic()
+                        time.sleep(min(self.poll_seconds, max(0.0, pause)))
+                    continue
+
+                if broken:
+                    self.last_rebuilds += 1
+                    if pool is not None:
+                        # Dead children can't finish anything; never wait.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+                    # A child can pick up an item and die inside a single
+                    # poll interval, so its future goes straight from
+                    # pending to broken without ever being *observed*
+                    # running. If that happened to every pending attempt,
+                    # blame them all — the solo-retrial stage exonerates
+                    # innocents, so over-blame costs time, never
+                    # correctness; under-blame would re-enqueue the true
+                    # killer as an innocent forever.
+                    blame_all = pending and not any(
+                        info.running_since is not None
+                        for info in pending.values()
+                    )
+                    for future, info in pending.items():
+                        if info.running_since is not None or blame_all:
+                            # Observed running when the pool died — a
+                            # suspect. Twice-blamed items go to a solo
+                            # retrial (innocent bystanders clear their
+                            # name there; true killers get quarantined).
+                            crash_counts[info.index] = (
+                                crash_counts.get(info.index, 0) + 1
+                            )
+                            if crash_counts[info.index] >= 2:
+                                info.attempt += 1
+                                suspects.append(info)
+                            else:
+                                deferred.append(
+                                    (
+                                        time.monotonic()
+                                        + policy.delay(info.index, info.attempt),
+                                        info.index,
+                                        info.item,
+                                        info.attempt + 1,
+                                    )
+                                )
+                        else:
+                            # Still queued — an innocent; resubmit as-is.
+                            ready.append((info.index, info.item, info.attempt))
+                    pending.clear()
+                    if self.last_rebuilds > max_rebuilds:
+                        message = (
+                            f"process pool broke {self.last_rebuilds} times; "
+                            "giving up on outstanding items"
+                        )
+                        for index, item, attempt in ready:
+                            record(
+                                PoolOutcome(
+                                    index=index,
+                                    error=message,
+                                    attempts=attempt,
+                                    kind="crash",
+                                )
+                            )
+                        for _, index, item, attempt in deferred:
+                            record(
+                                PoolOutcome(
+                                    index=index,
+                                    error=message,
+                                    attempts=attempt,
+                                    kind="crash",
+                                )
+                            )
+                        ready, deferred = [], []
+                    else:
+                        pause = policy.rebuild_delay(self.last_rebuilds)
+                        if pause > 0:
+                            time.sleep(pause)
+
+            # Solo retrials: each twice-blamed item gets a fresh
+            # single-worker pool with nothing else in it. Breaking that
+            # pool is proof of guilt.
+            for info in sorted(suspects, key=lambda s: s.index):
+                self._solo_trial(
+                    fn, info, policy, chaos_active, context,
+                    crash_counts.get(info.index, 2), record,
+                )
         except KeyboardInterrupt:
             # Don't wait for in-flight items on a user interrupt; the
             # caller's on_result hook already saw everything that
@@ -243,4 +553,96 @@ class FanoutPool:
         finally:
             # Abandoned (timed-out or interrupted) items are still
             # running inside their workers; waiting on them would hang.
+            if pool is not None:
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+    def _solo_trial(
+        self,
+        fn,
+        suspect: _Attempt,
+        policy: RetryPolicy,
+        chaos_active: bool,
+        context,
+        prior_blames: int,
+        record,
+    ) -> None:
+        """Re-run a twice-blamed item alone; quarantine it if it kills
+        again, clear it if it completes."""
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        info = _Attempt(suspect.index, suspect.item, suspect.attempt)
+        abandoned = False
+        try:
+            try:
+                future = self._submit(pool, fn, info, chaos_active)
+            except (BrokenProcessPool, RuntimeError) as error:
+                record(
+                    PoolOutcome(
+                        index=info.index,
+                        error=_format_error(error),
+                        attempts=info.attempt,
+                        kind="poison",
+                    )
+                )
+                return
+            while True:
+                done, _ = wait(
+                    {future}, timeout=self.poll_seconds,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                if info.running_since is None and future.running():
+                    info.running_since = now
+                if done:
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        self.last_rebuilds += 1
+                        record(
+                            PoolOutcome(
+                                index=info.index,
+                                error=(
+                                    f"item killed {prior_blames} shared pool(s) "
+                                    "and its solo retrial pool; quarantined"
+                                ),
+                                attempts=info.attempt,
+                                kind="poison",
+                            )
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        record(
+                            PoolOutcome(
+                                index=info.index,
+                                error=_format_error(error),
+                                attempts=info.attempt,
+                                kind="error",
+                            )
+                        )
+                    else:
+                        record(
+                            PoolOutcome(
+                                index=info.index,
+                                payload=payload,
+                                attempts=info.attempt,
+                            )
+                        )
+                    return
+                budget = policy.timeout_for(self.timeout, info.attempt)
+                if (
+                    budget is not None
+                    and info.running_since is not None
+                    and now - info.running_since > budget
+                ):
+                    future.cancel()
+                    abandoned = True
+                    record(
+                        PoolOutcome(
+                            index=info.index,
+                            error=f"item exceeded {budget:g}s wall-clock",
+                            attempts=info.attempt,
+                            timed_out=True,
+                            kind="timeout",
+                        )
+                    )
+                    return
+        finally:
             pool.shutdown(wait=not abandoned, cancel_futures=True)

@@ -349,6 +349,185 @@ class TestCheckpointResume:
         assert "resumed" in second
 
 
+class TestRetryPolicy:
+    def test_rejects_bad_parameters(self):
+        from repro.utils.procpool import RetryPolicy
+
+        with pytest.raises(ValueError, match="backoff_base"):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryPolicy(backoff_base=1.0, backoff_cap=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="timeout_escalation"):
+            RetryPolicy(timeout_escalation=0.9)
+
+    def test_delay_doubles_then_caps(self):
+        from repro.utils.procpool import RetryPolicy
+
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.5, jitter=0.0)
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.4)
+        assert policy.delay(0, 4) == pytest.approx(0.5)  # capped
+        assert policy.delay(0, 10) == pytest.approx(0.5)
+
+    def test_zero_base_disables_all_sleeping(self):
+        from repro.utils.procpool import RetryPolicy
+
+        policy = RetryPolicy(backoff_base=0.0)
+        assert policy.delay(3, 5) == 0.0
+        assert policy.rebuild_delay(4) == 0.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        from repro.utils.procpool import RetryPolicy
+
+        a = RetryPolicy(backoff_base=0.1, jitter=0.25, seed=9)
+        b = RetryPolicy(backoff_base=0.1, jitter=0.25, seed=9)
+        raw = 0.1
+        for index in range(4):
+            delay = a.delay(index, 1)
+            assert delay == b.delay(index, 1)  # same key, same jitter
+            assert raw <= delay <= raw * 1.25
+        # Distinct items never thunder in herd.
+        assert len({round(a.delay(i, 1), 12) for i in range(8)}) > 1
+
+    def test_timeout_escalation(self):
+        from repro.utils.procpool import RetryPolicy
+
+        policy = RetryPolicy(timeout_escalation=2.0)
+        assert policy.timeout_for(None, 3) is None
+        assert policy.timeout_for(1.5, 1) == pytest.approx(1.5)
+        assert policy.timeout_for(1.5, 3) == pytest.approx(6.0)
+
+    def test_pool_with_custom_policy_stays_bit_identical(self):
+        from repro.utils.procpool import RetryPolicy
+
+        kwargs = dict(
+            base=QUICK, values=(30, 40), approaches=("RAND", "GT"), seed=3
+        )
+        serial = fig7_workers(**kwargs, n_jobs=1)
+        executor = SweepExecutor(
+            n_jobs=2, retry_policy=RetryPolicy(backoff_base=0.2, seed=7)
+        )
+        tuned = fig7_workers(**kwargs, executor=executor)
+        assert not tuned.failures
+        assert fingerprint(tuned) == fingerprint(serial)
+
+
+class TestJournalDurability:
+    """Torn-write recovery: the regression behind a real mis-resume.
+
+    A SIGKILL between ``write()`` and the newline leaves the journal's
+    last line torn; before the CRC rewrite a resume would glue the next
+    record onto the fragment, silently losing both. The journal now
+    physically truncates the torn tail (on load *and* before the first
+    append) and counts the repair in telemetry.
+    """
+
+    KWARGS = dict(
+        base=QUICK, values=(30, 40), approaches=("RAND", "TPG"), seed=3
+    )
+
+    def _tear_tail(self, journal) -> None:
+        """Cut the last journal line in half, no trailing newline."""
+        data = journal.read_bytes()
+        assert data.endswith(b"\n")
+        body = data[:-1]
+        cut = body.rfind(b"\n") + 1
+        line = body[cut:]
+        assert len(line) >= 2
+        journal.write_bytes(data[: cut + len(line) // 2])
+
+    def test_torn_trailing_line_truncated_and_resume_matches(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        self._tear_tail(journal)
+        resumed = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert resumed.telemetry.resumed_cells == 3  # torn cell re-ran
+        assert resumed.telemetry.journal_recovered_lines >= 1
+        assert not resumed.failures
+        assert fingerprint(resumed) == fingerprint(first)
+        assert "journal recovered" in resumed.telemetry.summary()
+        # The repair was physical: whole lines only, all parseable again.
+        import json
+
+        data = journal.read_bytes()
+        assert data.endswith(b"\n")
+        lines = data.decode("utf-8").strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+    def test_recover_truncates_before_the_first_append(self, tmp_path):
+        # The order that loses data without the lazy tail check: tear,
+        # then append *without* an intervening load.
+        from repro.experiments.parallel import SweepJournal
+
+        journal = tmp_path / "sweep.jsonl"
+        first = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        self._tear_tail(journal)
+        assert first is not None
+        writer = SweepJournal(journal)
+        # Re-append the cell the tear destroyed (the journal's last
+        # record is the last spec of the serial run).
+        writer.append(self._rerun_results()[-1])
+        assert writer.recovered_lines == 1
+        # Every line is whole — the fresh record was not glued onto the
+        # torn fragment.
+        records = SweepJournal(journal).load()
+        assert len(records) == 4
+
+    def _rerun_results(self):
+        """Fresh CellResults for the same specs (journal-appendable)."""
+        from repro.experiments.parallel import build_cell_specs
+        from dataclasses import replace
+
+        specs = build_cell_specs(
+            "Figure 7",
+            "workers_per_round",
+            list(self.KWARGS["values"]),
+            lambda base, value: replace(base, workers_per_round=value),
+            self.KWARGS["base"],
+            self.KWARGS["approaches"],
+            seed=self.KWARGS["seed"],
+        )
+        results, _ = SweepExecutor(n_jobs=1).run(specs)
+        return results
+
+    def test_crc_mismatch_line_is_dropped_and_rerun(self, tmp_path):
+        import json
+
+        from repro.experiments.parallel import SweepJournal
+
+        journal = tmp_path / "sweep.jsonl"
+        first = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        lines = journal.read_text(encoding="utf-8").strip().splitlines()
+        wrapper = json.loads(lines[-1])
+        wrapper["crc"] = (wrapper["crc"] + 1) % 2**32  # bit rot
+        lines[-1] = json.dumps(wrapper)
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        reader = SweepJournal(journal)
+        assert len(reader.load()) == 3
+        assert reader.recovered_lines == 1
+        resumed = fig7_workers(**self.KWARGS, checkpoint=str(journal))
+        assert resumed.telemetry.resumed_cells == 3
+        assert fingerprint(resumed) == fingerprint(first)
+
+    def test_pre_crc_records_are_skipped_silently(self, tmp_path):
+        # A v1 line (no "crc" wrapper) is a version mismatch, not
+        # corruption: the cell re-runs but nothing counts as recovered.
+        from repro.experiments.parallel import SweepJournal
+
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text(
+            '{"schema": 1, "key": "old-v1-record"}\n', encoding="utf-8"
+        )
+        reader = SweepJournal(journal)
+        assert reader.load() == {}
+        assert reader.recovered_lines == 0
+
+
 class TestReportingIntegration:
     def test_failed_cell_renders_as_na(self):
         from repro.experiments.reporting import format_failures, format_figure

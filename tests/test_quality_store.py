@@ -337,6 +337,138 @@ class TestSharedMemoryLifecycle:
             shared.unlink()
 
 
+class TestSegmentRegistry:
+    """The on-disk name registry every create()/unlink() maintains."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_registry(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SHM_REGISTRY", str(tmp_path))
+
+    def test_create_registers_and_unlink_unregisters(self):
+        import os
+
+        from repro.core.quality_store import registered_segments
+
+        assert registered_segments() == []
+        shared = SharedDenseQualityStore.create(_reference_matrix(10))
+        try:
+            entries = registered_segments()
+            assert [entry["name"] for entry in entries] == [shared.name]
+            assert entries[0]["pid"] == os.getpid()
+            assert entries[0]["size"] == 10
+        finally:
+            shared.close()
+            shared.unlink()
+        assert registered_segments() == []
+
+    def test_reap_leaves_live_owners_alone(self):
+        from repro.core.quality_store import reap_orphans
+
+        shared = SharedDenseQualityStore.create(_reference_matrix(10))
+        try:
+            report = reap_orphans()
+            assert report.live == [shared.name]
+            assert report.reaped == [] and report.stale == []
+            # The segment is untouched.
+            attached = SharedDenseQualityStore.attach(shared.name, 10)
+            attached.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_force_reaps_even_live_owners(self):
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.core.quality_store import reap_orphans, register_segment
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        # Forget the segment locally so the reaper — not this process's
+        # resource tracker — is the only thing that can clean it up.
+        resource_tracker.unregister(shm._name, "shared_memory")
+        register_segment(shm.name, 64)
+        shm.close()
+        report = reap_orphans(force=True)
+        assert report.reaped == [shm.name]
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm.name)
+
+    def test_stale_sidecars_are_swept(self, tmp_path):
+        import json
+
+        from repro.core.quality_store import reap_orphans, registered_segments
+
+        (tmp_path / "repro-gone.json").write_text(
+            json.dumps({"name": "repro-gone", "pid": 1, "size": 8}),
+            encoding="utf-8",
+        )
+        report = reap_orphans(force=True)  # force skips the pid-1 check
+        assert report.stale == ["repro-gone"]
+        assert report.reaped == []
+        assert registered_segments() == []
+        assert "scanned 1 registered segment(s)" in report.summary()
+        assert "stale 1" in report.summary()
+
+
+class TestOrphanReaping:
+    """A SIGKILLed creator's segment must be reapable afterwards."""
+
+    def test_killed_creator_segment_is_reaped(self, monkeypatch, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from multiprocessing import shared_memory
+
+        from repro.core.quality_store import (
+            reap_orphans,
+            registered_segments,
+        )
+
+        # The child creates a registered segment, detaches it from its
+        # own resource tracker (a SIGKILL that also takes the tracker
+        # down — or lands before the tracker registered the name — is
+        # exactly the leak the registry exists for), then kills itself.
+        script = (
+            "import os, signal\n"
+            "import numpy as np\n"
+            "from repro.core.quality import CooperationMatrix\n"
+            "from repro.core.quality_store import SharedDenseQualityStore\n"
+            "from multiprocessing import resource_tracker\n"
+            "matrix = CooperationMatrix(np.zeros((6, 6)))\n"
+            "shared = SharedDenseQualityStore.create(matrix)\n"
+            "resource_tracker.unregister(shared._shm._name, 'shared_memory')\n"
+            "print(shared.name, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_SHM_REGISTRY"] = str(tmp_path)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == -9, proc.stderr
+        name = proc.stdout.strip()
+        assert name
+
+        # The segment outlived its creator...
+        leaked = shared_memory.SharedMemory(name=name)
+        leaked.close()
+        # ...and the registry knows, under a now-dead pid.
+        monkeypatch.setenv("REPRO_SHM_REGISTRY", str(tmp_path))
+        entries = registered_segments()
+        assert [entry["name"] for entry in entries] == [name]
+        assert entries[0]["pid"] != os.getpid()
+        report = reap_orphans()
+        assert report.reaped == [name]
+        assert registered_segments() == []
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
 class TestExecutorSharedBackend:
     """SweepExecutor with ``quality_backend='shared'``: parity + cleanup."""
 

@@ -98,6 +98,19 @@ def test_experiment_settings_validate_shards():
         ExperimentSettings(halo_rounds=-1)
 
 
+def test_experiment_settings_validate_shard_timeout():
+    assert ExperimentSettings(shard_timeout=None).shard_timeout is None
+    assert ExperimentSettings(shard_timeout=5.0).shard_timeout == 5.0
+    with pytest.raises(ValueError, match="shard_timeout"):
+        ExperimentSettings(shard_timeout=-1.0)
+
+
+def test_solve_sharded_rejects_bad_shard_timeout(seed_grid):
+    instance, valid_pairs = seed_grid
+    with pytest.raises(ValueError, match="shard_timeout"):
+        solve_sharded(instance, valid_pairs, approach="GT", shard_timeout=0.0)
+
+
 # ---------------------------------------------------------------------------
 # partition invariants
 # ---------------------------------------------------------------------------
@@ -299,6 +312,45 @@ def test_sharded_assignment_is_feasible_and_counted(boundary_instance):
     for key in ("shard_count", "border_workers", "halo_rounds", "halo_moves"):
         assert key in payload
     assert f"shards={stats.shard_count}" in stats.summary()
+
+
+def test_shard_failover_recovers_from_killed_child(boundary_instance):
+    """Chaos-driven failover: one shard child SIGKILLs itself on every
+    attempt (including the solo retrial), so the shard is re-solved
+    inline via the fallback ladder — counted, bit-identical, auditable.
+    """
+    from repro.chaos.policy import ChaosPolicy, activate
+
+    instance, valid_pairs = boundary_instance
+    kwargs = dict(approach="GT", seed=4, shards=3, halo_rounds=2)
+    clean = solve_sharded(instance, valid_pairs, **kwargs)
+    assert clean.stats.shard_failures == 0
+    assert clean.stats.shard_failovers == 0
+
+    # only_indices pins shard 0 as the sole victim; max_attempt=99 makes
+    # it kill every pool it touches, forcing quarantine then failover.
+    policy = ChaosPolicy(
+        kill_rate=1.0, only_indices=(0,), max_attempt=99, seed=0
+    )
+    with activate(policy):
+        chaotic = solve_sharded(
+            instance, valid_pairs, n_jobs=2, **kwargs
+        )
+    stats = chaotic.stats
+    assert stats.shard_failures == 1
+    assert stats.shard_failovers == 1
+    # The failover re-solve is the same deterministic primary (no
+    # timeout budget -> bit-identical passthrough), so the merged
+    # assignment matches the clean run exactly and audits clean.
+    assert chaotic.assignment.audit() == []
+    assert chaotic.assignment.to_pairs() == clean.assignment.to_pairs()
+    assert repr(chaotic.assignment.total_score()) == repr(
+        clean.assignment.total_score()
+    )
+    payload = stats.to_dict()
+    assert payload["shard_failures"] == 1
+    assert payload["shard_failovers"] == 1
+    assert "shard_failures=1" in stats.summary()
 
 
 def test_make_solver_rejects_unshardable_approach():
