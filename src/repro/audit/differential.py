@@ -3,7 +3,9 @@
 The repo documents three equivalence families:
 
 * the four validity strategies produce *identical* valid-pair structures
-  (``repro.core.validity`` module docstring);
+  (``repro.core.validity`` module docstring), and the vectorized grid
+  construction matches its scalar per-worker reference loop
+  (:func:`~repro.core.validity.compute_valid_pairs_reference`);
 * the three quality-store backends are *repr-identical* under every
   solver (``repro.core.quality_store`` bit-identity contract);
 * every registered approach is deterministic given its seed, so the same
@@ -30,7 +32,12 @@ from repro.core.quality_store import (
     SharedDenseQualityStore,
     SparseQualityStore,
 )
-from repro.core.validity import STRATEGIES, ValidPairs, compute_valid_pairs
+from repro.core.validity import (
+    STRATEGIES,
+    ValidPairs,
+    compute_valid_pairs,
+    compute_valid_pairs_reference,
+)
 from repro.audit.invariants import AuditFinding, audit_assignment
 
 __all__ = ["BACKENDS", "run_differential", "run_sharded_check"]
@@ -129,6 +136,29 @@ def run_differential(
                         f"{pairs_by_strategy[reference_strategy].tasks_for_worker}"
                     ),
                     context=f"strategy={strategy}",
+                )
+            )
+
+    # The vectorized grid construction vs its scalar per-worker oracle —
+    # same grid recipe, historical query_circle + _deadline_ok loop. The
+    # strategy cross-check above cannot catch a bug that is symmetric
+    # across the batched paths; the scalar oracle can.
+    if "grid" in pairs_by_strategy:
+        scalar_reference = compute_valid_pairs_reference(instance)
+        if (
+            scalar_reference.tasks_for_worker
+            != pairs_by_strategy["grid"].tasks_for_worker
+        ):
+            findings.append(
+                AuditFinding(
+                    check="validity-parity",
+                    detail=(
+                        "vectorized grid membership diverges from the "
+                        "scalar reference loop: "
+                        f"{pairs_by_strategy['grid'].tasks_for_worker} vs "
+                        f"{scalar_reference.tasks_for_worker}"
+                    ),
+                    context="strategy=grid vs scalar reference",
                 )
             )
 

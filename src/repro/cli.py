@@ -1,9 +1,9 @@
 """Command-line interface for the CA-SC toolkit.
 
-Seven subcommands cover the generate -> solve -> evaluate loop a
+Eight subcommands cover the generate -> solve -> evaluate loop a
 downstream user needs without writing Python, plus a multi-round
-simulation driver, a figure-sweep runner, a correctness auditor and a
-process-chaos campaign driver::
+simulation driver, a figure-sweep runner, a correctness auditor, a
+process-chaos campaign driver and a hot-path profiler::
 
     python -m repro.cli generate --workers 200 --tasks 40 --out batch.json
     python -m repro.cli solve batch.json --approach GT+ALL --out assignment.json
@@ -12,6 +12,7 @@ process-chaos campaign driver::
     python -m repro.cli sweep --figure fig7 --scale 0.2 --jobs 4
     python -m repro.cli audit --budget 60 --seed 0
     python -m repro.cli chaos --sweeps 2 --kill-rate 0.1 --seed 0
+    python -m repro.cli profile --workers 2000 --tasks 500 --out hotspots.json
 
 ``generate`` writes an instance as JSON (see ``repro.datasets.io``);
 ``solve`` runs any registered approach and prints score, upper bound and
@@ -27,7 +28,10 @@ any failure to a minimal repro (see docs/AUDIT.md); ``chaos`` runs a
 seeded process-chaos campaign — pool children killed, hung, or crashed
 mid-attach — asserting results stay repr-identical to a clean run and
 no shared-memory segment leaks (see docs/ROBUSTNESS.md), and its
-``--reap`` flag scans the shared-memory registry for orphaned segments.
+``--reap`` flag scans the shared-memory registry for orphaned segments;
+``profile`` runs validity construction and one solve under
+:mod:`cProfile` and reports the top functions per phase alongside the
+solver's own phase timings (see docs/PERFORMANCE.md, "Profiling").
 """
 
 from __future__ import annotations
@@ -375,6 +379,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.profiling import profile_solve
+
+    if args.instance:
+        instance = load_instance(args.instance)
+    else:
+        instance = generate_instance(
+            worker_count=args.workers,
+            task_count=args.tasks,
+            seed=args.seed,
+        )
+    report = profile_solve(
+        instance,
+        approach=args.approach,
+        kernel=args.kernel,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        top=args.top,
+    )
+    for line in report.summary_lines(top=args.top):
+        print(line)
+    if args.out:
+        report.write_json(args.out)
+        print(f"wrote hotspot report to {args.out}")
+    return 0
+
+
 def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
     """The geo-sharding knobs, shared by solve/simulate/sweep."""
     parser.add_argument(
@@ -683,6 +714,42 @@ def build_parser() -> argparse.ArgumentParser:
         "owner is still alive",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    profile = commands.add_parser(
+        "profile",
+        help="cProfile the validity + solve hot path, report top functions "
+        "per phase (see docs/PERFORMANCE.md, 'Profiling')",
+    )
+    profile.add_argument(
+        "--instance",
+        default=None,
+        help="JSON instance to profile (default: generate one from "
+        "--workers/--tasks/--seed)",
+    )
+    profile.add_argument("--workers", type=int, default=2000)
+    profile.add_argument("--tasks", type=int, default=500)
+    profile.add_argument(
+        "--approach", choices=sorted(APPROACHES), default="GT+ALL"
+    )
+    profile.add_argument("--epsilon", type=float, default=0.05)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=DEFAULT_KERNEL,
+        help="evaluation kernel to profile; compare 'python' vs 'native' "
+        "runs to see which interpreted loops the kernels displaced",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="functions to keep per phase, sorted by self time (default 15)",
+    )
+    profile.add_argument(
+        "--out", default=None, help="write the hotspot report JSON here"
+    )
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

@@ -48,6 +48,14 @@ Optimizations
   replays the precomputed row when its candidate tasks' membership
   versions are unchanged. Same floats as ``kernel="python"``, enforced
   by the parity suite and the differential audit's kernel axis.
+* **Mid-round dirty rescan** (``kernel="native"``): an accepted move
+  only stales the prepass rows of the moved tasks' watchers. Those
+  workers are collected in a dirty set and, the next time a stale row
+  is actually needed, *all* of them are re-scored in one batched
+  ``score_candidates`` call that patches the prepass in place — so the
+  scans that follow replay refreshed rows instead of each paying a
+  per-worker kernel dispatch. A row the batch somehow missed still
+  falls back to the single-row :meth:`_BestResponseDynamics._kernel_rescan`.
 
 Every solve is instrumented: the returned :class:`GameResult` carries a
 :class:`~repro.core.stats.SolverStats` with revenue-evaluation counters,
@@ -201,7 +209,9 @@ def solve_game_theoretic(
 
     rng = ensure_rng(seed)
     init_started = time.perf_counter()
-    assignment, seeded_tasks = _initial_assignment(instance, valid_pairs, init, rng)
+    assignment, seeded_tasks = _initial_assignment(
+        instance, valid_pairs, init, rng, kernel=kernel, stats=stats
+    )
     stats.phase_seconds["init"] = time.perf_counter() - init_started
     initial_score = assignment.total_score()
 
@@ -270,11 +280,22 @@ def solve_game_theoretic(
 
 
 def _initial_assignment(
-    instance: Instance, valid_pairs: ValidPairs, init: str, seed
+    instance: Instance,
+    valid_pairs: ValidPairs,
+    init: str,
+    seed,
+    kernel: str = DEFAULT_KERNEL,
+    stats: SolverStats | None = None,
 ) -> tuple[Assignment, int]:
     assignment = Assignment(instance, valid_pairs, allow_overflow=True)
     if init == "tpg":
-        tpg = solve_tpg_with_stats(instance, valid_pairs)
+        tpg = solve_tpg_with_stats(instance, valid_pairs, kernel=kernel)
+        if stats is not None and tpg.stats is not None:
+            # Surface the seeding TPG's kernel dispatch counters through
+            # the GT run's stats (its other counters stay TPG-scoped).
+            stats.kernel_compiled_calls += tpg.stats.kernel_compiled_calls
+            stats.kernel_fallback_calls += tpg.stats.kernel_fallback_calls
+            stats.kernel_compile_seconds += tpg.stats.kernel_compile_seconds
         for worker, task in tpg.assignment.to_pairs():
             assignment.assign(worker, task)
         return assignment, tpg.seeded_tasks
@@ -346,8 +367,11 @@ class _BestResponseDynamics:
         # kernel="native" state: the validity relation as one flat CSR
         # (slot order == each worker's candidate-list order), the quality
         # store's kernel buffers, and the latest round-start prepass as
-        # ``(stamps, values, codes)`` (see _run_prepass).
+        # ``(stamps, values, codes)`` (see _run_prepass). ``_rescan_dirty``
+        # holds the workers whose prepass rows an accepted move may have
+        # staled; _refresh_prepass_rows re-scores them in one batch.
         self._prepass: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._rescan_dirty: set[int] = set()
         if self.kernel == "native":
             counts = np.fromiter(
                 (len(tasks) for tasks in self._tasks_lists),
@@ -413,6 +437,89 @@ class _BestResponseDynamics:
             stats=self.stats,
         )
         self._prepass = (stamps, values, codes)
+        self._rescan_dirty.clear()
+
+    def _refresh_prepass_rows(self) -> None:
+        """Re-score every stale prepass row in one batched kernel call.
+
+        An accepted move bumps the membership versions of (at most) two
+        tasks, staling exactly the prepass rows of those tasks' watchers
+        — the workers accumulated in ``_rescan_dirty``. This builds a
+        sub-CSR over those rows (global task ids, so the full cache
+        arrays index directly, like the round-start prepass) and patches
+        the prepass arrays in place: stamps, utilities and
+        classification codes. Rows whose stamp turns out unchanged are
+        skipped — their precomputed values are still exact.
+        """
+        dirty = self._rescan_dirty
+        prepass = self._prepass
+        if not dirty or prepass is None:
+            return
+        stamps, values, codes = prepass
+        cache = self.cache
+        versions = np.asarray(cache.versions, dtype=np.int64)
+        workers = np.fromiter(sorted(dirty), dtype=np.int64, count=len(dirty))
+        dirty.clear()
+        starts = self._vp_indptr[workers]
+        counts = self._vp_indptr[workers + 1] - starts
+        nonempty = counts > 0
+        workers = workers[nonempty]
+        starts = starts[nonempty]
+        counts = counts[nonempty]
+        if not workers.size:
+            return
+        sub_indptr = np.zeros(workers.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        total = int(sub_indptr[-1])
+        # Slot positions of each row's slice in the flat CSR: for row i,
+        # starts[i] .. starts[i] + counts[i] - 1.
+        positions = np.repeat(starts - sub_indptr[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+        slot_versions = versions[self._vp_tasks[positions]]
+        # Integer sums — reduceat's segment reordering is harmless, and
+        # every segment is nonempty after the filter above.
+        new_stamps = np.add.reduceat(slot_versions, sub_indptr[:-1])
+        changed = new_stamps != stamps[workers]
+        if not changed.any():
+            return
+        workers = workers[changed]
+        starts = starts[changed]
+        counts = counts[changed]
+        new_stamps = new_stamps[changed]
+        sub_indptr = np.zeros(workers.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        total = int(sub_indptr[-1])
+        positions = np.repeat(starts - sub_indptr[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+        sub_tasks = self._vp_tasks[positions]
+        mem_indptr, mem_flat = cache.members_csr()
+        current_tasks = np.fromiter(
+            (self.assignment.task_of(int(worker)) for worker in workers),
+            dtype=np.int64,
+            count=workers.size,
+        )
+        sub_values, sub_codes = score_candidates(
+            self._kernel_buffers,
+            sub_indptr,
+            sub_tasks,
+            mem_indptr,
+            mem_flat,
+            cache.pair_sums,
+            cache.revenues,
+            self._capacities_array,
+            self._minimum,
+            _VECTOR_GROUP_LIMIT,
+            current_tasks,
+            stats=self.stats,
+            worker_ids=workers,
+        )
+        values[positions] = sub_values
+        codes[positions] = sub_codes
+        stamps[workers] = new_stamps
+        self.stats.rescan_batches += 1
+        self.stats.rescan_rows += int(workers.size)
 
     def _kernel_rescan(
         self, worker: int, tasks: list[int], current_task: int
@@ -552,6 +659,14 @@ class _BestResponseDynamics:
         if best_task != UNASSIGNED:
             assignment.assign(worker, best_task)
             self._after_membership_change(best_task)
+        if self._prepass is not None:
+            # The move bumped (at most) these two tasks' membership
+            # versions, staling exactly their watchers' prepass rows.
+            for task in (current_task, best_task):
+                if task != UNASSIGNED:
+                    self._rescan_dirty.update(
+                        self.valid_pairs.workers_for_task[task]
+                    )
         self._cached_best[worker] = best_task
         self._dirty[worker] = False
         return best_utility - current_utility
@@ -606,6 +721,16 @@ class _BestResponseDynamics:
         stats.gain_evaluations += len(tasks)
 
         prepass = self._prepass
+        if (
+            prepass is not None
+            and self._rescan_dirty
+            and prepass[0][worker] != stamp
+        ):
+            # The row is stale and moves have accumulated a dirty set:
+            # refresh every stale row in one batched call, then replay
+            # this worker's (now exact) row below. Later stale workers
+            # in the same round replay without any further kernel work.
+            self._refresh_prepass_rows()
         if prepass is not None and prepass[0][worker] == stamp:
             # Round-start prepass replay: the stamp match proves none of
             # the worker's candidate memberships (including its own

@@ -53,6 +53,10 @@ __all__ = [
     "resolve_kernel",
     "segment_sums_ordered",
     "score_candidates",
+    "gather_symmetric",
+    "greedy_group_select",
+    "exact_group_select",
+    "best_group",
 ]
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -174,6 +178,85 @@ def _lookup_sorted(
     clamped = np.minimum(position, keys.size - 1)
     found = keys[clamped] == targets
     return np.where(found, values[clamped], prior)
+
+
+def gather_symmetric(buffers: KernelBuffers, index: np.ndarray) -> np.ndarray:
+    """``sub + sub.T`` over the candidate submatrix, from flat buffers.
+
+    Produces exactly the floats of ``quality.gather(index)`` plus its
+    transpose — the dense branch is the same fancy-indexing expression,
+    the sparse branch the same searchsorted lookup with prior default
+    and zero diagonal — so group selections over the result are
+    bit-identical to the store-backed TPG path.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if buffers.is_dense:
+        sub = buffers.dense[index[:, None], index]
+    else:
+        targets = index[:, None] * np.int64(buffers.size) + index[None, :]
+        sub = _lookup_sorted(
+            buffers.row_keys, buffers.row_values, targets, buffers.prior
+        )
+        np.fill_diagonal(sub, 0.0)
+    return sub + sub.T
+
+
+def greedy_group_select(
+    symmetric: np.ndarray, size: int
+) -> tuple[list[int], float] | None:
+    """Greedy ``size``-group selection over a symmetric pair matrix.
+
+    Seeds with the (row-major first-max) best ordered pair and grows by
+    argmax cross-sum additions — the float operations of TPG's
+    historical stage-1 greedy, verbatim. Returns ``(positions,
+    pair_sum)`` in selection order, or ``None`` when the matrix cannot
+    yield a connected ``size``-group. Mutates ``symmetric``'s diagonal.
+    """
+    count = symmetric.shape[0]
+    np.fill_diagonal(symmetric, -np.inf)
+    flat_best = int(np.argmax(symmetric))
+    first, second = divmod(flat_best, count)
+
+    chosen = [first, second]
+    # cross[c] = ordered-pair contribution of candidate c to the chosen set.
+    cross = symmetric[first].copy()
+    cross[first] = -np.inf
+    cross += np.where(np.isfinite(symmetric[second]), symmetric[second], 0.0)
+    cross[second] = -np.inf
+    pair_sum = float(symmetric[first, second])
+
+    while len(chosen) < size:
+        next_local = int(np.argmax(cross))
+        if not np.isfinite(cross[next_local]):
+            return None
+        pair_sum += float(cross[next_local])
+        chosen.append(next_local)
+        addition = np.where(
+            np.isfinite(symmetric[next_local]), symmetric[next_local], 0.0
+        )
+        cross += addition
+        cross[next_local] = -np.inf
+    return chosen, pair_sum
+
+
+def exact_group_select(
+    symmetric: np.ndarray,
+    pair_columns: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[int, float]:
+    """Exhaustive group selection over precomputed combination columns.
+
+    Each combination's pair sum is the sequential left-to-right
+    accumulation over its position pairs in lexicographic order (the
+    scalar loop's float additions, in the same order), and ``argmax``
+    keeps the first maximum like a strict ``>`` scan. Returns
+    ``(combination_row, pair_sum)``.
+    """
+    rows, cols = pair_columns[0]
+    pair_sums = symmetric[rows, cols]
+    for rows, cols in pair_columns[1:]:
+        pair_sums = pair_sums + symmetric[rows, cols]
+    best = int(np.argmax(pair_sums))
+    return best, float(pair_sums[best])
 
 
 def _score_candidates_numpy(
@@ -375,11 +458,117 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
                     ) / count - revenues[task]
 
 
+    @_njit(cache=True)
+    def _group_symmetric_dense_njit(dense, index, out):
+        n = index.size
+        for i in range(n):
+            a = index[i]
+            for j in range(n):
+                b = index[j]
+                out[i, j] = dense[a, b] + dense[b, a]
+
+    @_njit(cache=True)
+    def _group_symmetric_csr_njit(size, row_keys, row_values, prior, index, out):
+        n = index.size
+        for i in range(n):
+            a = index[i]
+            for j in range(n):
+                if i == j:
+                    out[i, j] = 0.0
+                    continue
+                b = index[j]
+                forward = _sparse_pair_njit(
+                    row_keys, row_values, a * size + b, prior
+                )
+                backward = _sparse_pair_njit(
+                    row_keys, row_values, b * size + a, prior
+                )
+                out[i, j] = forward + backward
+
+    @_njit(cache=True)
+    def _greedy_group_njit(symmetric, size, chosen):
+        # Scalar transliteration of greedy_group_select: row-major
+        # first-max seed pair, then argmax cross-sum growth. Identical
+        # float additions in identical order.
+        count = symmetric.shape[0]
+        for i in range(count):
+            symmetric[i, i] = -np.inf
+        best = -np.inf
+        flat = 0
+        for i in range(count):
+            for j in range(count):
+                if symmetric[i, j] > best:
+                    best = symmetric[i, j]
+                    flat = i * count + j
+        first = flat // count
+        second = flat - first * count
+        chosen[0] = first
+        chosen[1] = second
+        cross = np.empty(count, dtype=np.float64)
+        for c in range(count):
+            add = symmetric[second, c]
+            if not np.isfinite(add):
+                add = 0.0
+            cross[c] = symmetric[first, c] + add
+        cross[first] = -np.inf
+        cross[second] = -np.inf
+        pair_sum = symmetric[first, second]
+        n_chosen = 2
+        while n_chosen < size:
+            nxt = 0
+            best = -np.inf
+            for c in range(count):
+                if cross[c] > best:
+                    best = cross[c]
+                    nxt = c
+            if not np.isfinite(cross[nxt]):
+                chosen[0] = -1
+                return 0.0
+            pair_sum += cross[nxt]
+            chosen[n_chosen] = nxt
+            n_chosen += 1
+            for c in range(count):
+                add = symmetric[nxt, c]
+                if not np.isfinite(add):
+                    add = 0.0
+                cross[c] += add
+            cross[nxt] = -np.inf
+        return pair_sum
+
+    @_njit(cache=True)
+    def _exact_group_njit(symmetric, combos, chosen):
+        # Scalar transliteration of exact_group_select: per combination,
+        # accumulate the position pairs in lexicographic order starting
+        # from the first pair's value; first-max wins.
+        n = combos.shape[0]
+        size = combos.shape[1]
+        best_val = -np.inf
+        best_row = 0
+        for r in range(n):
+            total = symmetric[combos[r, 0], combos[r, 1]]
+            for i in range(size):
+                for j in range(i + 1, size):
+                    if i == 0 and j == 1:
+                        continue
+                    total = total + symmetric[combos[r, i], combos[r, j]]
+            if total > best_val:
+                best_val = total
+                best_row = r
+        for k in range(size):
+            chosen[k] = combos[best_row, k]
+        return best_val
+
+
 #: One-off compile bookkeeping: numba compiles lazily on first call, so
 #: the first invocation's wall time includes compilation (or a disk
 #: cache load). Recorded once per process and surfaced through
 #: ``SolverStats.kernel_compile_seconds``.
-_compile_seconds_pending: dict[str, bool] = {"dense": True, "csr": True}
+_compile_seconds_pending: dict[str, bool] = {
+    "dense": True,
+    "csr": True,
+    "group_dense": True,
+    "group_csr": True,
+}
 
 
 def score_candidates(
@@ -488,3 +677,87 @@ def score_candidates(
     if stats is not None:
         stats.kernel_fallback_calls += 1
     return values, codes
+
+
+def best_group(
+    buffers: KernelBuffers,
+    candidates,
+    size: int,
+    table=None,
+    stats=None,
+) -> tuple[list[int], float]:
+    """The TPG stage-1 kernel: best ``size``-group among ``candidates``.
+
+    Gathers the candidate pair submatrix from the flat quality buffers
+    and runs the group selection — greedy by default, exhaustive when
+    ``table`` (a :func:`repro.core.tpg._combo_table` entry for the tiny
+    candidate counts) is given. Returns ``(group, Q)`` with global
+    worker ids in selection order and the Equation 2 revenue, exactly
+    like ``tpg.greedy_best_group`` — the floats are bit-identical to the
+    store-backed path (same gathered values, same operation order),
+    compiled with numba when available, shared numpy code otherwise.
+
+    The caller is responsible for the ``len(candidates) >= size >= 2``
+    precondition and for choosing greedy vs. exact; this function only
+    evaluates. ``stats`` counts dispatches like :func:`score_candidates`.
+    """
+    index = np.asarray(candidates, dtype=np.int64)
+    count = index.size
+    divisor = size - 1
+    if NUMBA_AVAILABLE:  # pragma: no cover - requires numba
+        variant = "group_dense" if buffers.is_dense else "group_csr"
+        started = time.perf_counter()
+        symmetric = np.empty((count, count), dtype=np.float64)
+        if buffers.is_dense:
+            _group_symmetric_dense_njit(
+                np.ascontiguousarray(buffers.dense, dtype=np.float64),
+                index,
+                symmetric,
+            )
+        else:
+            _group_symmetric_csr_njit(
+                np.int64(buffers.size),
+                buffers.row_keys,
+                buffers.row_values,
+                np.float64(buffers.prior),
+                index,
+                symmetric,
+            )
+        chosen = np.empty(size, dtype=np.int64)
+        if table is not None:
+            combos = table[0]
+            pair_sum = _exact_group_njit(
+                symmetric, np.ascontiguousarray(combos, dtype=np.int64), chosen
+            )
+            result = (
+                [int(index[local]) for local in chosen],
+                float(pair_sum) / divisor,
+            )
+        else:
+            pair_sum = _greedy_group_njit(symmetric, np.int64(size), chosen)
+            if chosen[0] < 0:
+                result = ([], 0.0)
+            else:
+                result = (
+                    [int(index[local]) for local in chosen],
+                    float(pair_sum) / divisor,
+                )
+        if stats is not None:
+            stats.kernel_compiled_calls += 1
+            if _compile_seconds_pending[variant]:
+                stats.kernel_compile_seconds += time.perf_counter() - started
+        _compile_seconds_pending[variant] = False
+        return result
+
+    symmetric = gather_symmetric(buffers, index)
+    if stats is not None:
+        stats.kernel_fallback_calls += 1
+    if table is not None:
+        combos, pair_columns = table
+        best, pair_sum = exact_group_select(symmetric, pair_columns)
+        return [int(index[local]) for local in combos[best]], pair_sum / divisor
+    selection = greedy_group_select(symmetric, size)
+    if selection is None:
+        return [], 0.0
+    chosen, pair_sum = selection
+    return [int(index[local]) for local in chosen], pair_sum / divisor

@@ -77,6 +77,8 @@ def seed_border_groups(
     assignment: Assignment,
     border_workers,
     border_tasks,
+    kernel: str = DEFAULT_KERNEL,
+    stats: SolverStats | None = None,
 ) -> int:
     """Bootstrap the cross-shard groups best-response cannot form.
 
@@ -94,6 +96,7 @@ def seed_border_groups(
     """
     minimum = instance.min_group_size
     quality = instance.quality
+    buffers = quality.as_kernel_buffers() if kernel == "native" else None
     available = np.zeros(instance.worker_count, dtype=bool)
     for worker in border_workers:
         worker = int(worker)
@@ -118,7 +121,9 @@ def seed_border_groups(
                     for worker in valid_pairs.workers_for_task[task]
                     if available[worker]
                 ]
-                cache[task] = greedy_best_group(quality, candidates, minimum)
+                cache[task] = greedy_best_group(
+                    quality, candidates, minimum, buffers=buffers, stats=stats
+                )
             group, score = cache[task]
             if not group:
                 dead_tasks.append(task)
@@ -170,7 +175,8 @@ def reconcile_borders(
     seeded = 0
     if order and len(border_tasks):
         seeded = seed_border_groups(
-            instance, valid_pairs, assignment, order, border_tasks
+            instance, valid_pairs, assignment, order, border_tasks,
+            kernel=kernel, stats=stats,
         )
     if not order or halo_rounds <= 0:
         return 0, 0, seeded

@@ -85,6 +85,12 @@ class SolverStats:
         Wall-clock of the first compiled invocation per kernel variant —
         numba's lazy JIT compile (or on-disk cache load) cost, recorded
         once per process rather than spread over later calls.
+    rescan_batches / rescan_rows:
+        Mid-round dirty-rescan kernel (``kernel="native"``): batched
+        refresh calls issued after accepted moves, and how many stale
+        prepass rows they re-scored in total. Both zero for
+        ``kernel="python"`` solves (those rescan workers one at a time
+        in the interpreted path).
     shard_count / border_workers / halo_rounds / halo_moves:
         Geo-sharded solving (:mod:`repro.core.sharding`): number of
         spatial shards the instance was split into (1 = monolithic or
@@ -119,6 +125,8 @@ class SolverStats:
     kernel_compiled_calls: int = 0
     kernel_fallback_calls: int = 0
     kernel_compile_seconds: float = 0.0
+    rescan_batches: int = 0
+    rescan_rows: int = 0
     shard_count: int = 0
     border_workers: int = 0
     halo_rounds: int = 0
@@ -152,6 +160,8 @@ class SolverStats:
         self.kernel_compiled_calls += other.kernel_compiled_calls
         self.kernel_fallback_calls += other.kernel_fallback_calls
         self.kernel_compile_seconds += other.kernel_compile_seconds
+        self.rescan_batches += other.rescan_batches
+        self.rescan_rows += other.rescan_rows
         self.shard_count += other.shard_count
         self.border_workers += other.border_workers
         self.halo_rounds += other.halo_rounds
@@ -214,6 +224,8 @@ class SolverStats:
             "kernel_compiled_calls": self.kernel_compiled_calls,
             "kernel_fallback_calls": self.kernel_fallback_calls,
             "kernel_compile_seconds": self.kernel_compile_seconds,
+            "rescan_batches": self.rescan_batches,
+            "rescan_rows": self.rescan_rows,
             "shard_count": self.shard_count,
             "border_workers": self.border_workers,
             "halo_rounds": self.halo_rounds,
@@ -260,6 +272,10 @@ class SolverStats:
                 parts.append(
                     f"compile={self.kernel_compile_seconds * 1e3:.1f}ms"
                 )
+        if self.rescan_batches:
+            parts.append(
+                f"rescan={self.rescan_batches}b/{self.rescan_rows}r"
+            )
         if self.shard_count > 1:
             parts.append(
                 f"shards={self.shard_count} border={self.border_workers}"

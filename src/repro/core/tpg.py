@@ -28,6 +28,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    best_group as _kernel_best_group,
+    exact_group_select,
+    greedy_group_select,
+    resolve_kernel,
+)
 from repro.core.model import Instance
 from repro.core.stats import SolverStats
 from repro.core.validity import ValidPairs, compute_valid_pairs
@@ -84,35 +91,37 @@ def _combo_table(
 
 
 def exact_best_group(
-    quality, candidates: list[int], size: int
+    quality, candidates: list[int], size: int, buffers=None, stats=None
 ) -> tuple[list[int], float]:
     """Exhaustive max-quality ``size``-group (tiny candidate sets only).
 
     Used by :func:`greedy_best_group` below a candidate-count threshold,
     and by tests as the oracle for the greedy's approximation quality.
 
-    The enumeration is vectorized: each combination's pair sum is the
-    sequential left-to-right accumulation over its position pairs in
-    lexicographic order — the same float additions, in the same order,
-    as the scalar loop it replaced — and ``argmax`` keeps the first
-    maximum exactly like a strict ``>`` scan.
+    The enumeration is vectorized
+    (:func:`~repro.core.kernels.exact_group_select`): each combination's
+    pair sum is the sequential left-to-right accumulation over its
+    position pairs in lexicographic order — the same float additions, in
+    the same order, as the scalar loop it replaced — and ``argmax`` keeps
+    the first maximum exactly like a strict ``>`` scan. With ``buffers``
+    (the quality store's kernel export) the whole evaluation runs in
+    :func:`~repro.core.kernels.best_group` instead — bit-identical.
     """
     count = len(candidates)
     if count < size or size < 2:
         return [], 0.0
     ordered = sorted(candidates)
+    table = _combo_table(count, size)
+    if buffers is not None:
+        return _kernel_best_group(buffers, ordered, size, table=table, stats=stats)
     index = np.asarray(ordered, dtype=np.intp)
     sub = quality.gather(index)
     symmetric = sub + sub.T
 
-    combos, pair_columns = _combo_table(count, size)
-    rows, cols = pair_columns[0]
-    pair_sums = symmetric[rows, cols]
-    for rows, cols in pair_columns[1:]:
-        pair_sums = pair_sums + symmetric[rows, cols]
-    best = int(np.argmax(pair_sums))
+    combos, _ = table
+    best, pair_sum = exact_group_select(symmetric, table[1])
     best_group = [ordered[i] for i in combos[best]]
-    return best_group, float(pair_sums[best]) / (size - 1)
+    return best_group, pair_sum / (size - 1)
 
 
 #: Candidate-count threshold below which stage 1 solves the B-group
@@ -122,52 +131,35 @@ EXACT_SEED_THRESHOLD = 12
 
 
 def greedy_best_group(
-    quality, candidates: list[int], size: int
+    quality, candidates: list[int], size: int, buffers=None, stats=None
 ) -> tuple[list[int], float]:
     """Greedy max-quality ``size``-group from ``candidates``.
 
     Seeds with the candidate pair maximizing ``q_i(w_k) + q_k(w_i)`` and
-    grows by argmax cross-sum additions. Returns ``(group, Q)`` where
-    ``Q`` is the Equation 2 revenue of the group (denominator
-    ``size - 1``); returns ``([], 0.0)`` when there are not enough
-    candidates. Falls back to the exact enumeration when the candidate
-    set is tiny (:data:`EXACT_SEED_THRESHOLD`).
+    grows by argmax cross-sum additions
+    (:func:`~repro.core.kernels.greedy_group_select`). Returns
+    ``(group, Q)`` where ``Q`` is the Equation 2 revenue of the group
+    (denominator ``size - 1``); returns ``([], 0.0)`` when there are not
+    enough candidates. Falls back to the exact enumeration when the
+    candidate set is tiny (:data:`EXACT_SEED_THRESHOLD`). Pass
+    ``buffers`` (the store's ``as_kernel_buffers()`` export) to evaluate
+    through the compiled stage-1 kernel — bit-identical floats either
+    way, enforced by the parity suite.
     """
     count = len(candidates)
     if count < size or size < 2:
         return [], 0.0
     if count <= EXACT_SEED_THRESHOLD:
-        return exact_best_group(quality, candidates, size)
+        return exact_best_group(quality, candidates, size, buffers=buffers, stats=stats)
+    if buffers is not None:
+        return _kernel_best_group(buffers, candidates, size, stats=stats)
     index = np.asarray(candidates, dtype=np.intp)
     sub = quality.gather(index)
     symmetric = sub + sub.T
-    np.fill_diagonal(symmetric, -np.inf)
-    flat_best = int(np.argmax(symmetric))
-    first, second = divmod(flat_best, count)
-
-    chosen = [first, second]
-    chosen_mask = np.zeros(count, dtype=bool)
-    chosen_mask[first] = chosen_mask[second] = True
-    # cross[c] = ordered-pair contribution of candidate c to the chosen set.
-    cross = symmetric[first].copy()
-    cross[first] = -np.inf
-    cross += np.where(np.isfinite(symmetric[second]), symmetric[second], 0.0)
-    cross[second] = -np.inf
-    pair_sum = float(symmetric[first, second])
-
-    while len(chosen) < size:
-        next_local = int(np.argmax(cross))
-        if not np.isfinite(cross[next_local]):
-            return [], 0.0
-        pair_sum += float(cross[next_local])
-        chosen.append(next_local)
-        chosen_mask[next_local] = True
-        addition = np.where(
-            np.isfinite(symmetric[next_local]), symmetric[next_local], 0.0
-        )
-        cross += addition
-        cross[next_local] = -np.inf
-
+    selection = greedy_group_select(symmetric, size)
+    if selection is None:
+        return [], 0.0
+    chosen, pair_sum = selection
     group = [int(index[local]) for local in chosen]
     return group, pair_sum / (size - 1)
 
@@ -176,6 +168,7 @@ def solve_tpg(
     instance: Instance,
     valid_pairs: ValidPairs | None = None,
     allow_negative_gain: bool = False,
+    kernel: str = DEFAULT_KERNEL,
 ) -> Assignment:
     """Run TPG and return a feasible assignment.
 
@@ -190,24 +183,34 @@ def solve_tpg(
         not positive (an extra worker can dilute a group's average).
         Enable to reproduce the paper's literal "assign every worker to
         his/her most suitable task" reading.
+    kernel:
+        ``"python"`` evaluates stage-1 groups through the quality store;
+        ``"native"`` through the batched kernel buffers
+        (:func:`~repro.core.kernels.best_group` — numba when available).
+        Bit-identical assignments either way.
     """
-    return _solve_tpg_full(instance, valid_pairs, allow_negative_gain).assignment
+    return _solve_tpg_full(
+        instance, valid_pairs, allow_negative_gain, kernel=kernel
+    ).assignment
 
 
 def solve_tpg_with_stats(
     instance: Instance,
     valid_pairs: ValidPairs | None = None,
     allow_negative_gain: bool = False,
+    kernel: str = DEFAULT_KERNEL,
 ) -> TPGResult:
     """Like :func:`solve_tpg` but also reports stage-1 statistics."""
-    return _solve_tpg_full(instance, valid_pairs, allow_negative_gain)
+    return _solve_tpg_full(instance, valid_pairs, allow_negative_gain, kernel=kernel)
 
 
 def _solve_tpg_full(
     instance: Instance,
     valid_pairs: ValidPairs | None,
     allow_negative_gain: bool,
+    kernel: str = DEFAULT_KERNEL,
 ) -> TPGResult:
+    kernel = resolve_kernel(kernel)
     if valid_pairs is None:
         valid_pairs = compute_valid_pairs(instance)
     assignment = Assignment(instance, valid_pairs)
@@ -215,7 +218,9 @@ def _solve_tpg_full(
     stats = SolverStats(solver="TPG")
 
     started = time.perf_counter()
-    seeded = _stage_one(instance, valid_pairs, assignment, available)
+    seeded = _stage_one(
+        instance, valid_pairs, assignment, available, kernel=kernel, stats=stats
+    )
     stage_one_done = time.perf_counter()
     _stage_two(
         instance, valid_pairs, assignment, available, seeded,
@@ -237,10 +242,13 @@ def _stage_one(
     valid_pairs: ValidPairs,
     assignment: Assignment,
     available: np.ndarray,
+    kernel: str = DEFAULT_KERNEL,
+    stats: SolverStats | None = None,
 ) -> set[int]:
     """Seed tasks with B-worker groups; returns the seeded task set."""
     minimum = instance.min_group_size
     quality = instance.quality
+    buffers = quality.as_kernel_buffers() if kernel == "native" else None
     open_tasks = set(range(instance.task_count))
     seeded: set[int] = set()
     # Cached best group per task; invalidated when a member gets taken.
@@ -256,7 +264,9 @@ def _stage_one(
                     for worker in valid_pairs.workers_for_task[task]
                     if available[worker]
                 ]
-                cache[task] = greedy_best_group(quality, candidates, minimum)
+                cache[task] = greedy_best_group(
+                    quality, candidates, minimum, buffers=buffers, stats=stats
+                )
             group, score = cache[task]
             if not group:
                 dead_tasks.append(task)

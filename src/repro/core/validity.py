@@ -21,6 +21,7 @@ All four produce identical results (asserted by the test suite).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.spatial.rtree import RTree
 __all__ = [
     "ValidPairs",
     "compute_valid_pairs",
+    "compute_valid_pairs_reference",
     "IncrementalValidityIndex",
     "STRATEGIES",
 ]
@@ -57,8 +59,18 @@ class ValidPairs:
 
     @property
     def pair_count(self) -> int:
-        """Total number of valid worker-task pairs."""
-        return sum(len(tasks) for tasks in self.tasks_for_worker)
+        """Total number of valid worker-task pairs (cached).
+
+        Read every simulation round by the batch reporter and inside
+        stats loops; the tuple-of-tuples re-sum is O(m) per call, so the
+        first computation is memoized on the frozen instance the same
+        way as the ``is_valid`` side-index.
+        """
+        cached = self.__dict__.get("_pair_count_cache")
+        if cached is None:
+            cached = sum(len(tasks) for tasks in self.tasks_for_worker)
+            object.__setattr__(self, "_pair_count_cache", cached)
+        return cached
 
     def is_valid(self, worker: int, task: int) -> bool:
         """O(1) membership via a lazily-built frozenset side-index.
@@ -99,6 +111,54 @@ class ValidPairs:
             tasks_for_worker=per_worker,
             workers_for_task=tuple(tuple(workers) for workers in per_task),
         )
+
+    @classmethod
+    def from_sorted_rows(cls, rows, task_count: int) -> "ValidPairs":
+        """Build from per-worker arrays already sorted and duplicate-free.
+
+        The vectorized grid path emits rows with both properties by
+        construction (each task lives in exactly one grid cell, and
+        candidates are pre-sorted per rectangle group), so the
+        per-element set/sort of :meth:`from_worker_lists` is skipped and
+        the transpose comes from one stable argsort over the flattened
+        pairs instead of per-pair list appends. Output is structurally
+        identical to ``from_worker_lists`` on the same membership.
+        """
+        worker_count = len(rows)
+        counts = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=worker_count
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return cls(
+                tuple(() for _ in range(worker_count)),
+                tuple(() for _ in range(task_count)),
+            )
+        tasks_flat = np.concatenate(
+            [np.asarray(row, dtype=np.int64) for row in rows if len(row)]
+        )
+        if int(tasks_flat.min()) < 0 or int(tasks_flat.max()) >= task_count:
+            raise ValueError("task index out of range")
+        # One bulk tolist per side, then islice consumption — far
+        # cheaper than a small ndarray.tolist per worker/task at scale.
+        worker_iter = iter(tasks_flat.tolist())
+        per_worker = tuple(
+            tuple(islice(worker_iter, width)) for width in counts.tolist()
+        )
+        workers_flat = np.repeat(
+            np.arange(worker_count, dtype=np.int32), counts
+        )
+        # int32 keys roughly halve the stable (radix) argsort cost and
+        # are always wide enough: indices were range-checked above.
+        order = np.argsort(tasks_flat.astype(np.int32), kind="stable")
+        task_widths = np.bincount(
+            tasks_flat, minlength=task_count
+        ).tolist()
+        task_iter = iter(workers_flat[order].tolist())
+        per_task = tuple(
+            tuple(islice(task_iter, width)) for width in task_widths
+        )
+        return cls(per_worker, per_task)
 
 
 def compute_valid_pairs(
@@ -167,7 +227,9 @@ def _reach_limit(
     return min(worker.radius, worker.speed * max_remaining * _REACH_SLACK)
 
 
-def _compute_indexed(instance: Instance, strategy: str) -> ValidPairs:
+def _compute_indexed(
+    instance: Instance, strategy: str, vectorized: bool = True
+) -> ValidPairs:
     task_items = [
         (index, task.location) for index, task in enumerate(instance.tasks)
     ]
@@ -179,10 +241,22 @@ def _compute_indexed(instance: Instance, strategy: str) -> ValidPairs:
         mean_radius = float(
             np.mean([worker.radius for worker in instance.workers])
         )
-        cell = max(mean_radius, 1e-6)
+        # Membership is invariant to the cell size (the range query and
+        # deadline filters are exact), so the two grid paths pick the
+        # granularity that suits them: the scalar loop wants small cells
+        # (fewer non-candidates scanned per bucket), the batched path
+        # wants coarse cells (fewer rectangle groups, so the per-group
+        # numpy dispatch overhead amortizes over bigger blocks).
+        multiplier = _GRID_VECTOR_CELL_MULTIPLIER if vectorized else 1.0
+        cell = max(mean_radius * multiplier, 1e-6)
         index = GridIndex.build(task_items, cell_size=cell)
 
     max_remaining = _max_remaining(instance)
+    if strategy == "grid" and vectorized:
+        return ValidPairs.from_sorted_rows(
+            _grid_valid_lists(instance, index, max_remaining),
+            instance.task_count,
+        )
     tasks_for_worker: list[list[int]] = []
     for worker_index, worker in enumerate(instance.workers):
         candidates = index.query_circle(
@@ -195,6 +269,235 @@ def _compute_indexed(instance: Instance, strategy: str) -> ValidPairs:
         ]
         tasks_for_worker.append(valid)
     return ValidPairs.from_worker_lists(tasks_for_worker, instance.task_count)
+
+
+def compute_valid_pairs_reference(instance: Instance) -> ValidPairs:
+    """Scalar per-worker grid construction — the vectorized path's oracle.
+
+    Runs the historical ``query_circle`` + per-candidate ``_deadline_ok``
+    loop over the same grid the vectorized path batches over; the audit
+    harness and the bench guard compare the two for membership parity.
+    """
+    if instance.task_count == 0 or instance.worker_count == 0:
+        return ValidPairs.from_worker_lists(
+            [[] for _ in range(instance.worker_count)], instance.task_count
+        )
+    return _compute_indexed(instance, "grid", vectorized=False)
+
+
+#: Cell-size factor of the vectorized grid build relative to the mean
+#: worker radius (the scalar path's cell size). Coarser cells trade a
+#: wider candidate superset (cheap float32 prefilter cells) for far
+#: fewer worker rectangle groups; ~3x is the sweet spot at n = 20k.
+_GRID_VECTOR_CELL_MULTIPLIER = 3.0
+
+#: Row-chunk budget for the batched distance matrices: a worker-group's
+#: (rows x candidates) block is processed in slices of at most this many
+#: float64 cells, bounding peak memory regardless of how many workers
+#: share one cell rectangle.
+_GRID_BLOCK_CELLS = 2_000_000
+
+#: Reach-margin factor of the squared-distance prefilter. The prefilter
+#: runs in float32 (it only has to be a *superset* of the exact test,
+#: and halving the bandwidth of the big block matrices is the point);
+#: the comparison radius is inflated additively by ``scale * 1e-5``,
+#: where ``scale`` bounds the coordinate magnitudes, which dwarfs the
+#: worst-case float32 cast/subtract/square error (~4 ulps, i.e. ~2.4e-7
+#: relative to ``scale``) while still rejecting essentially everything
+#: outside the circle. Exact float64 hypot decides membership for the
+#: survivors.
+_PREFILTER_MARGIN = 1e-5
+
+
+def _cell_table(index: GridIndex, position_of=None):
+    """Per-cell candidate arrays: ``(cx, cy) -> (positions, xs, ys)``.
+
+    ``position_of`` maps bucket items (stable task ids in the
+    incremental index) to task positions; ``None`` means items already
+    *are* positions (the fresh-build path).
+    """
+    table: dict = {}
+    for key, bucket in index.cells():
+        count = len(bucket)
+        if position_of is None:
+            positions = np.fromiter(
+                (item for item, _ in bucket), dtype=np.int64, count=count
+            )
+        else:
+            positions = np.fromiter(
+                (position_of[item] for item, _ in bucket),
+                dtype=np.int64,
+                count=count,
+            )
+        xs = np.fromiter(
+            (point.x for _, point in bucket), dtype=np.float64, count=count
+        )
+        ys = np.fromiter(
+            (point.y for _, point in bucket), dtype=np.float64, count=count
+        )
+        table[key] = (positions, xs, ys)
+    return table
+
+
+def _grid_valid_lists(
+    instance: Instance,
+    index: GridIndex,
+    max_remaining: float,
+    position_of=None,
+) -> "list[np.ndarray]":
+    """Batched grid validity: per-worker candidate lists, membership
+    identical to the scalar ``query_circle`` + ``_deadline_ok`` loop.
+
+    Workers sharing the same candidate cell rectangle are scored as one
+    broadcast block — distances via :func:`np.hypot` (the elementwise
+    twin of ``Point.distance_to``'s ``math.hypot``), then the same two
+    masks the scalar path applies: within the reach limit, and
+    deadline-feasible (``remaining < 0`` rejects; zero-speed workers
+    only reach distance 0; otherwise ``distance / speed <= remaining``).
+    Each emitted row is sorted ascending and duplicate-free (candidates
+    are argsorted once per rectangle group; a task lives in exactly one
+    cell), satisfying :meth:`ValidPairs.from_sorted_rows`'s contract.
+    """
+    workers = instance.workers
+    cell_size = index.cell_size
+    table = _cell_table(index, position_of)
+    remaining = np.fromiter(
+        (task.remaining_time(instance.now) for task in instance.tasks),
+        dtype=np.float64,
+        count=instance.task_count,
+    )
+    count = len(workers)
+    wx = np.fromiter(
+        (w.location.x for w in workers), dtype=np.float64, count=count
+    )
+    wy = np.fromiter(
+        (w.location.y for w in workers), dtype=np.float64, count=count
+    )
+    radii = np.fromiter(
+        (w.radius for w in workers), dtype=np.float64, count=count
+    )
+    speeds = np.fromiter(
+        (w.speed for w in workers), dtype=np.float64, count=count
+    )
+    # Same float expression as _reach_limit, elementwise.
+    limits = np.minimum(radii, speeds * max_remaining * _REACH_SLACK)
+    # Coordinate/limit magnitude bound for the prefilter's additive
+    # reach margin.
+    scale = 1.0
+    if count:
+        scale = max(
+            scale,
+            float(np.abs(wx).max()),
+            float(np.abs(wy).max()),
+            float(limits.max()),
+        )
+    for _, xs, ys in table.values():
+        scale = max(
+            scale, float(np.abs(xs).max()), float(np.abs(ys).max())
+        )
+    margin = scale * _PREFILTER_MARGIN
+
+    # query_circle's inclusive cell rectangle, elementwise: identical
+    # IEEE subtract/divide then floor, so the scanned cells match the
+    # scalar path cell-for-cell.
+    min_cx = np.floor((wx - limits) / cell_size).astype(np.int64)
+    max_cx = np.floor((wx + limits) / cell_size).astype(np.int64)
+    min_cy = np.floor((wy - limits) / cell_size).astype(np.int64)
+    max_cy = np.floor((wy + limits) / cell_size).astype(np.int64)
+
+    groups: dict[tuple[int, int, int, int], list[int]] = {}
+    for row in range(count):
+        key = (
+            int(min_cx[row]),
+            int(max_cx[row]),
+            int(min_cy[row]),
+            int(max_cy[row]),
+        )
+        groups.setdefault(key, []).append(row)
+
+    empty_row = np.empty(0, dtype=np.int64)
+    result: list[np.ndarray] = [empty_row] * count
+    # Distinct rectangles frequently clip to the same subset of present
+    # cells (coarse cells, map edges), so the sorted candidate bundles
+    # are memoized by that subset.
+    bundles: dict = {}
+    for (cx_lo, cx_hi, cy_lo, cy_hi), rows in groups.items():
+        keys = tuple(
+            (cx, cy)
+            for cx in range(cx_lo, cx_hi + 1)
+            for cy in range(cy_lo, cy_hi + 1)
+            if (cx, cy) in table
+        )
+        if not keys:
+            continue
+        bundle = bundles.get(keys)
+        if bundle is None:
+            parts = [table[key] for key in keys]
+            if len(parts) == 1:
+                cand_pos, cand_x, cand_y = parts[0]
+            else:
+                cand_pos = np.concatenate([p[0] for p in parts])
+                cand_x = np.concatenate([p[1] for p in parts])
+                cand_y = np.concatenate([p[2] for p in parts])
+            order = np.argsort(cand_pos)
+            cand_pos = cand_pos[order]
+            cand_x = cand_x[order]
+            cand_y = cand_y[order]
+            bundle = (
+                cand_pos,
+                cand_x,
+                cand_y,
+                cand_x.astype(np.float32),
+                cand_y.astype(np.float32),
+                remaining[cand_pos],
+            )
+            bundles[keys] = bundle
+        cand_pos, cand_x, cand_y, cand_x32, cand_y32, cand_remaining = bundle
+        rows_array = np.asarray(rows, dtype=np.int64)
+        chunk = max(1, _GRID_BLOCK_CELLS // max(1, cand_pos.size))
+        for start in range(0, rows_array.size, chunk):
+            block = rows_array[start : start + chunk]
+            block_wx = wx[block]
+            block_wy = wy[block]
+            block_limits = limits[block]
+            dx32 = cand_x32[None, :] - block_wx.astype(np.float32)[:, None]
+            dy32 = cand_y32[None, :] - block_wy.astype(np.float32)[:, None]
+            # float32 squared-distance prefilter — a strict superset of
+            # hypot(dx, dy) <= limit thanks to the additive margin (see
+            # _PREFILTER_MARGIN); exact float64 hypot then runs only on
+            # the surviving cells, so membership is decided by the same
+            # comparison as the scalar path.
+            threshold = (
+                ((block_limits + margin) * (block_limits + margin))
+                .astype(np.float32)[:, None]
+            )
+            near = dx32 * dx32 + dy32 * dy32 <= threshold
+            row_hits, col_hits = np.nonzero(near)
+            dist = np.hypot(
+                cand_x[col_hits] - block_wx[row_hits],
+                cand_y[col_hits] - block_wy[row_hits],
+            )
+            speed = speeds[block][row_hits]
+            rem = cand_remaining[col_hits]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                travel = np.where(
+                    speed > 0, dist / np.maximum(speed, 1e-300), np.inf
+                )
+            keep = (
+                (dist <= block_limits[row_hits])
+                & (rem >= 0)
+                & np.where(speed > 0, travel <= rem, dist == 0.0)
+            )
+            row_hits = row_hits[keep]
+            kept_pos = cand_pos[col_hits[keep]]
+            # np.nonzero is row-major, so kept_pos is grouped by row
+            # with ascending candidate order inside each group; slice
+            # views per row keep this allocation-free.
+            row_counts = np.bincount(row_hits, minlength=block.size)
+            bounds = np.concatenate(([0], np.cumsum(row_counts))).tolist()
+            for offset, row in enumerate(block.tolist()):
+                result[row] = kept_pos[bounds[offset] : bounds[offset + 1]]
+    return result
 
 
 def _deadline_ok(instance: Instance, worker_index: int, task_index: int) -> bool:
@@ -310,20 +613,11 @@ class IncrementalValidityIndex:
                 "call sync() with the live pool first"
             )
         max_remaining = self.max_remaining(instance.now)
-        tasks_for_worker: list[list[int]] = []
-        for worker_index, worker in enumerate(instance.workers):
-            limit = min(
-                worker.radius, worker.speed * max_remaining * _REACH_SLACK
-            )
-            candidates = self._index.query_circle(worker.location, limit)
-            valid = [
-                position
-                for position in (position_of[key] for key in candidates)
-                if _deadline_ok(instance, worker_index, position)
-            ]
-            tasks_for_worker.append(valid)
-        return ValidPairs.from_worker_lists(
-            tasks_for_worker, instance.task_count
+        return ValidPairs.from_sorted_rows(
+            _grid_valid_lists(
+                instance, self._index, max_remaining, position_of=position_of
+            ),
+            instance.task_count,
         )
 
 

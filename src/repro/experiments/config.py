@@ -108,9 +108,10 @@ class ExperimentSettings:
     #: :class:`~repro.experiments.parallel.SweepExecutor` moves it into
     #: shared memory — so it is configured on the executor, not here.
     quality_backend: str = "dense"
-    #: Best-response kernel for the GT variants: ``"python"`` (the
-    #: historical per-worker scan) or ``"native"`` (the batched per-round
-    #: prepass of :mod:`repro.core.kernels`; numba-compiled when numba is
+    #: Evaluation kernel for the GT variants and TPG: ``"python"`` (the
+    #: historical per-worker scan) or ``"native"`` (the batched prepass,
+    #: mid-round rescan and stage-1 group kernels of
+    #: :mod:`repro.core.kernels`; numba-compiled when numba is
     #: importable, bit-identical numpy fallback otherwise). Results are
     #: identical either way — the knob trades wall-clock only.
     kernel: str = DEFAULT_KERNEL
@@ -188,8 +189,8 @@ def make_solver(
     """Instantiate an approach by its paper name.
 
     ``epsilon`` only affects the TSI variants; ``seed`` only affects
-    RAND; ``kernel`` only affects the GT variants (and never their
-    results — see :mod:`repro.core.kernels`).
+    RAND; ``kernel`` only affects the GT variants and TPG (and never
+    their results — see :mod:`repro.core.kernels`).
 
     ``shards`` other than ``1`` routes the GT/TPG family through the
     geo-sharded solver (:func:`repro.core.sharding.solve_sharded`):
@@ -260,7 +261,7 @@ def _mflow_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> Solver
 
 def _tpg_factory(epsilon: float, seed, kernel: str = DEFAULT_KERNEL) -> SolverFn:
     def solver(instance: Instance, valid_pairs: ValidPairs) -> Assignment:
-        result = solve_tpg_with_stats(instance, valid_pairs)
+        result = solve_tpg_with_stats(instance, valid_pairs, kernel=kernel)
         if result.stats is not None:
             solver.stats_log.append(result.stats)
         return result.assignment

@@ -118,6 +118,32 @@ class GridIndex:
                 )
         return results
 
+    def cells(
+        self,
+    ) -> Iterator[tuple[tuple[int, int], list[tuple[Hashable, Point]]]]:
+        """Iterate ``(cell_key, bucket)`` pairs.
+
+        A read-only view for vectorized consumers (the validity layer
+        turns each bucket into numpy coordinate arrays); mutating a
+        yielded bucket corrupts the index.
+        """
+        return iter(self._cells.items())
+
+    def cell_range(
+        self, center: Point, radius: float
+    ) -> tuple[int, int, int, int]:
+        """The inclusive cell rectangle ``query_circle`` would scan.
+
+        Exposed so batched range queries can group workers by identical
+        rectangles; the float operations mirror ``query_circle`` exactly.
+        """
+        return (
+            math.floor((center.x - radius) / self.cell_size),
+            math.floor((center.x + radius) / self.cell_size),
+            math.floor((center.y - radius) / self.cell_size),
+            math.floor((center.y + radius) / self.cell_size),
+        )
+
     def __len__(self) -> int:
         return self._size
 

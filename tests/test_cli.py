@@ -131,6 +131,60 @@ class TestSimulate:
         assert "ONLINE" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_profile_generated_instance(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--workers",
+                "60",
+                "--tasks",
+                "12",
+                "--approach",
+                "GT",
+                "--seed",
+                "3",
+                "--top",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "profile[GT]" in printed
+        assert "validity:" in printed and "solve:" in printed
+        payload = json.loads(out.read_text())
+        assert [phase["phase"] for phase in payload["phases"]] == [
+            "validity",
+            "solve",
+        ]
+        for phase in payload["phases"]:
+            assert phase["hotspots"], phase["phase"]
+            assert len(phase["hotspots"]) <= 3
+            # Sorted by self time — the documented reading order.
+            tottimes = [spot["tottime"] for spot in phase["hotspots"]]
+            assert tottimes == sorted(tottimes, reverse=True)
+
+    def test_profile_instance_file_native_kernel(self, instance_file, capsys):
+        code = main(
+            [
+                "profile",
+                "--instance",
+                str(instance_file),
+                "--kernel",
+                "native",
+                "--top",
+                "2",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "kernel=native" in printed
+        assert "solver stats:" in printed
+
+
 class TestErrorHandling:
     def test_missing_instance_file(self, capsys):
         code = main(["solve", "/nonexistent/batch.json"])

@@ -37,8 +37,8 @@ from tests.conftest import make_dense_instance
 
 CORPUS_DIR = "tests/data/audit_corpus"
 BACKENDS = ("dense", "sparse", "shared")
-#: TPG ignores the kernel knob entirely — it rides along to prove the
-#: flag is inert outside the GT family.
+#: All three dispatch through the kernel under ``native``: the GT family
+#: via prepass/rescan gain scoring, TPG via the stage-1 group kernel.
 PARITY_APPROACHES = ("GT", "GT+ALL", "TPG")
 
 
@@ -146,15 +146,14 @@ class TestKernelParity:
             if cleanup is not None:
                 cleanup()
         assert native_sig == python_sig
-        if approach != "TPG":
-            assert native_stats is not None
-            ran = (
-                native_stats.kernel_compiled_calls
-                + native_stats.kernel_fallback_calls
-            )
-            assert ran > 0, "native solve never entered the kernel"
-            if not NUMBA_AVAILABLE:
-                assert native_stats.kernel_compiled_calls == 0
+        assert native_stats is not None
+        ran = (
+            native_stats.kernel_compiled_calls
+            + native_stats.kernel_fallback_calls
+        )
+        assert ran > 0, "native solve never entered the kernel"
+        if not NUMBA_AVAILABLE:
+            assert native_stats.kernel_compiled_calls == 0
 
 
 class TestFallbackChainParity:
