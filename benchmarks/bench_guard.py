@@ -101,6 +101,23 @@ A seventh section — the interpreted-hot-path record — is written to
   size) so the record shows *which* interpreted loops the kernels
   displaced, not just the ratio.
 
+An eighth section — the shared-scalar-walls record — is written to
+``BENCH_pr10.json``:
+
+* **peel_guard** — the overflow counted-subset peel and bulk-gather
+  record. (a) *parity* — GT solved across {dense, sparse, shared} x
+  {python, native} on a small contended instance must produce one
+  repr-identical fingerprint; direct ``counted_subset_select`` calls at
+  the kept sizes straddling numpy's pairwise-summation cliff (7/8/9 and
+  beyond) must equal the scalar ``best_counted_subset`` oracle on every
+  backend, and ``gather_rows`` must equal the dense lookup. (b) *GT
+  end-to-end* — python vs native on the *contended* population
+  (tasks = workers // 16, capacity 8, dense reach): every join probe
+  against a full task overflows and peels 9 members, the regime PR 9
+  documented as kernel-invariant ("the shared scalar walls"); at the
+  gate size the native speedup must reach >= 1.5x even on the numpy
+  fallback. Records per-kernel peel dispatch counters alongside.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_guard.py              # everything
@@ -113,6 +130,8 @@ Usage::
         --shard-sizes 20000 100000
     PYTHONPATH=src python benchmarks/bench_guard.py --only-hotpath \\
         --hotpath-sizes 2000 20000 --hotpath-shard-size 100000
+    PYTHONPATH=src python benchmarks/bench_guard.py --only-peel \\
+        --peel-sizes 4000 20000
 
 Exit status is non-zero when an incremental score deviates from the
 oracle or a parallel sweep result deviates from serial — both are
@@ -178,6 +197,23 @@ HOTPATH_GT_SPEEDUP_FLOOR = 1.5
 VALIDITY_SCAN_SPEEDUP_FLOOR = 5.0
 HOTPATH_SHARD_SIZE = 100000
 HOTPATH_PROFILE_TOP = 10
+
+#: Shared-scalar-walls record: sizes and acceptance bars. The peel
+#: population keeps the hotpath family's dense reach but starves task
+#: slots (tasks = workers // PEEL_TASK_DIVISOR, capacity
+#: PEEL_CAPACITY): groups saturate at 8 members, so every further join
+#: probe overflows and peels a 9-member group — one kept count past
+#: numpy's pairwise cliff, the regime the PR 9 record documented as
+#: bounded near 1x because both kernels ran the identical scalar peel.
+#: The gate applies at PEEL_GATE_SIZE: native GT end-to-end must reach
+#: >= PEEL_GT_SPEEDUP_FLOOR even on the numpy fallback.
+PEEL_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pr10.json"
+DEFAULT_PEEL_SIZES = (4000, 20000)
+PEEL_GATE_SIZE = 20000
+PEEL_GT_SPEEDUP_FLOOR = 1.5
+PEEL_TASK_DIVISOR = 16
+PEEL_CAPACITY = 8
+PEEL_PARITY_WORKERS = 1000
 #: Chaos-guard kill probability per first attempt (see run_chaos_benchmark).
 #: 0.2 is the smallest decade-ish rate whose seeded draws actually fire
 #: on the 6-cell guard sweep (at 0.1 no cell draws a kill, so the
@@ -1339,6 +1375,238 @@ def run_hotpath_benchmark(
     return record, failures
 
 
+def _peel_instance_pairs(worker_count: int):
+    """The shared-scalar-walls population: dense reach, starved slots.
+
+    Same reach geometry as the hotpath family, but task slots cover only
+    half the workers (tasks = n // 16 at capacity 8), so best-response
+    spends its rounds probing *full* tasks — every such probe overflows
+    and runs a 9-member counted-subset peel. This is the population the
+    hotpath record's docstring explicitly excluded because the peel used
+    to run the identical scalar path under both kernels.
+    """
+    instance = generate_instance(
+        worker_count,
+        worker_count // PEEL_TASK_DIVISOR,
+        capacity=PEEL_CAPACITY,
+        seed=0,
+        radius_range=HOTPATH_RADIUS_RANGE,
+        quality_backend="sparse",
+    )
+    return instance, compute_valid_pairs(instance, "grid")
+
+
+def run_peel_benchmark(
+    sizes=DEFAULT_PEEL_SIZES,
+    repeats: int = 2,
+    gate_size: int = PEEL_GATE_SIZE,
+) -> tuple[dict, list[str]]:
+    """Peel + bulk-gather record: backend/kernel parity, then the gate.
+
+    Parity: (a) the peel kernel vs the scalar oracle on every quality
+    backend at kept sizes straddling the pairwise cliff, (b)
+    ``gather_rows`` vs the dense lookup, (c) GT fingerprints across
+    {dense, sparse, shared} x {python, native} on a small contended
+    instance. Performance: python vs native GT per size on the
+    contended population, gated at ``gate_size`` (see
+    :data:`PEEL_GT_SPEEDUP_FLOOR`).
+    """
+    from repro.core.kernels import (
+        NUMBA_AVAILABLE,
+        counted_subset_select,
+        gather_block,
+    )
+    from repro.core.quality_store import SharedDenseQualityStore
+    from repro.core.revenue import best_counted_subset
+
+    failures: list[str] = []
+    record: dict = {
+        "geometry": {
+            "radius_range": list(HOTPATH_RADIUS_RANGE),
+            "tasks_per_worker": 1.0 / PEEL_TASK_DIVISOR,
+            "capacity": PEEL_CAPACITY,
+            "quality_backend": "sparse",
+            "validity_strategy": "grid",
+        },
+        "repeats": repeats,
+        "numba_available": NUMBA_AVAILABLE,
+        "gate_size": gate_size,
+        "gt_speedup_floor": PEEL_GT_SPEEDUP_FLOOR,
+        "note": (
+            "native == numba-compiled peel endgame when importable, "
+            "numpy fallback otherwise; the GT gate applies to whichever "
+            "this environment provides. The population is deliberately "
+            "overflow-dominated — the regime BENCH_pr9 documented as "
+            "bounded near 1x under the old shared scalar peel."
+        ),
+    }
+
+    # -- parity: peel kernel vs scalar oracle on every backend --------
+    parity_instance, parity_pairs = _peel_instance_pairs(
+        PEEL_PARITY_WORKERS
+    )
+    dense = parity_instance.quality.to_dense()
+    shared = SharedDenseQualityStore.create(dense)
+    peel_checks = 0
+    gather_checks = 0
+    rng = np.random.default_rng(0)
+    try:
+        stores = {
+            "dense": dense,
+            "sparse": parity_instance.quality,
+            "shared": shared,
+        }
+        for members_count in (7, 8, 9, 10, 16):
+            members = sorted(
+                int(worker)
+                for worker in rng.choice(
+                    PEEL_PARITY_WORKERS, size=members_count, replace=False
+                )
+            )
+            for size in range(members_count + 1):
+                oracle = best_counted_subset(dense, members, size)
+                for backend, store in stores.items():
+                    kept = counted_subset_select(
+                        store.as_kernel_buffers(), members, size
+                    )
+                    peel_checks += 1
+                    if kept != oracle:
+                        failures.append(
+                            f"peel parity {backend} members="
+                            f"{members_count} size={size}: kernel kept "
+                            f"{kept} vs oracle {oracle}"
+                        )
+        for _ in range(20):
+            rows = rng.integers(0, PEEL_PARITY_WORKERS, size=8)
+            cols = rng.integers(0, PEEL_PARITY_WORKERS, size=12)
+            expected = dense.values[rows[:, None], cols].copy()
+            expected[rows[:, None] == cols[None, :]] = 0.0
+            for backend, store in stores.items():
+                gather_checks += 1
+                block = store.gather_rows(rows, cols)
+                if not np.array_equal(block, expected):
+                    failures.append(
+                        f"gather parity {backend}: gather_rows diverges "
+                        "from the dense lookup"
+                    )
+                    break
+                if not np.array_equal(
+                    gather_block(store.as_kernel_buffers(), rows, cols),
+                    expected,
+                ):
+                    failures.append(
+                        f"gather parity {backend}: gather_block diverges "
+                        "from the dense lookup"
+                    )
+                    break
+
+        # -- parity: GT across backends x kernels ---------------------
+        fingerprints: dict[str, dict[str, str]] = {}
+        for backend, store in stores.items():
+            instance = _with_quality(parity_instance, store)
+            for kernel in ("python", "native"):
+                result = solve_game_theoretic(
+                    instance, parity_pairs, kernel=kernel
+                )
+                failures += _check_oracle(
+                    f"peel parity GT[{backend}/{kernel}]",
+                    0,
+                    result.assignment,
+                )
+                fingerprints[f"{backend}/{kernel}"] = {
+                    "score": repr(result.final_score),
+                    "pairs": repr(result.assignment.to_pairs()),
+                }
+    finally:
+        shared.close()
+        shared.unlink()
+    reference = fingerprints["dense/python"]
+    for combo, fingerprint in fingerprints.items():
+        if fingerprint != reference:
+            failures.append(
+                f"peel parity GT {combo}: diverges from dense/python "
+                f"({fingerprint['score']} vs {reference['score']})"
+            )
+    record["parity"] = {
+        "workers": PEEL_PARITY_WORKERS,
+        "peel_checks": peel_checks,
+        "gather_checks": gather_checks,
+        "combos": sorted(fingerprints),
+        "identical": all(
+            fingerprint == reference
+            for fingerprint in fingerprints.values()
+        ),
+        "score": reference["score"],
+    }
+
+    # -- GT end-to-end: python vs native per size ---------------------
+    record["sizes"] = {}
+    for worker_count in sizes:
+        instance, valid_pairs = _peel_instance_pairs(worker_count)
+        per_kernel: dict = {}
+        for kernel in ("python", "native"):
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = solve_game_theoretic(
+                    instance, valid_pairs, kernel=kernel
+                )
+                best = min(best, time.perf_counter() - started)
+            failures += _check_oracle(
+                f"peel GT[{kernel}]", 0, result.assignment
+            )
+            per_kernel[kernel] = {
+                "seconds": best,
+                "score": repr(result.final_score),
+                "pairs": repr(result.assignment.to_pairs()),
+                "rounds": result.rounds,
+                "moves": result.moves,
+                "peel_kernel_calls": (
+                    result.stats.peel_kernel_calls if result.stats else 0
+                ),
+                "stats": result.stats.to_dict() if result.stats else None,
+            }
+        identical = (
+            per_kernel["python"]["score"] == per_kernel["native"]["score"]
+            and per_kernel["python"]["pairs"] == per_kernel["native"]["pairs"]
+        )
+        if not identical:
+            failures.append(
+                f"peel GT parity n={worker_count}: native diverges from "
+                f"python ({per_kernel['native']['score']} vs "
+                f"{per_kernel['python']['score']})"
+            )
+        if per_kernel["native"]["peel_kernel_calls"] == 0:
+            failures.append(
+                f"peel GT n={worker_count}: native solve never "
+                "dispatched the peel kernel — the population is not "
+                "overflow-dominated"
+            )
+        speedup = (
+            per_kernel["python"]["seconds"] / per_kernel["native"]["seconds"]
+        )
+        if worker_count >= gate_size and speedup < PEEL_GT_SPEEDUP_FLOOR:
+            failures.append(
+                f"peel GT n={worker_count}: native end-to-end speedup "
+                f"{speedup:.2f}x is below the "
+                f"{PEEL_GT_SPEEDUP_FLOOR:g}x floor"
+            )
+        record["sizes"][str(worker_count)] = {
+            "identical": identical,
+            "speedup_native_vs_python": speedup,
+            **{
+                kernel: {
+                    key: value
+                    for key, value in per_kernel[kernel].items()
+                    if key != "pairs"  # repr'd pair lists are huge
+                }
+                for kernel in per_kernel
+            },
+        }
+    return record, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
@@ -1472,6 +1740,31 @@ def main(argv: list[str] | None = None) -> int:
         help="worker count of the kernel-native sharded leg (0 skips it)",
     )
     parser.add_argument(
+        "--skip-peel",
+        action="store_true",
+        help="skip the shared-scalar-walls record (BENCH_pr10.json)",
+    )
+    parser.add_argument(
+        "--only-peel",
+        action="store_true",
+        help="run only the shared-scalar-walls record",
+    )
+    parser.add_argument(
+        "--peel-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_PEEL_SIZES),
+        metavar="N",
+        help="worker counts of the overflow-peel GT measurement "
+        f"(the gate applies at n >= {PEEL_GATE_SIZE})",
+    )
+    parser.add_argument(
+        "--peel-repeats",
+        type=int,
+        default=2,
+        help="min-of-N repeats of each peel timing leg (default 2)",
+    )
+    parser.add_argument(
         "--measure-rss",
         nargs=2,
         metavar=("BACKEND", "N"),
@@ -1518,6 +1811,12 @@ def main(argv: list[str] | None = None) -> int:
         default=HOTPATH_OUTPUT,
         help="hotpath-record JSON path",
     )
+    parser.add_argument(
+        "--peel-out",
+        type=Path,
+        default=PEEL_OUTPUT,
+        help="peel-record JSON path",
+    )
     args = parser.parse_args(argv)
 
     if args.measure_rss:
@@ -1532,16 +1831,25 @@ def main(argv: list[str] | None = None) -> int:
         args.skip_scale = True
         args.skip_chaos = True
         args.skip_hotpath = True
+        args.skip_peel = True
     if args.only_chaos:
         args.skip_kernel = True
         args.skip_scale = True
         args.skip_shards = True
         args.skip_hotpath = True
+        args.skip_peel = True
     if args.only_hotpath:
         args.skip_kernel = True
         args.skip_scale = True
         args.skip_shards = True
         args.skip_chaos = True
+        args.skip_peel = True
+    if args.only_peel:
+        args.skip_kernel = True
+        args.skip_scale = True
+        args.skip_shards = True
+        args.skip_chaos = True
+        args.skip_hotpath = True
 
     failures: list[str] = []
     guard_record = None
@@ -1549,6 +1857,7 @@ def main(argv: list[str] | None = None) -> int:
     shard_record = None
     chaos_record = None
     hotpath_record = None
+    peel_record = None
     if not args.skip_kernel:
         kernel_record, kernel_failures = run_kernel_benchmark(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
@@ -1564,16 +1873,19 @@ def main(argv: list[str] | None = None) -> int:
         args.skip_shards = True
         args.skip_chaos = True
         args.skip_hotpath = True
+        args.skip_peel = True
     if args.only_scale:
         args.skip_shards = True
         args.skip_chaos = True
         args.skip_hotpath = True
+        args.skip_peel = True
     if (
         not args.only_scale
         and not args.only_kernel
         and not args.only_shards
         and not args.only_chaos
         and not args.only_hotpath
+        and not args.only_peel
     ):
         guard_record, failures = run_guard(
             workers=args.workers, tasks=args.tasks, repeats=args.repeats
@@ -1649,6 +1961,17 @@ def main(argv: list[str] | None = None) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.hotpath_out}")
+
+    if not args.skip_peel:
+        peel_record, peel_failures = run_peel_benchmark(
+            sizes=args.peel_sizes, repeats=args.peel_repeats
+        )
+        failures += peel_failures
+        args.peel_out.write_text(
+            json.dumps({"peel_guard": peel_record}, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.peel_out}")
 
     if kernel_record is not None:
         for solver, summary in kernel_record["summary"].items():
@@ -1763,6 +2086,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"{sharded['seconds']:.1f}s over {sharded['shard_count']} "
                 f"shards"
             )
+    if peel_record is not None:
+        fallback_note = (
+            "" if peel_record["numba_available"] else " [numpy fallback]"
+        )
+        parity = peel_record["parity"]
+        print(
+            f"peel parity (backends x kernels, n={parity['workers']}): "
+            + ("identical" if parity["identical"] else "DIVERGED")
+            + f" over {parity['peel_checks']} peel and "
+            f"{parity['gather_checks']} gather checks"
+        )
+        for size, entry in peel_record["sizes"].items():
+            print(
+                f"peel n={size}: GT python "
+                f"{entry['python']['seconds']:.2f}s vs native "
+                f"{entry['native']['seconds']:.2f}s "
+                f"({entry['speedup_native_vs_python']:.2f}x"
+                f"{fallback_note}), peel dispatches "
+                f"{entry['native']['peel_kernel_calls']}, identical: "
+                f"{entry['identical']}"
+            )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -1789,6 +2133,11 @@ def main(argv: list[str] | None = None) -> int:
             "validity membership identical and scan-stage speedup within "
             "bars; GT kernels repr-identical with end-to-end speedup "
             "within bars"
+        )
+    if peel_record is not None:
+        checks.append(
+            "peel and gather repr-identical to the scalar oracle across "
+            "backends x kernels; contended GT speedup within bars"
         )
     print("all checks passed: " + "; ".join(checks))
     return 0

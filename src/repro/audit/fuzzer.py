@@ -19,7 +19,11 @@ Equation-2/Definition-3 machinery has historically broken:
   best-response kernel's edges: a group saturated at exactly
   ``_VECTOR_GROUP_LIMIT = 8`` members (the scalar-path guard), a
   single-worker batch (one-segment CSR prepass), and a zero-valid-pairs
-  batch (empty candidate arrays).
+  batch (empty candidate arrays);
+* peel-boundary shapes that force overflow counted-subset peels at the
+  kept sizes where numpy's summation order changes (7/8/9, around the
+  pairwise cliff at 8), single-step ``capacity == members - 1`` peels,
+  and all-tied contributions that hammer the highest-index tie-break.
 
 Everything is driven by one :func:`numpy.random.default_rng` stream, so
 a seed reproduces its instance exactly; the audit runner derives
@@ -51,7 +55,14 @@ _NOW = 1.0
 _DEADLINE_GRID = (0.5, 1.0, 1.5, 3.0)
 #: The kernel-boundary shapes ``fuzz_instance`` cycles through when the
 #: boundary-bias roll fires (see the module docstring).
-_KERNEL_SHAPES = ("group8", "solo", "nopairs")
+_KERNEL_SHAPES = (
+    "group8",
+    "solo",
+    "nopairs",
+    "peelcliff",
+    "peelfit",
+    "tiedpeel",
+)
 
 
 @dataclass(frozen=True)
@@ -159,12 +170,47 @@ def fuzz_instance(seed, config: FuzzConfig = FuzzConfig()) -> Instance:
     )
 
 
-def _dyadic_quality(rng, worker_count: int) -> CooperationMatrix:
-    """Symmetric dyadic quality matrix with a zero diagonal."""
-    upper = rng.choice(_QUALITY_GRID, size=(worker_count, worker_count))
+def _dyadic_quality(
+    rng, worker_count: int, positive: bool = False
+) -> CooperationMatrix:
+    """Symmetric dyadic quality matrix with a zero diagonal.
+
+    ``positive=True`` excludes 0 from the grid: joining a group then
+    always adds revenue, so stacked-overflow shapes reliably saturate
+    their task and force the peel instead of settling short of capacity.
+    """
+    grid = _QUALITY_GRID[1:] if positive else _QUALITY_GRID
+    upper = rng.choice(grid, size=(worker_count, worker_count))
     q = np.triu(upper, k=1)
     q = q + q.T
     return CooperationMatrix(q)
+
+
+def _uniform_quality(worker_count: int, value: float) -> CooperationMatrix:
+    """Every off-diagonal entry equal: all peel contributions tie."""
+    q = np.full((worker_count, worker_count), value, dtype=np.float64)
+    np.fill_diagonal(q, 0.0)
+    return CooperationMatrix(q)
+
+
+def _stacked_overflow(worker_count: int, capacity: int):
+    """``worker_count`` workers and one capacity-``capacity`` task, all
+    colocated — every worker wants in, so join probes overflow and peel."""
+    center = Point(0.5, 0.5)
+    workers = [
+        Worker(worker_id=i, location=center, speed=1.0, radius=2.0)
+        for i in range(worker_count)
+    ]
+    tasks = [
+        Task(
+            task_id=0,
+            location=center,
+            capacity=capacity,
+            deadline=3.0,
+            created_time=0.0,
+        )
+    ]
+    return workers, tasks
 
 
 def _kernel_boundary_instance(shape: str, rng) -> Instance:
@@ -178,7 +224,42 @@ def _kernel_boundary_instance(shape: str, rng) -> Instance:
     * ``"nopairs"`` — reachable distances all exceed every radius/reach
       bound: ``ValidPairs`` is empty and every candidate array in the
       kernel has length zero.
+    * ``"peelcliff"`` — nine workers stacked on one capacity-6 task: an
+      overflow join probe peels 9 -> 8 -> 7 -> 6 kept members, crossing
+      numpy's pairwise-summation cliff (kept >= 9 pairwise, kept == 8
+      sequential, kept <= 7 vector branch) inside a single peel.
+    * ``"peelfit"`` — ``N`` workers on one capacity ``N - 1`` task with
+      ``N`` drawn from {8, 10}: the single-step peel lands exactly at
+      the kept sizes 8 and 10 (``"group8"`` already covers 9), i.e.
+      ``capacity == members - 1`` on both sides of the cliff.
+    * ``"tiedpeel"`` — nine workers on a capacity-7 task with *uniform*
+      quality: every contribution ties at every peel step, so the two
+      peels (9 -> 8 -> 7) must both resolve through the highest-index
+      tie-break on both sides of the cliff.
     """
+    if shape in ("peelcliff", "peelfit", "tiedpeel"):
+        if shape == "peelcliff":
+            worker_count, capacity = 9, 6
+        elif shape == "peelfit":
+            worker_count = int(rng.choice((8, 10)))
+            capacity = worker_count - 1
+        else:
+            worker_count, capacity = 9, 7
+        workers, tasks = _stacked_overflow(worker_count, capacity)
+        quality = (
+            _uniform_quality(
+                worker_count, float(rng.choice(_QUALITY_GRID[1:]))
+            )
+            if shape == "tiedpeel"
+            else _dyadic_quality(rng, worker_count, positive=True)
+        )
+        return Instance(
+            workers=workers,
+            tasks=tasks,
+            quality=quality,
+            min_group_size=2,
+            now=_NOW,
+        )
     if shape == "group8":
         center = Point(0.5, 0.5)
         workers = [

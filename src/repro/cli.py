@@ -474,10 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=KERNELS,
         default=DEFAULT_KERNEL,
-        help="best-response kernel for the GT variants: 'native' batches "
-        "Equation 5 scans per round (numba-compiled when available, "
-        "bit-identical numpy fallback otherwise); results match "
-        "'python' exactly (see docs/PERFORMANCE.md)",
+        help="evaluation kernel for the GT/TPG variants: 'native' batches "
+        "Equation 5 scans per round and routes overflow counted-subset "
+        "peels through the bulk-gather peel kernel (numba-compiled when "
+        "available, bit-identical numpy fallback otherwise); results "
+        "match 'python' exactly (see docs/PERFORMANCE.md)",
     )
     solve.add_argument(
         "--solver-budget",
@@ -542,8 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=KERNELS,
         default=DEFAULT_KERNEL,
-        help="best-response kernel for the GT variants (same results "
-        "either way; see docs/PERFORMANCE.md)",
+        help="evaluation kernel for the GT variants, covering the batched "
+        "Equation 5 scan and the overflow peel (same results either "
+        "way; see docs/PERFORMANCE.md)",
     )
     simulate.add_argument("--csv", default=None, help="per-round CSV output")
     simulate.add_argument("--jsonl", default=None, help="per-round JSONL output")

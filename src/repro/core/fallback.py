@@ -108,9 +108,10 @@ def default_tiers(
     TPG keeps most of the cooperation score at a fraction of GT's cost;
     pair-greedy drops the task-priority seeding; seeded random is the
     O(m) floor that cannot fail or meaningfully overrun. ``kernel``
-    selects the TPG tier's stage-1 evaluation path (bit-identical
-    either way) so a ``kernel="native"`` primary degrades to an equally
-    accelerated TPG.
+    selects the TPG tier's evaluation path — the stage-1 group kernel
+    and the revenue cache's overflow counted-subset peel (bit-identical
+    either way) — so a ``kernel="native"`` primary degrades to an
+    equally accelerated TPG.
     """
     rng = ensure_rng(seed)
 

@@ -262,6 +262,7 @@ def solve_game_theoretic(
     cache = assignment.revenue_cache
     stats.revenue_evaluations = cache.full_evaluations
     stats.incremental_updates = cache.incremental_updates
+    stats.peel_kernel_calls = cache.peel_kernel_calls
     stats.phase_seconds["rounds"] = sum(r.seconds for r in stats.rounds)
     stats.total_seconds = time.perf_counter() - solve_started
 
@@ -334,6 +335,9 @@ class _BestResponseDynamics:
         self.stats = stats if stats is not None else SolverStats(solver="GT")
         self.order_rng = None  # set for player_order="shuffled"
         self.cache = assignment.revenue_cache
+        # The cache's own overflow peels ride the selected kernel too
+        # (bit-identical; counted in peel_kernel_calls).
+        self.cache.kernel = self.kernel
         # Candidate tasks per worker as plain lists (fast iteration) —
         # the vectorized scan indexes cache arrays with them directly.
         self._tasks_lists: list[list[int]] = [

@@ -46,14 +46,20 @@ __all__ = [
     "NUMBA_AVAILABLE",
     "KERNELS",
     "DEFAULT_KERNEL",
+    "PAIRWISE_CLIFF",
     "CODE_VALUE",
     "CODE_SCALAR",
     "CODE_CURRENT",
     "KernelBuffers",
     "resolve_kernel",
     "segment_sums_ordered",
+    "ordered_row_sums",
+    "verify_pairwise_cliff",
+    "ensure_pairwise_cliff",
     "score_candidates",
     "gather_symmetric",
+    "gather_block",
+    "counted_subset_select",
     "greedy_group_select",
     "exact_group_select",
     "best_group",
@@ -167,6 +173,103 @@ def segment_sums_ordered(
     return total
 
 
+#: numpy's pairwise-summation threshold: ``ndarray.sum()`` accumulates
+#: strictly left-to-right below this many elements and with reordered
+#: (block-pairwise) partial sums from it on. The counted-subset peel and
+#: ``repro.core.revenue._VECTOR_PEEL_LIMIT`` both assume this value;
+#: :func:`verify_pairwise_cliff` fails loudly if a numpy upgrade moves it.
+PAIRWISE_CLIFF = 8
+
+_cliff_state = {"verified": False}
+
+
+def ordered_row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sums in strict left-to-right order.
+
+    Bit-identical to ``matrix.sum(axis=1)`` for widths below
+    :data:`PAIRWISE_CLIFF` (where numpy itself reduces sequentially), and
+    the single source of truth for the counted-subset peel's ordered
+    accumulation: both the vector branch of
+    ``repro.core.revenue.best_counted_subset`` and the numpy fallback of
+    :func:`counted_subset_select` route through it, so the summation
+    order that defines the peel (hence the potential function) lives in
+    exactly one place.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rows, width = matrix.shape
+    if width == 0:
+        return np.zeros(rows, dtype=np.float64)
+    total = matrix[:, 0].astype(np.float64, copy=True)
+    for column in range(1, width):
+        total += matrix[:, column]
+    return total
+
+
+def verify_pairwise_cliff(sum_func=None) -> None:
+    """Assert numpy's pairwise-summation cliff still sits at 8 elements.
+
+    The peel paths depend on two numpy facts: ``ndarray.sum()`` reduces
+    strictly left-to-right below :data:`PAIRWISE_CLIFF` elements, and at
+    exactly eight uses the block-pairwise order
+    ``((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7))``. Both are probed with a
+    discriminating array (``1e16`` followed by ones: sequential addition
+    absorbs every ``1.0`` into the big value's rounding, any reordering
+    does not), and a deviation raises ``RuntimeError`` — a loud failure
+    at the first peel instead of assignments silently diverging between
+    code paths after a numpy upgrade.
+
+    ``sum_func`` overrides the reduction under test (the regression test
+    injects impostors); the default is genuine ``ndarray.sum``.
+    """
+    if sum_func is None:
+        def sum_func(array):
+            return array.sum()
+
+    probe = np.empty(PAIRWISE_CLIFF, dtype=np.float64)
+    probe[0] = 1e16
+    probe[1:] = 1.0
+    for length in range(1, PAIRWISE_CLIFF):
+        sequential = probe[0]
+        for value in probe[1:length]:
+            sequential = sequential + value
+        observed = float(sum_func(probe[:length]))
+        if observed != float(sequential):
+            raise RuntimeError(
+                f"numpy no longer sums {length}-element arrays strictly "
+                f"left-to-right (got {observed!r}, sequential gives "
+                f"{float(sequential)!r}): the pairwise-summation cliff "
+                f"moved below {PAIRWISE_CLIFF}. The counted-subset peel's "
+                "summation-order contract "
+                "(repro.core.revenue._VECTOR_PEEL_LIMIT) is broken — pin "
+                "numpy, or update PAIRWISE_CLIFF and the peel kernels "
+                "together."
+            )
+    sequential = probe[0]
+    for value in probe[1:]:
+        sequential = sequential + value
+    pairwise = ((probe[0] + probe[1]) + (probe[2] + probe[3])) + (
+        (probe[4] + probe[5]) + (probe[6] + probe[7])
+    )
+    observed = float(sum_func(probe))
+    if observed == float(sequential) or observed != float(pairwise):
+        raise RuntimeError(
+            f"numpy's {PAIRWISE_CLIFF}-element reduction is no longer the "
+            f"expected block-pairwise order (got {observed!r}, expected "
+            f"{float(pairwise)!r}, sequential gives {float(sequential)!r}): "
+            "the pairwise-summation cliff moved. The counted-subset peel's "
+            "summation-order contract "
+            "(repro.core.revenue._VECTOR_PEEL_LIMIT) is broken — pin "
+            "numpy, or update PAIRWISE_CLIFF and the peel kernels together."
+        )
+
+
+def ensure_pairwise_cliff() -> None:
+    """Run :func:`verify_pairwise_cliff` once per process (cached)."""
+    if not _cliff_state["verified"]:
+        verify_pairwise_cliff()
+        _cliff_state["verified"] = True
+
+
 def _lookup_sorted(
     keys: np.ndarray, values: np.ndarray, targets: np.ndarray, prior: float
 ) -> np.ndarray:
@@ -199,6 +302,136 @@ def gather_symmetric(buffers: KernelBuffers, index: np.ndarray) -> np.ndarray:
         )
         np.fill_diagonal(sub, 0.0)
     return sub + sub.T
+
+
+def gather_block(
+    buffers: KernelBuffers, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Rectangular quality gather ``q[rows[:, None], cols]`` from flat buffers.
+
+    The dense branch is the stores' own fancy-indexing expression; the
+    sparse branch answers the whole ``(len(rows), len(cols))`` block with
+    one batched ``searchsorted`` over the globally sorted CSR keys —
+    absent pairs default to the prior, positions where ``rows[i] ==
+    cols[j]`` to 0. The floats are exactly those of per-row
+    ``q_row``/``gather`` round-trips, so reductions over the result stay
+    bit-identical to the interpreted path. Returns a fresh writable array.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if buffers.is_dense:
+        return np.array(
+            buffers.dense[rows[:, None], cols], dtype=np.float64, copy=True
+        )
+    targets = rows[:, None] * np.int64(buffers.size) + cols[None, :]
+    block = _lookup_sorted(
+        buffers.row_keys, buffers.row_values, targets, buffers.prior
+    )
+    block[rows[:, None] == cols[None, :]] = 0.0
+    return block
+
+
+def _peel_small_numpy(sub: np.ndarray, size: int, keep: np.ndarray) -> None:
+    """Sub-cliff peel endgame over a gathered submatrix (numpy fallback).
+
+    ``sub`` holds at most :data:`PAIRWISE_CLIFF` survivors (zero
+    diagonal); every iteration re-sums each survivor's row and column
+    strictly left-to-right over the surviving positions — the regime
+    where the scalar oracle's own reductions are sequential — and peels
+    the *last* surviving position attaining the minimum (the
+    highest-index tie-break). Mutates ``keep`` (1 = alive) in place.
+    """
+    positions = np.flatnonzero(keep)
+    work = sub
+    while positions.size > size:
+        contributions = ordered_row_sums(work) + ordered_row_sums(work.T)
+        minimum = contributions.min()
+        weakest = int(np.flatnonzero(contributions == minimum)[-1])
+        keep[positions[weakest]] = 0
+        positions = np.delete(positions, weakest)
+        if positions.size > size:
+            work = np.delete(
+                np.delete(work, weakest, axis=0), weakest, axis=1
+            )
+
+
+def counted_subset_select(
+    buffers: KernelBuffers, members, size: int, stats=None
+) -> list[int]:
+    """Greedy counted-subset peel over flat quality buffers.
+
+    Bit-identical to ``repro.core.revenue.best_counted_subset`` (the
+    scalar oracle) in floats *and* tie-breaks, while paying ONE bulk
+    gather (:func:`gather_block`) for the whole peel instead of a store
+    round-trip per iteration:
+
+    * while more than :data:`PAIRWISE_CLIFF` members survive, the
+      oracle's per-member others-arrays hold at least eight elements and
+      numpy reduces them pairwise — reproduced by genuine
+      ``ndarray.sum()`` calls on identical fresh contiguous arrays, so
+      the bits match by construction rather than by emulating numpy's
+      blocked accumulation;
+    * at or below the cliff every oracle reduction is strictly
+      sequential, so the endgame runs as one compiled loop
+      (:func:`_peel_small_njit` under numba, :func:`_peel_small_numpy`
+      otherwise) with the same left-to-right order;
+    * ties peel the highest surviving worker index in both regimes.
+
+    ``members`` must be duplicate-free. Returns the kept members sorted
+    ascending, exactly like the oracle. ``stats`` counts the endgame
+    dispatch like every other kernel entry point.
+    """
+    ensure_pairwise_cliff()
+    kept = sorted(int(member) for member in members)
+    if size >= len(kept):
+        return kept
+    order = np.asarray(kept, dtype=np.int64)
+    master = gather_block(buffers, order, order)
+    alive = list(range(order.size))
+    cur = len(alive)
+
+    while cur > size and cur > PAIRWISE_CLIFF:
+        index = np.asarray(alive, dtype=np.intp)
+        sub = master[np.ix_(index, index)]
+        # Each survivor's others-row/column as one contiguous (cur,
+        # cur - 1) copy: row p of the boolean-masked reshape is exactly
+        # np.delete(sub[p], p), and the axis-1 reduction applies numpy's
+        # pairwise blocking per row — the same bits as the oracle's 1-D
+        # ``ndarray.sum()`` over each fresh others-array.
+        off_diagonal = ~np.eye(cur, dtype=bool)
+        scores = (
+            sub[off_diagonal].reshape(cur, cur - 1).sum(axis=1)
+            + sub.T[off_diagonal].reshape(cur, cur - 1).sum(axis=1)
+        )
+        minimum = scores.min()
+        # Ties peel the last (= highest-index) surviving position.
+        weakest = int(np.flatnonzero(scores == minimum)[-1])
+        del alive[weakest]
+        cur -= 1
+
+    if cur > size:
+        if cur == order.size:
+            sub = master  # big-peel loop never ran: already contiguous
+        else:
+            index = np.asarray(alive, dtype=np.intp)
+            sub = np.ascontiguousarray(master[np.ix_(index, index)])
+        keep = np.ones(cur, dtype=np.int64)
+        if NUMBA_AVAILABLE:  # pragma: no cover - requires numba
+            started = time.perf_counter()
+            _peel_small_njit(sub, np.int64(size), keep)
+            if stats is not None:
+                stats.kernel_compiled_calls += 1
+                if _compile_seconds_pending["peel"]:
+                    stats.kernel_compile_seconds += (
+                        time.perf_counter() - started
+                    )
+            _compile_seconds_pending["peel"] = False
+        else:
+            _peel_small_numpy(sub, size, keep)
+            if stats is not None:
+                stats.kernel_fallback_calls += 1
+        alive = [alive[position] for position in range(cur) if keep[position]]
+    return [int(order[position]) for position in alive]
 
 
 def greedy_group_select(
@@ -536,6 +769,37 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
         return pair_sum
 
     @_njit(cache=True)
+    def _peel_small_njit(sub, size, keep):
+        # Scalar transliteration of _peel_small_numpy: strictly
+        # sequential per-survivor row/column sums (the sub-cliff regime,
+        # where a leading/interleaved +0.0 never changes a partial sum of
+        # non-negative qualities), ties peel the last surviving position.
+        n = sub.shape[0]
+        remaining = 0
+        for i in range(n):
+            if keep[i] != 0:
+                remaining += 1
+        while remaining > size:
+            weakest = -1
+            weakest_score = np.inf
+            for i in range(n):
+                if keep[i] == 0:
+                    continue
+                row_total = 0.0
+                col_total = 0.0
+                for j in range(n):
+                    if keep[j] == 0:
+                        continue
+                    row_total += sub[i, j]
+                    col_total += sub[j, i]
+                score = row_total + col_total
+                if score <= weakest_score:
+                    weakest = i
+                    weakest_score = score
+            keep[weakest] = 0
+            remaining -= 1
+
+    @_njit(cache=True)
     def _exact_group_njit(symmetric, combos, chosen):
         # Scalar transliteration of exact_group_select: per combination,
         # accumulate the position pairs in lexicographic order starting
@@ -568,6 +832,7 @@ _compile_seconds_pending: dict[str, bool] = {
     "csr": True,
     "group_dense": True,
     "group_csr": True,
+    "peel": True,
 }
 
 

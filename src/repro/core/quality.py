@@ -315,6 +315,20 @@ class CooperationMatrix:
         """
         return self._q[index[:, None], index]
 
+    def gather_rows(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Rectangular gather ``q[rows[:, None], cols]`` as a fresh copy.
+
+        The bulk multi-row form of :meth:`gather` on the
+        :class:`~repro.core.quality_store.QualityStore` protocol — one
+        call answers a whole block of rows instead of per-row
+        round-trips. Dense backends (including the shared-memory
+        subclass) serve it with the same fancy-indexing expression
+        :meth:`gather` uses, so the floats are identical.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        return self._q[rows[:, None], cols]
+
     def to_dense(self) -> "CooperationMatrix":
         """This store is already dense."""
         return self

@@ -109,6 +109,8 @@ class QualityStore(Protocol):
 
     def gather(self, index: np.ndarray) -> np.ndarray: ...
 
+    def gather_rows(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray: ...
+
     def top_qualities(self, worker: int, count: int) -> np.ndarray: ...
 
     def bottom_qualities(self, worker: int, count: int) -> np.ndarray: ...
@@ -135,6 +137,27 @@ class RowCacheInfo:
     maxsize: int
 
 
+class _CacheLedger:
+    """Per-orientation hit/miss/eviction counters over a shared LRU.
+
+    A symmetric store serves column reads from the row cache (one
+    physical cache, half the materialization work). Counting those reads
+    on the row cache's own counters double-counted them: both
+    ``row_cache_info()`` and ``col_cache_info()`` reported the same
+    totals, so summing the two infos — the natural aggregation — counted
+    every lookup twice, and row info silently included column traffic.
+    Each orientation now books its lookups on its own ledger while the
+    storage stays shared.
+    """
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
 class _RowLRU:
     """A tiny ordered-dict LRU holding materialized quality rows."""
 
@@ -149,18 +172,21 @@ class _RowLRU:
         self.evictions = 0
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
 
-    def get(self, key: int, build) -> np.ndarray:
+    def get(self, key: int, build, ledger=None) -> np.ndarray:
+        """One lookup; counters land on ``ledger`` (default: the cache
+        itself), so aliased callers can attribute traffic separately."""
+        target = self if ledger is None else ledger
         row = self._rows.get(key)
         if row is not None:
             self._rows.move_to_end(key)
-            self.hits += 1
+            target.hits += 1
             return row
-        self.misses += 1
+        target.misses += 1
         row = build()
         self._rows[key] = row
         while len(self._rows) > self.maxsize:
             self._rows.popitem(last=False)
-            self.evictions += 1
+            target.evictions += 1
         return row
 
     def info(self) -> RowCacheInfo:
@@ -219,6 +245,7 @@ class SparseQualityStore:
         "_symmetric",
         "_row_cache",
         "_col_cache",
+        "_col_ledger",
         "_kernel_buffers",
     )
 
@@ -287,7 +314,15 @@ class SparseQualityStore:
             and np.array_equal(data[col_order], data)
         )
         self._row_cache = _RowLRU(row_cache_size)
-        self._col_cache = self._row_cache if self._symmetric else _RowLRU(row_cache_size)
+        if self._symmetric:
+            # One physical cache serves both orientations; the ledger
+            # keeps the column traffic's counters separate so the two
+            # info views never double-count a lookup.
+            self._col_cache = self._row_cache
+            self._col_ledger = _CacheLedger()
+        else:
+            self._col_cache = _RowLRU(row_cache_size)
+            self._col_ledger = None
         self._kernel_buffers = None
 
     # ------------------------------------------------------------------
@@ -456,27 +491,44 @@ class SparseQualityStore:
         return self._row_cache.get(worker, lambda: self._materialize_row(worker))
 
     def q_col(self, worker: int) -> np.ndarray:
-        """Full column ``worker``; aliases :meth:`q_row` when symmetric."""
+        """Full column ``worker``; served from the row cache when symmetric
+        (shared storage, column-ledger accounting)."""
         worker = int(worker)
         if self._symmetric:
-            return self.q_row(worker)
+            return self._row_cache.get(
+                worker,
+                lambda: self._materialize_row(worker),
+                ledger=self._col_ledger,
+            )
         return self._col_cache.get(worker, lambda: self._materialize_col(worker))
 
     def gather(self, index: np.ndarray) -> np.ndarray:
         """The ``(k, k)`` submatrix over ``index`` as a fresh writable array.
 
-        Each row is a searchsorted gather over the CSR slice — the floats
-        are exactly those of the dense submatrix, so sums over the result
-        are bit-identical to the dense backend.
+        Delegates to :meth:`gather_rows` — one batched ``searchsorted``
+        over the globally sorted CSR keys instead of the historical
+        per-row lookup loop. The retrieved floats are exactly those of
+        the dense submatrix (pure lookups, no reductions), so sums over
+        the result are bit-identical to the dense backend and to the
+        per-row path this replaced.
         """
         index = np.asarray(index, dtype=np.intp)
-        out = np.empty((index.size, index.size), dtype=float)
-        for position, worker in enumerate(index):
-            idx, vals = self._row_slice(worker)
-            gathered = _sorted_lookup(idx, vals, index, self._prior)
-            gathered[index == worker] = 0.0
-            out[position] = gathered
-        return out
+        return self.gather_rows(index, index)
+
+    def gather_rows(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Rectangular gather ``q[rows[:, None], cols]`` in one batch.
+
+        The bulk multi-row protocol method: a single
+        :func:`~repro.core.kernels.gather_block` lookup over the store's
+        flat kernel buffers answers the whole block, replacing one
+        ``_sorted_lookup`` round-trip per row. Positions where
+        ``rows[i] == cols[j]`` are 0 (the implicit diagonal), absent
+        pairs default to the prior — value-identical to materialized
+        ``q_row`` reads.
+        """
+        from repro.core.kernels import gather_block
+
+        return gather_block(self.as_kernel_buffers(), rows, cols)
 
     def ordered_pair_sum(self, members: Sequence[int]) -> float:
         index = np.asarray(members, dtype=np.intp)
@@ -581,9 +633,30 @@ class SparseQualityStore:
         )
 
     def row_cache_info(self) -> RowCacheInfo:
+        """Counters of row-orientation (``q_row``) lookups only.
+
+        On a symmetric store the column orientation shares this cache's
+        *storage* but books its traffic on its own ledger, so
+        ``row_cache_info() + col_cache_info()`` sums to exactly the
+        physical lookup/eviction totals — no double counting.
+        """
         return self._row_cache.info()
 
     def col_cache_info(self) -> RowCacheInfo:
+        """Counters of column-orientation (``q_col``) lookups only.
+
+        Symmetric stores report the column ledger over the shared row
+        cache (``currsize``/``maxsize`` describe that shared storage);
+        asymmetric stores report their dedicated column cache.
+        """
+        if self._col_ledger is not None:
+            return RowCacheInfo(
+                hits=self._col_ledger.hits,
+                misses=self._col_ledger.misses,
+                evictions=self._col_ledger.evictions,
+                currsize=self._row_cache.info().currsize,
+                maxsize=self._row_cache.maxsize,
+            )
         return self._col_cache.info()
 
     def __eq__(self, other: object) -> bool:

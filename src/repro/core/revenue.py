@@ -23,6 +23,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    counted_subset_select,
+    ensure_pairwise_cliff,
+    ordered_row_sums,
+    resolve_kernel,
+)
 from repro.core.quality import CooperationMatrix
 from repro.core.quality_store import QualityStore
 
@@ -37,15 +44,20 @@ __all__ = [
 
 #: Group sizes up to this bound use the vectorized peeling kernel. Above
 #: it the scalar reference loop runs instead: numpy sums arrays of eight
-#: or more elements with pairwise (block-unrolled) accumulation, so the
-#: submatrix row sums would stop being bit-identical to the per-member
-#: ``cross_sum`` calls — and bit-identical contributions are what keeps
-#: the peel order (hence the potential function) unchanged.
+#: or more elements (``kernels.PAIRWISE_CLIFF``) with pairwise
+#: (block-unrolled) accumulation, so the submatrix row sums would stop
+#: being bit-identical to the per-member ``cross_sum`` calls — and
+#: bit-identical contributions are what keeps the peel order (hence the
+#: potential function) unchanged. ``kernels.ensure_pairwise_cliff``
+#: verifies at first use that numpy still honors this boundary.
 _VECTOR_PEEL_LIMIT = 7
 
 
 def best_counted_subset(
-    quality: QualityStore, members: Sequence[int], size: int
+    quality: QualityStore,
+    members: Sequence[int],
+    size: int,
+    kernel: str = DEFAULT_KERNEL,
 ) -> list[int]:
     """The (approximately) best ``size``-subset of ``members``.
 
@@ -56,6 +68,12 @@ def best_counted_subset(
     tie-break is part of the potential function's definition; changing it
     would change which equilibria the game reaches.)
 
+    ``kernel="native"`` evaluates the whole peel through
+    :func:`~repro.core.kernels.counted_subset_select` — one bulk gather
+    of the master submatrix plus a compiled (numba when available)
+    endgame — with bit-identical floats and tie-breaks; ``"python"``
+    keeps this scalar oracle.
+
     Returns the members themselves when ``size >= len(members)``.
     """
     if size < 0:
@@ -63,13 +81,19 @@ def best_counted_subset(
     kept = sorted(members)
     if len(kept) != len(set(kept)):
         raise ValueError(f"duplicate members: {sorted(members)}")
+    if resolve_kernel(kernel) == "native":
+        return counted_subset_select(quality.as_kernel_buffers(), kept, size)
+    ensure_pairwise_cliff()
     while len(kept) > size:
         if len(kept) <= _VECTOR_PEEL_LIMIT:
             index = np.asarray(kept, dtype=np.intp)
             sub = quality.gather(index)
             # The diagonal is exactly 0.0, so including it keeps every
             # partial sum bit-identical to cross_sum over the others.
-            contributions = sub.sum(axis=1) + sub.sum(axis=0)
+            # ordered_row_sums is the shared ordered-accumulation helper
+            # (bit-identical to sub.sum(axis=1)/sum(axis=0) below the
+            # pairwise cliff — the only regime this branch handles).
+            contributions = ordered_row_sums(sub) + ordered_row_sums(sub.T)
             minimum = contributions.min()
             # Ties peel the highest index; kept is sorted ascending, so
             # that is the last position attaining the minimum.
@@ -89,6 +113,7 @@ def group_revenue(
     members: Sequence[int],
     capacity: int,
     min_group_size: int,
+    kernel: str = DEFAULT_KERNEL,
 ) -> float:
     """``Q(W_j)`` of Equation 2.
 
@@ -106,7 +131,7 @@ def group_revenue(
     if count < min_group_size:
         return 0.0
     if count > capacity:
-        members = best_counted_subset(quality, members, capacity)
+        members = best_counted_subset(quality, members, capacity, kernel=kernel)
         count = capacity
     if count < 2:
         return 0.0
@@ -205,8 +230,10 @@ class RevenueCache:
         "_members",
         "_member_arrays",
         "_counted",
+        "kernel",
         "full_evaluations",
         "incremental_updates",
+        "peel_kernel_calls",
     )
 
     def __init__(
@@ -229,8 +256,17 @@ class RevenueCache:
         self._members: list[list[int]] = [[] for _ in range(task_count)]
         self._member_arrays: list[np.ndarray | None] = [None] * task_count
         self._counted: list[tuple[int, ...] | None] = [None] * task_count
+        #: Peel dispatch path for the overflow evaluations: ``"python"``
+        #: (the scalar oracle, default) or ``"native"`` (the bulk-gather
+        #: kernel). Solvers running with ``kernel="native"`` set this so
+        #: the RevenueCache's own overflow paths ride the same kernel;
+        #: results are bit-identical either way.
+        self.kernel = DEFAULT_KERNEL
         self.full_evaluations = 0
         self.incremental_updates = 0
+        #: Overflow peels dispatched through the native kernel (0 for
+        #: ``kernel="python"``); surfaced via SolverStats.
+        self.peel_kernel_calls = 0
 
     # ------------------------------------------------------------------
     # read access
@@ -354,8 +390,10 @@ class RevenueCache:
         # sharing the array objects themselves is safe.
         clone._member_arrays = list(self._member_arrays)
         clone._counted = list(self._counted)
+        clone.kernel = self.kernel
         clone.full_evaluations = self.full_evaluations
         clone.incremental_updates = self.incremental_updates
+        clone.peel_kernel_calls = self.peel_kernel_calls
         missing = [
             name for name in RevenueCache.__slots__ if not hasattr(clone, name)
         ]
@@ -418,6 +456,14 @@ class RevenueCache:
         self._member_arrays[task] = None
         self._counted[task] = None
 
+    def _peel(self, members: Sequence[int], capacity: int) -> list[int]:
+        """Overflow peel through the cache's configured :attr:`kernel`."""
+        if self.kernel == "native":
+            self.peel_kernel_calls += 1
+        return best_counted_subset(
+            self.quality, members, capacity, kernel=self.kernel
+        )
+
     def _refresh(self, task: int) -> None:
         """Recompute the task's revenue from the cached pair sum.
 
@@ -435,7 +481,7 @@ class RevenueCache:
         elif count <= capacity:
             self.revenues[task] = self.pair_sums[task] / (count - 1)
         else:
-            kept = best_counted_subset(self.quality, members, capacity)
+            kept = self._peel(members, capacity)
             self._counted[task] = tuple(kept)
             self.full_evaluations += 1
             if capacity < 2:
@@ -474,9 +520,7 @@ class RevenueCache:
             if new_count < self.min_group_size or capacity < 2:
                 new_revenue = 0.0
             else:
-                kept = best_counted_subset(
-                    self.quality, [*members, worker], capacity
-                )
+                kept = self._peel([*members, worker], capacity)
                 new_revenue = self.quality.submatrix_sum(
                     np.asarray(kept, dtype=np.intp)
                 ) / (capacity - 1)
@@ -499,11 +543,15 @@ class RevenueCache:
             )
             without = (self.pair_sums[task] - cross) / (count - 2)
         else:
+            rest = [m for m in members if m != worker]
+            if self.kernel == "native" and len(rest) > capacity:
+                self.peel_kernel_calls += 1
             without = group_revenue(
                 self.quality,
-                [m for m in members if m != worker],
+                rest,
                 capacity,
                 self.min_group_size,
+                kernel=self.kernel,
             )
             self.full_evaluations += 1
         return current - without

@@ -85,6 +85,11 @@ class SolverStats:
         Wall-clock of the first compiled invocation per kernel variant —
         numba's lazy JIT compile (or on-disk cache load) cost, recorded
         once per process rather than spread over later calls.
+    peel_kernel_calls:
+        Overflow counted-subset peels dispatched through the bulk-gather
+        peel kernel (``kernels.counted_subset_select``) by the
+        :class:`~repro.core.revenue.RevenueCache`. Zero for
+        ``kernel="python"`` solves, which run the scalar oracle peel.
     rescan_batches / rescan_rows:
         Mid-round dirty-rescan kernel (``kernel="native"``): batched
         refresh calls issued after accepted moves, and how many stale
@@ -125,6 +130,7 @@ class SolverStats:
     kernel_compiled_calls: int = 0
     kernel_fallback_calls: int = 0
     kernel_compile_seconds: float = 0.0
+    peel_kernel_calls: int = 0
     rescan_batches: int = 0
     rescan_rows: int = 0
     shard_count: int = 0
@@ -160,6 +166,7 @@ class SolverStats:
         self.kernel_compiled_calls += other.kernel_compiled_calls
         self.kernel_fallback_calls += other.kernel_fallback_calls
         self.kernel_compile_seconds += other.kernel_compile_seconds
+        self.peel_kernel_calls += other.peel_kernel_calls
         self.rescan_batches += other.rescan_batches
         self.rescan_rows += other.rescan_rows
         self.shard_count += other.shard_count
@@ -224,6 +231,7 @@ class SolverStats:
             "kernel_compiled_calls": self.kernel_compiled_calls,
             "kernel_fallback_calls": self.kernel_fallback_calls,
             "kernel_compile_seconds": self.kernel_compile_seconds,
+            "peel_kernel_calls": self.peel_kernel_calls,
             "rescan_batches": self.rescan_batches,
             "rescan_rows": self.rescan_rows,
             "shard_count": self.shard_count,
@@ -272,6 +280,8 @@ class SolverStats:
                 parts.append(
                     f"compile={self.kernel_compile_seconds * 1e3:.1f}ms"
                 )
+        if self.peel_kernel_calls:
+            parts.append(f"peel={self.peel_kernel_calls}k")
         if self.rescan_batches:
             parts.append(
                 f"rescan={self.rescan_batches}b/{self.rescan_rows}r"

@@ -214,6 +214,9 @@ def _solve_tpg_full(
     if valid_pairs is None:
         valid_pairs = compute_valid_pairs(instance)
     assignment = Assignment(instance, valid_pairs)
+    # Stage 2's join-gain probes can hit overflow peels; route them (and
+    # any later cache refresh) through the selected kernel.
+    assignment.revenue_cache.kernel = kernel
     available = np.ones(instance.worker_count, dtype=bool)
     stats = SolverStats(solver="TPG")
 
@@ -231,6 +234,7 @@ def _solve_tpg_full(
     cache = assignment.revenue_cache
     stats.revenue_evaluations = cache.full_evaluations
     stats.incremental_updates = cache.incremental_updates
+    stats.peel_kernel_calls = cache.peel_kernel_calls
     stats.phase_seconds["stage1"] = stage_one_done - started
     stats.phase_seconds["stage2"] = finished - stage_one_done
     stats.total_seconds = finished - started

@@ -283,8 +283,11 @@ class TestFuzzerAndShrink:
             FuzzConfig(min_tasks=0)
 
     def test_shrink_reaches_predicate_minimum(self):
+        # Seed (8, 0) draws the fully random recipe (the kernel-boundary
+        # shapes ignore the size bounds, so a boundary draw could not
+        # satisfy the predicate in the first place).
         instance = fuzz_instance(
-            (11, 0), FuzzConfig(min_workers=8, max_workers=8, min_tasks=3, max_tasks=3)
+            (8, 0), FuzzConfig(min_workers=8, max_workers=8, min_tasks=3, max_tasks=3)
         )
         shrunk = shrink_instance(
             instance,

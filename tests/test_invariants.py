@@ -129,12 +129,40 @@ def test_score_invariant_under_worker_relabeling(seed):
         assert permuted_pairs.tasks_for_worker[new_index] == (
             original_pairs.tasks_for_worker[old_index]
         )
-    # And the GT equilibrium scores agree up to heuristic tie-breaking.
     # Relabeling changes the best-response visit order, which can settle
-    # in a *different* Nash equilibrium of the potential game; observed
-    # gaps at this tiny scale reach ~27% (hypothesis seed 545850; both
-    # sides converge and match the from-scratch oracle bit-for-bit), so
-    # the tolerance must cover equilibrium spread, not just ties.
-    original_score = solve_game_theoretic(instance, original_pairs).final_score
-    permuted_score = solve_game_theoretic(permuted, permuted_pairs).final_score
-    assert permuted_score == pytest.approx(original_score, rel=0.35)
+    # in a *different* Nash equilibrium of the potential game, so the
+    # two scores need not be close (observed gaps at this tiny scale
+    # reach ~27%). A score tolerance wide enough to cover equilibrium
+    # spread asserts nothing, so instead verify each side against the
+    # oracles directly: both solves reach a genuine pure Nash
+    # equilibrium, both scores survive a from-scratch recompute, and the
+    # permuted equilibrium pulled back through the permutation is a
+    # feasible equilibrium of the *original* game with the same score.
+    from repro.core.assignment import Assignment
+    from repro.core.game import verify_nash_equilibrium
+
+    original = solve_game_theoretic(instance, original_pairs)
+    permuted_result = solve_game_theoretic(permuted, permuted_pairs)
+    for result, pairs in (
+        (original, original_pairs),
+        (permuted_result, permuted_pairs),
+    ):
+        assert result.converged
+        assert result.assignment.recompute_total() == pytest.approx(
+            result.final_score, abs=1e-9
+        )
+        assert verify_nash_equilibrium(result.equilibrium, pairs) == []
+
+    pullback = Assignment(instance, original_pairs)
+    pullback.allow_overflow = True
+    for new_index, task in permuted_result.equilibrium.to_pairs():
+        pullback.assign(int(permutation[new_index]), task)
+    # Pair sums are permutation-invariant up to summation order.
+    assert pullback.recompute_total() == pytest.approx(
+        permuted_result.equilibrium.recompute_total(), abs=1e-9
+    )
+    # The pulled-back profile is an equilibrium of the original game:
+    # the permuted score is genuinely *reachable* there, which is the
+    # invariant the old rel=0.35 score comparison tried to approximate
+    # (and could only assert up to an arbitrary spread guess).
+    assert verify_nash_equilibrium(pullback, original_pairs) == []

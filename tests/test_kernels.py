@@ -21,9 +21,14 @@ from repro.core.kernels import (
     DEFAULT_KERNEL,
     KERNELS,
     NUMBA_AVAILABLE,
+    PAIRWISE_CLIFF,
     KernelBuffers,
+    counted_subset_select,
+    gather_block,
+    ordered_row_sums,
     resolve_kernel,
     segment_sums_ordered,
+    verify_pairwise_cliff,
 )
 from repro.core.model import Instance
 from repro.core.quality_store import (
@@ -195,12 +200,29 @@ class TestKernelBoundaryShapes:
         for index in range(400):
             seed = (606, index)
             instance = fuzz_instance(seed)
+            capacity = instance.tasks[0].capacity
             if instance.worker_count == 1:
                 seen.setdefault("solo", seed)
-            elif instance.worker_count == 9 and instance.task_count == 1 and (
-                instance.tasks[0].capacity == 8
-            ):
+            elif instance.task_count == 1 and (
+                instance.worker_count,
+                capacity,
+            ) == (9, 8):
                 seen.setdefault("group8", seed)
+            elif instance.task_count == 1 and (
+                instance.worker_count,
+                capacity,
+            ) == (9, 6):
+                seen.setdefault("peelcliff", seed)
+            elif instance.task_count == 1 and (
+                instance.worker_count,
+                capacity,
+            ) == (9, 7):
+                seen.setdefault("tiedpeel", seed)
+            elif instance.task_count == 1 and instance.worker_count in (
+                8,
+                10,
+            ) and capacity == instance.worker_count - 1:
+                seen.setdefault("peelfit", seed)
             elif not any(compute_valid_pairs(instance).tasks_for_worker):
                 seen.setdefault("nopairs", seed)
             if len(seen) == len(_KERNEL_SHAPES):
@@ -211,6 +233,141 @@ class TestKernelBoundaryShapes:
             second = fuzz_instance(seed)
             assert repr(first.workers) == repr(second.workers)
             assert repr(first.tasks) == repr(second.tasks)
+
+
+class TestPairwiseCliff:
+    """The peel kernel's bit-identity proof leans on numpy summing
+    sequentially below 8 elements and block-pairwise at 8. These tests
+    are the tripwire for a numpy release moving that threshold."""
+
+    def test_real_numpy_matches_the_assumed_cliff(self):
+        verify_pairwise_cliff()  # must not raise on the pinned numpy
+
+    def test_cliff_constant_matches_the_oracle_limit(self):
+        from repro.core.revenue import _VECTOR_PEEL_LIMIT
+
+        assert PAIRWISE_CLIFF == _VECTOR_PEEL_LIMIT + 1 == 8
+
+    def test_always_sequential_impostor_is_rejected(self):
+        # A numpy whose sum stayed sequential at 8 elements would make
+        # the scalar-branch replay diverge from the oracle.
+        def sequential(values):
+            total = 0.0
+            for value in values:
+                total = total + float(value)
+            return total
+
+        with pytest.raises(RuntimeError, match="_VECTOR_PEEL_LIMIT"):
+            verify_pairwise_cliff(sum_func=sequential)
+
+    def test_early_pairwise_impostor_is_rejected(self):
+        # ... and one that went pairwise below 8 breaks the endgame.
+        def pairwise(values):
+            values = [float(v) for v in values]
+            if len(values) == 1:
+                return values[0]
+            mid = (len(values) + 1) // 2
+            return pairwise(values[:mid]) + pairwise(values[mid:])
+
+        with pytest.raises(RuntimeError, match="_VECTOR_PEEL_LIMIT"):
+            verify_pairwise_cliff(sum_func=pairwise)
+
+    def test_ordered_row_sums_is_strictly_sequential(self):
+        rng = np.random.default_rng(11)
+        matrix = rng.uniform(0.0, 1.0, size=(9, 9))
+        sums = ordered_row_sums(matrix)
+        for row in range(9):
+            expected = 0.0
+            for value in matrix[row]:
+                expected = expected + float(value)
+            assert repr(float(sums[row])) == repr(expected)
+        assert ordered_row_sums(np.empty((3, 0))).tolist() == [0.0] * 3
+
+
+class TestGatherBlock:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_row_gather_matches_dense_lookup(self, backend):
+        base = make_dense_instance(24, 5, seed=7)
+        instance, cleanup = _with_backend(base, backend)
+        try:
+            dense = base.quality.to_dense().values
+            rng = np.random.default_rng(3)
+            rows = rng.integers(0, 24, size=6)
+            cols = rng.integers(0, 24, size=9)
+            block = gather_block(
+                instance.quality.as_kernel_buffers(), rows, cols
+            )
+            expected = dense[rows[:, None], cols].copy()
+            expected[rows[:, None] == cols[None, :]] = 0.0
+            assert np.array_equal(block, expected)
+            # The store-level protocol method routes through the same path.
+            assert np.array_equal(
+                instance.quality.gather_rows(rows, cols), block
+            )
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+    def test_square_gather_matches_legacy_gather(self):
+        base = make_dense_instance(20, 4, seed=8)
+        sparse = SparseQualityStore.from_dense(
+            base.quality.to_dense(), prior=0.25
+        )
+        index = np.array([1, 4, 9, 13, 17])
+        assert np.array_equal(
+            sparse.gather(index), sparse.gather_rows(index, index)
+        )
+
+
+class TestCountedSubsetSelectParity:
+    """The peel kernel must reproduce the scalar oracle bit-for-bit at
+    every kept size around the pairwise cliff, on every backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_peel_matches_oracle_across_the_cliff(self, backend):
+        from repro.core.revenue import best_counted_subset
+
+        base = make_dense_instance(16, 3, seed=9)
+        instance, cleanup = _with_backend(base, backend)
+        try:
+            quality = instance.quality
+            buffers = quality.as_kernel_buffers()
+            rng = np.random.default_rng(4)
+            for members_count in (7, 8, 9, 10, 12):
+                members = sorted(
+                    int(w)
+                    for w in rng.choice(16, size=members_count, replace=False)
+                )
+                for size in range(members_count + 1):
+                    oracle = best_counted_subset(quality, members, size)
+                    kernel = counted_subset_select(buffers, members, size)
+                    assert kernel == oracle, (backend, members_count, size)
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+    def test_peel_boundary_shapes_are_kernel_invariant(self):
+        from repro.audit.fuzzer import _kernel_boundary_instance
+
+        for shape in ("peelcliff", "peelfit", "tiedpeel"):
+            for seed in range(3):
+                instance = _kernel_boundary_instance(
+                    shape, np.random.default_rng(seed)
+                )
+                python_sig, _ = _solve(instance, "GT", "python")
+                native_sig, stats = _solve(instance, "GT", "native")
+                assert native_sig == python_sig, (shape, seed)
+
+    def test_native_gt_counts_peel_dispatches_on_overflow(self):
+        from repro.audit.fuzzer import _kernel_boundary_instance
+
+        instance = _kernel_boundary_instance(
+            "tiedpeel", np.random.default_rng(0)
+        )
+        _, python_stats = _solve(instance, "GT", "python")
+        _, native_stats = _solve(instance, "GT", "native")
+        assert python_stats.peel_kernel_calls == 0
+        assert native_stats.peel_kernel_calls > 0
 
 
 @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")

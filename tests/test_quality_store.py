@@ -193,12 +193,42 @@ class TestRowCacheLRU:
         sparse.q_row(1)  # was evicted: a miss again
         assert sparse.row_cache_info().misses == 4
 
-    def test_symmetric_store_aliases_the_column_cache(self):
+    def test_symmetric_store_shares_storage_but_not_counters(self):
+        """Symmetric stores keep ONE physical row cache, yet attribute
+        traffic per orientation: ``q_row`` books on the row ledger,
+        ``q_col`` on the column ledger. (A previous version surfaced the
+        shared cache's counters from *both* ``row_cache_info`` and
+        ``col_cache_info``, double-counting every access in aggregate
+        dashboards.)"""
         sparse = SparseQualityStore.from_dense(_reference_matrix(30), prior=0.3)
         sparse.q_row(4)
-        assert sparse.col_cache_info().misses == 1  # same cache object
-        sparse.q_col(4)
-        assert sparse.col_cache_info().hits == 1
+        row = sparse.row_cache_info()
+        col = sparse.col_cache_info()
+        assert (row.hits, row.misses) == (0, 1)
+        assert (col.hits, col.misses) == (0, 0)  # no column traffic yet
+        sparse.q_col(4)  # served from the shared cache: a *column* hit
+        row = sparse.row_cache_info()
+        col = sparse.col_cache_info()
+        assert (row.hits, row.misses) == (0, 1)
+        assert (col.hits, col.misses) == (1, 0)
+        # Both views see the one physical cache's occupancy.
+        assert row.currsize == col.currsize == 1
+
+    def test_symmetric_counters_sum_to_physical_traffic(self):
+        """row + col ledgers account for every access exactly once."""
+        sparse = SparseQualityStore.from_dense(
+            _reference_matrix(30), prior=0.3, row_cache_size=2
+        )
+        sparse.q_col(0)  # miss (col)
+        sparse.q_row(0)  # hit (row)
+        sparse.q_row(1)  # miss (row)
+        sparse.q_col(2)  # miss (col), evicts row 0
+        row = sparse.row_cache_info()
+        col = sparse.col_cache_info()
+        assert row.hits + col.hits == 1
+        assert row.misses + col.misses == 3
+        assert row.evictions + col.evictions == 1
+        assert (col.misses, col.evictions) == (2, 1)  # eviction blamed on q_col
 
     def test_cached_rows_are_read_only(self):
         sparse = SparseQualityStore.from_dense(_reference_matrix(20), prior=0.3)

@@ -234,6 +234,86 @@ class TestEquationTwoEdgeCases:
         assert cache.leave_delta(0, 0) == 0.0
 
 
+def _backend_quality(matrix: CooperationMatrix, backend: str):
+    """``(store, cleanup-or-None)`` with the matrix on one backend."""
+    from repro.core.quality_store import (
+        SharedDenseQualityStore,
+        SparseQualityStore,
+    )
+
+    if backend == "dense":
+        return matrix, None
+    if backend == "sparse":
+        return SparseQualityStore.from_dense(matrix, prior=0.0), None
+    store = SharedDenseQualityStore.create(matrix)
+
+    def cleanup() -> None:
+        store.close()
+        store.unlink()
+
+    return store, cleanup
+
+
+@pytest.mark.parametrize("kernel", ["python", "native"])
+@pytest.mark.parametrize("backend", ["dense", "sparse", "shared"])
+class TestBestCountedSubsetEdges:
+    """Edge regimes of the peel, pinned on every backend x kernel."""
+
+    def run(self, matrix, members, size, backend, kernel):
+        quality, cleanup = _backend_quality(matrix, backend)
+        try:
+            return best_counted_subset(quality, members, size, kernel=kernel)
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+    def test_size_zero_peels_to_empty(self, backend, kernel):
+        matrix = CooperationMatrix.random_uniform(9, seed=3)
+        assert self.run(matrix, list(range(9)), 0, backend, kernel) == []
+        assert self.run(matrix, [], 0, backend, kernel) == []
+
+    def test_size_equal_to_members_is_identity(self, backend, kernel):
+        matrix = CooperationMatrix.random_uniform(9, seed=3)
+        members = [6, 1, 8, 0, 3]
+        kept = self.run(matrix, members, len(members), backend, kernel)
+        assert kept == sorted(members)
+
+    def test_duplicates_rejected_before_dispatch(self, backend, kernel):
+        matrix = CooperationMatrix.random_uniform(5, seed=3)
+        quality, cleanup = _backend_quality(matrix, backend)
+        try:
+            with pytest.raises(ValueError, match="duplicate"):
+                best_counted_subset(quality, [0, 0, 1], 2, kernel=kernel)
+            with pytest.raises(ValueError):
+                best_counted_subset(quality, [0, 1], -1, kernel=kernel)
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+    def test_all_tied_peels_highest_index_first(self, backend, kernel):
+        # Uniform quality ties every contribution at every step; the
+        # peel must shed indices from the top on both sides of the
+        # pairwise cliff (10 -> 9 -> 8 -> 7 -> ... -> 3).
+        matrix = uniform_matrix(10, 0.5)
+        for size in (9, 8, 7, 3):
+            kept = self.run(matrix, list(range(10)), size, backend, kernel)
+            assert kept == list(range(size)), (backend, kernel, size)
+
+    def test_cliff_sizes_match_python_oracle(self, backend, kernel):
+        # kept counts 7/8/9 straddle numpy's pairwise-summation cliff;
+        # every (members, size) cell must agree with the dense python
+        # oracle repr-exactly.
+        matrix = CooperationMatrix.random_uniform(12, seed=17)
+        for members_count in (7, 8, 9, 10):
+            members = list(range(members_count))
+            for size in range(members_count):
+                expected = best_counted_subset(matrix, members, size)
+                assert (
+                    self.run(matrix, members, size, backend, kernel)
+                    == expected
+                ), (backend, kernel, members_count, size)
+
+
 class TestTieBreakPin:
     """The documented tie-break: ties peel the *highest* worker index."""
 
@@ -315,6 +395,33 @@ class TestRevenueCacheIncremental:
         assert cache.full_evaluations == 1
         cache.join_gain(3, 0)  # overflow probe counts as full evaluation
         assert cache.full_evaluations == 2
+
+    def test_native_kernel_overflow_is_repr_identical(self):
+        q, python_cache = self.make_cache(capacities=(2, 4))
+        _, native_cache = self.make_cache(capacities=(2, 4))
+        native_cache.kernel = "native"
+        for worker in (0, 1, 2, 3):
+            python_cache.join(worker, 0)
+            native_cache.join(worker, 0)
+        assert repr(native_cache.revenue(0)) == repr(python_cache.revenue(0))
+        assert native_cache.counted_subset(0) == python_cache.counted_subset(0)
+        assert python_cache.peel_kernel_calls == 0
+        assert native_cache.peel_kernel_calls > 0
+        # Overflow probes dispatch through the kernel too.
+        probes_before = native_cache.peel_kernel_calls
+        assert repr(native_cache.join_gain(4, 0)) == repr(
+            python_cache.join_gain(4, 0)
+        )
+        assert native_cache.peel_kernel_calls > probes_before
+
+    def test_clone_copies_kernel_and_peel_counter(self):
+        q, cache = self.make_cache(capacities=(2, 4))
+        cache.kernel = "native"
+        for worker in (0, 1, 2):
+            cache.join(worker, 0)
+        clone = cache.clone()
+        assert clone.kernel == "native"
+        assert clone.peel_kernel_calls == cache.peel_kernel_calls > 0
 
     def test_join_gain_matches_mutation(self):
         q, cache = self.make_cache()
